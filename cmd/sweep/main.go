@@ -1,0 +1,165 @@
+// Command sweep regenerates the paper's figures: the ratio tracks
+// (Figures 5/9), the finishing/preparing bars (Figures 6/10), the switch
+// time and reduction ratio (Figures 7/11), and the communication overhead
+// (Figures 8/12) — plus the ablation tables DESIGN.md defines.
+//
+// Examples:
+//
+//	sweep                      # every figure, static + dynamic
+//	sweep -fig 7               # only Figure 7
+//	sweep -sizes 100,500,1000 -seeds 5
+//	sweep -ablations           # the design-choice ablation tables
+//	sweep -csv                 # machine-readable sweep output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gossipstream/internal/experiment"
+	"gossipstream/internal/metrics"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate a single figure (5-12); 0 = all")
+		sizes     = flag.String("sizes", "", "comma-separated overlay sizes (default: the paper's 100..8000)")
+		seeds     = flag.Int("seeds", 3, "replicas per size")
+		ratioN    = flag.Int("ration", 1000, "overlay size for the ratio tracks (Figures 5/9)")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of tables")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
+		abN       = flag.Int("abn", 500, "overlay size for ablations")
+	)
+	flag.Parse()
+
+	w := experiment.Paper()
+	w.SeedsPerSize = *seeds
+	w.Workers = *workers
+	if *sizes != "" {
+		w.Sizes = nil
+		for _, tok := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fatal(err)
+			}
+			w.Sizes = append(w.Sizes, n)
+		}
+	}
+
+	if *ablations {
+		runAblations(w, *abN)
+		return
+	}
+
+	wants := func(f int) bool { return *fig == 0 || *fig == f }
+
+	for _, dynamic := range []bool{false, true} {
+		wd := w
+		wd.Churn = dynamic
+		ratioFig, firstFig := 5, 6
+		if dynamic {
+			ratioFig, firstFig = 9, 10
+		}
+		if wants(ratioFig) {
+			rt, err := wd.RunRatioTrack(*ratioN)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(rt.Render())
+		}
+		if wants(firstFig) || wants(firstFig+1) || wants(firstFig+2) {
+			rows, err := wd.RunSizeSweep()
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				fmt.Print(experiment.CSV(rows))
+				continue
+			}
+			if wants(firstFig) {
+				fmt.Println(experiment.FormatFinishPrepare(rows, dynamic))
+			}
+			if wants(firstFig + 1) {
+				fmt.Println(experiment.FormatSwitchTime(rows, dynamic))
+			}
+			if wants(firstFig + 2) {
+				fmt.Println(experiment.FormatOverhead(rows, dynamic))
+			}
+		}
+	}
+}
+
+func runAblations(w experiment.Workload, n int) {
+	priority := experiment.Ablation{
+		Workload: w, N: n, Baseline: "normal",
+		Variants: experiment.PriorityVariants(),
+	}
+	rows, err := priority.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiment.FormatAblation(
+		fmt.Sprintf("Ablation: priority scoring variants (N=%d)", n), rows))
+
+	split := experiment.Ablation{
+		Workload: w, N: n, Baseline: "normal",
+		Variants: experiment.SplitVariants(),
+	}
+	rows, err = split.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiment.FormatAblation(
+		fmt.Sprintf("Ablation: optimal rate split (N=%d)", n), rows))
+
+	mRows, ms, err := experiment.NeighborCountSweep(w, n, []int{3, 5, 8, 12})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Ablation: neighbor count M (N=%d)\n", n)
+	fmt.Printf("%4s %12s %12s %12s\n", "M", "fast prep(s)", "norm prep(s)", "reduction")
+	for i, r := range mRows {
+		fmt.Printf("%4d %12.2f %12.2f %11.1f%%\n", ms[i], r.FastPrepareS2, r.NormalPrepareS2, r.Reduction*100)
+	}
+	fmt.Println()
+
+	qRows, qss, err := experiment.StartupThresholdSweep(w, n, []int{10, 25, 50, 100})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Ablation: startup threshold Qs (N=%d)\n", n)
+	fmt.Printf("%4s %12s %12s %12s\n", "Qs", "fast prep(s)", "norm prep(s)", "reduction")
+	for i, r := range qRows {
+		fmt.Printf("%4d %12.2f %12.2f %11.1f%%\n", qss[i], r.FastPrepareS2, r.NormalPrepareS2, r.Reduction*100)
+	}
+	fmt.Println()
+
+	// Substrate ablations: per-link capacity model and no-prefetch mesh.
+	for _, sub := range []struct {
+		name  string
+		apply func(*experiment.Workload)
+	}{
+		{"per-link outbound", func(w *experiment.Workload) { w.PerLinkOutbound = true }},
+		{"prefetch disabled", func(w *experiment.Workload) { w.DisablePrefetch = true }},
+	} {
+		ws := w
+		sub.apply(&ws)
+		ws.Sizes = []int{n}
+		samples, err := ws.Sweep()
+		if err != nil {
+			fatal(err)
+		}
+		rows := metrics.AggregateBySize(samples)
+		fmt.Printf("Substrate ablation: %s (N=%d)\n", sub.name, n)
+		fmt.Println(experiment.FormatSwitchTime(rows, false))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command tracegen emits and inspects the synthetic Clip2-style overlay
+// trace family standing in for the paper's dead dss.clip2.com crawls.
+//
+// Examples:
+//
+//	tracegen -n 1000 > trace1000.txt      # one trace to stdout
+//	tracegen -family -dir traces/         # the full 30-trace family
+//	tracegen -inspect trace1000.txt       # parse and summarize a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/trace"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1000, "node count for a single trace")
+		attach  = flag.Int("attach", 1, "edges per arriving node")
+		seed    = flag.Int64("seed", 20080917, "synthesis seed")
+		family  = flag.Bool("family", false, "emit the full 30-trace family")
+		dir     = flag.String("dir", ".", "output directory for -family")
+		inspect = flag.String("inspect", "", "parse a trace file and print its summary")
+		augment = flag.Int("augment", 0, "report post-augmentation stats for this M (0 = skip)")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(tr, *augment)
+
+	case *family:
+		for _, tr := range trace.Family(*seed) {
+			path := filepath.Join(*dir, tr.Name+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.Write(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d nodes, %d edges)\n", path, tr.N(), len(tr.Edges))
+		}
+
+	default:
+		tr := trace.Synthesize(fmt.Sprintf("clip2-synth-%05d", *n), *n, *attach, *seed)
+		if err := tr.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func summarize(tr *trace.Trace, augmentM int) {
+	g, err := tr.Graph()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace %s: %d nodes, %d edges, avg degree %.2f, min degree %d, connected=%v\n",
+		tr.Name, g.N(), g.M(), g.AvgDegree(), g.MinDegree(), g.Connected())
+	if augmentM > 0 {
+		overlay.AugmentMinDegree(g, augmentM, rand.New(rand.NewSource(1)))
+		fmt.Printf("after augmentation to M=%d: %d edges, avg degree %.2f, connected=%v\n",
+			augmentM, g.M(), g.AvgDegree(), g.Connected())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,303 @@
+// Package buffer implements the per-node segment buffer of the paper:
+// capacity B segments, FIFO replacement, and position-from-tail queries.
+//
+// The FIFO discipline and the "position is the distance from the tail"
+// convention come from Table 2 of the paper: new segments enter at the
+// tail, the oldest segment is evicted from the head, and a segment's
+// position p_ij grows from 1 (just inserted) to B (next to be evicted).
+// Rarity (eq. 8) multiplies p_ij/B across suppliers, i.e. it treats the
+// normalized position as the probability that the segment is about to be
+// replaced in that supplier's buffer.
+//
+// Segment ids in a streaming session are dense integers starting near 0,
+// so membership is indexed by a flat slice over the id space rather than a
+// hash map: simulations hold one buffer per node for up to 10^4 nodes, and
+// the flat index keeps Has/PositionFromTail at a few nanoseconds with no
+// GC pressure.
+package buffer
+
+import (
+	"fmt"
+
+	"gossipstream/internal/bitfield"
+	"gossipstream/internal/segment"
+)
+
+// Buffer is a fixed-capacity FIFO segment store. It is not safe for
+// concurrent use; each simulated node owns exactly one.
+type Buffer struct {
+	capacity int
+	ring     []segment.ID // ring buffer, oldest at head
+	head     int
+	size     int
+
+	// Dense index over the id space: slot[id-base] = ring position + 1,
+	// zero meaning absent. base only moves down (rare rebase on
+	// out-of-range-low inserts); the slice grows upward as ids rise.
+	base  segment.ID
+	slots []int32
+
+	maxSeen segment.ID // high-water mark of inserted ids (never decreases)
+}
+
+// New returns an empty buffer with the given capacity (the paper's B=600).
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: capacity %d must be positive", capacity))
+	}
+	return &Buffer{
+		capacity: capacity,
+		ring:     make([]segment.ID, capacity),
+		base:     -1,
+		maxSeen:  segment.None,
+	}
+}
+
+// Cap returns the buffer capacity B.
+func (b *Buffer) Cap() int { return b.capacity }
+
+// Len returns the number of segments currently held.
+func (b *Buffer) Len() int { return b.size }
+
+// MaxSeen returns the largest id ever inserted (segment.None when empty);
+// it is an upper bound for MaxID and O(1).
+func (b *Buffer) MaxSeen() segment.ID { return b.maxSeen }
+
+func (b *Buffer) slotOf(id segment.ID) int32 {
+	if b.base < 0 || id < b.base {
+		return 0
+	}
+	off := int(id - b.base)
+	if off >= len(b.slots) {
+		return 0
+	}
+	return b.slots[off]
+}
+
+func (b *Buffer) setSlot(id segment.ID, v int32) {
+	if b.base < 0 {
+		b.base = id
+	}
+	if id < b.base {
+		// Rebase downward: prepend space. Rare — ids almost always grow.
+		shift := int(b.base - id)
+		grown := make([]int32, shift+len(b.slots))
+		copy(grown[shift:], b.slots)
+		b.slots = grown
+		b.base = id
+	}
+	off := int(id - b.base)
+	for off >= len(b.slots) {
+		if cap(b.slots) > off {
+			b.slots = b.slots[:off+1]
+		} else {
+			b.slots = append(b.slots, make([]int32, off+1-len(b.slots))...)
+		}
+	}
+	b.slots[off] = v
+}
+
+// Has reports whether the segment is in the buffer.
+func (b *Buffer) Has(id segment.ID) bool {
+	return id.Valid() && b.slotOf(id) != 0
+}
+
+// Insert adds a segment at the tail. If the buffer is full the oldest
+// segment is evicted and returned; otherwise evicted is segment.None.
+// Inserting a segment that is already present is a no-op (ok=false).
+func (b *Buffer) Insert(id segment.ID) (evicted segment.ID, ok bool) {
+	evicted = segment.None
+	if !id.Valid() {
+		panic("buffer: Insert of invalid segment id")
+	}
+	if b.Has(id) {
+		return evicted, false
+	}
+	if b.size == b.capacity {
+		evicted = b.ring[b.head]
+		b.setSlot(evicted, 0)
+		b.head = (b.head + 1) % b.capacity
+		b.size--
+	}
+	slot := (b.head + b.size) % b.capacity
+	b.ring[slot] = id
+	b.setSlot(id, int32(slot)+1)
+	b.size++
+	if id > b.maxSeen {
+		b.maxSeen = id
+	}
+	return evicted, true
+}
+
+// PositionFromTail returns a segment's FIFO position counted from the
+// tail: 1 for the most recently inserted segment, Len() for the next
+// segment to be evicted. It returns 0 when the segment is absent.
+func (b *Buffer) PositionFromTail(id segment.ID) int {
+	s := int(b.slotOf(id))
+	if s == 0 {
+		return 0
+	}
+	logical := (s - 1 - b.head + b.capacity) % b.capacity // 0 = oldest
+	return b.size - logical
+}
+
+// Oldest returns the segment at the FIFO head (next eviction victim), or
+// segment.None when empty.
+func (b *Buffer) Oldest() segment.ID {
+	if b.size == 0 {
+		return segment.None
+	}
+	return b.ring[b.head]
+}
+
+// Newest returns the most recently inserted segment, or segment.None.
+func (b *Buffer) Newest() segment.ID {
+	if b.size == 0 {
+		return segment.None
+	}
+	return b.ring[(b.head+b.size-1)%b.capacity]
+}
+
+// MinID returns the smallest segment id held, or segment.None when empty.
+// Insertion order usually tracks id order, but pull scheduling fills holes
+// out of order, so this is a scan over the FIFO contents.
+func (b *Buffer) MinID() segment.ID {
+	min := segment.None
+	for i := 0; i < b.size; i++ {
+		id := b.ring[(b.head+i)%b.capacity]
+		if min == segment.None || id < min {
+			min = id
+		}
+	}
+	return min
+}
+
+// MaxID returns the largest segment id held, or segment.None when empty.
+func (b *Buffer) MaxID() segment.ID {
+	max := segment.None
+	for i := 0; i < b.size; i++ {
+		id := b.ring[(b.head+i)%b.capacity]
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// Contents returns the held ids in FIFO order (oldest first). The slice is
+// freshly allocated.
+func (b *Buffer) Contents() []segment.ID {
+	out := make([]segment.ID, 0, b.size)
+	for i := 0; i < b.size; i++ {
+		out = append(out, b.ring[(b.head+i)%b.capacity])
+	}
+	return out
+}
+
+// CountInRange returns how many held ids fall in r.
+func (b *Buffer) CountInRange(r segment.Range) int {
+	n := 0
+	for id := r.Lo; id < r.Hi; id++ {
+		if b.Has(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// ConsecutiveFrom returns the length of the run of consecutively held
+// segments starting at id (0 when id itself is absent). The playback
+// startup rules (Q consecutive for S1, the first Qs for S2) are built on
+// this query.
+func (b *Buffer) ConsecutiveFrom(id segment.ID) int {
+	n := 0
+	for b.Has(id + segment.ID(n)) {
+		n++
+	}
+	return n
+}
+
+// Map is a snapshot of buffer availability in the paper's wire format: a
+// 20-bit anchor id plus one availability bit per buffer slot, covering ids
+// [Anchor, Anchor+Cap). Ids outside the window are clipped (cannot happen
+// while the stream lag stays under B segments, which holds in every
+// experiment of the paper).
+type Map struct {
+	Anchor   segment.ID
+	Capacity int
+	Bits     *bitfield.Set
+}
+
+// Snapshot builds the availability map the node advertises to neighbors.
+// The anchor is the smallest id held; an empty buffer yields an anchor of
+// 0 and an all-clear map.
+func (b *Buffer) Snapshot() *Map {
+	m := &Map{Anchor: 0, Capacity: b.capacity, Bits: bitfield.New(b.capacity)}
+	if b.size == 0 {
+		return m
+	}
+	m.Anchor = b.MinID()
+	for i := 0; i < b.size; i++ {
+		id := b.ring[(b.head+i)%b.capacity]
+		off := int(id - m.Anchor)
+		if off >= 0 && off < b.capacity {
+			m.Bits.Set(off)
+		}
+	}
+	return m
+}
+
+// Has reports whether the map advertises the segment.
+func (m *Map) Has(id segment.ID) bool {
+	off := int(id - m.Anchor)
+	if off < 0 || off >= m.Bits.Len() {
+		return false
+	}
+	return m.Bits.Get(off)
+}
+
+// Count returns the number of advertised segments.
+func (m *Map) Count() int { return m.Bits.Count() }
+
+// Cap returns the capacity of the buffer the map describes, making *Map
+// usable as a core.View.
+func (m *Map) Cap() int { return m.Capacity }
+
+// PositionFromTail estimates a segment's FIFO position from the map alone:
+// the count of advertised segments with a higher id, plus one. When
+// segments arrived in id order (the overwhelmingly common case in a
+// streaming session) this equals the true FIFO position, which is what a
+// real deployment — where only the wire map crosses the network — would
+// compute for eq. (8). Returns 0 when the segment is absent.
+func (m *Map) PositionFromTail(id segment.ID) int {
+	if !m.Has(id) {
+		return 0
+	}
+	pos := 1
+	for i := m.Bits.NextSet(int(id-m.Anchor) + 1); i >= 0; i = m.Bits.NextSet(i + 1) {
+		pos++
+	}
+	return pos
+}
+
+// WireBits returns the control-traffic cost of shipping this map once:
+// the canonical 620 bits for B=600 (Section 5.3).
+func (m *Map) WireBits() int { return bitfield.WireBits(m.Bits.Len()) }
+
+// Encode serializes the map to the 620-bit wire image.
+func (m *Map) Encode() ([]byte, error) {
+	anchor := int64(m.Anchor)
+	// The 20-bit anchor wraps daily in a real deployment; simulations never
+	// exceed it, but the modulo keeps Encode total.
+	anchor %= bitfield.MaxAnchor + 1
+	return bitfield.Encode(anchor, m.Bits)
+}
+
+// DecodeMap parses a wire image for a buffer of the given capacity.
+func DecodeMap(img []byte, capacity int) (*Map, error) {
+	anchor, bits, err := bitfield.Decode(img, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{Anchor: segment.ID(anchor), Capacity: capacity, Bits: bits}, nil
+}

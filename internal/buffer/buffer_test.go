@@ -1,0 +1,303 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gossipstream/internal/segment"
+)
+
+func TestInsertAndHas(t *testing.T) {
+	b := New(4)
+	if b.Has(1) {
+		t.Fatal("empty buffer has segment")
+	}
+	if ev, ok := b.Insert(1); !ok || ev != segment.None {
+		t.Fatalf("Insert(1) = (%v, %v)", ev, ok)
+	}
+	if !b.Has(1) || b.Len() != 1 {
+		t.Fatal("segment not stored")
+	}
+	if _, ok := b.Insert(1); ok {
+		t.Fatal("duplicate insert must be a no-op")
+	}
+	if b.Len() != 1 {
+		t.Fatal("duplicate insert changed length")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	b := New(3)
+	b.Insert(10)
+	b.Insert(11)
+	b.Insert(12)
+	ev, ok := b.Insert(13)
+	if !ok || ev != 10 {
+		t.Fatalf("evicted %v, want 10", ev)
+	}
+	if b.Has(10) {
+		t.Error("evicted segment still present")
+	}
+	// Eviction follows insertion order even when ids arrive out of order.
+	b = New(3)
+	b.Insert(20)
+	b.Insert(5) // older id inserted later
+	b.Insert(30)
+	ev, _ = b.Insert(40)
+	if ev != 20 {
+		t.Fatalf("evicted %v, want first-inserted 20", ev)
+	}
+	ev, _ = b.Insert(50)
+	if ev != 5 {
+		t.Fatalf("evicted %v, want second-inserted 5", ev)
+	}
+}
+
+func TestPositionFromTail(t *testing.T) {
+	b := New(5)
+	for id := segment.ID(0); id < 5; id++ {
+		b.Insert(id)
+	}
+	// Newest (id 4) has position 1; oldest (id 0) position 5 (Table 2).
+	for id := segment.ID(0); id < 5; id++ {
+		want := 5 - int(id)
+		if got := b.PositionFromTail(id); got != want {
+			t.Errorf("position of %d = %d, want %d", id, got, want)
+		}
+	}
+	if got := b.PositionFromTail(99); got != 0 {
+		t.Errorf("position of absent segment = %d, want 0", got)
+	}
+	// After eviction, positions shift.
+	b.Insert(5) // evicts 0
+	if got := b.PositionFromTail(1); got != 5 {
+		t.Errorf("position of oldest after eviction = %d, want 5", got)
+	}
+	if got := b.PositionFromTail(5); got != 1 {
+		t.Errorf("position of newest = %d, want 1", got)
+	}
+}
+
+func TestOldestNewestMinMax(t *testing.T) {
+	b := New(4)
+	if b.Oldest() != segment.None || b.Newest() != segment.None {
+		t.Fatal("empty buffer Oldest/Newest must be None")
+	}
+	if b.MinID() != segment.None || b.MaxID() != segment.None {
+		t.Fatal("empty buffer MinID/MaxID must be None")
+	}
+	b.Insert(7)
+	b.Insert(3)
+	b.Insert(9)
+	if b.Oldest() != 7 || b.Newest() != 9 {
+		t.Fatalf("Oldest=%v Newest=%v", b.Oldest(), b.Newest())
+	}
+	if b.MinID() != 3 || b.MaxID() != 9 {
+		t.Fatalf("MinID=%v MaxID=%v", b.MinID(), b.MaxID())
+	}
+	if b.MaxSeen() != 9 {
+		t.Fatalf("MaxSeen=%v", b.MaxSeen())
+	}
+}
+
+func TestContentsOrder(t *testing.T) {
+	b := New(3)
+	b.Insert(4)
+	b.Insert(2)
+	b.Insert(8)
+	b.Insert(6) // evicts 4
+	got := b.Contents()
+	want := []segment.ID{2, 8, 6}
+	if len(got) != len(want) {
+		t.Fatalf("contents %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("contents %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConsecutiveFrom(t *testing.T) {
+	b := New(10)
+	for _, id := range []segment.ID{5, 6, 7, 9} {
+		b.Insert(id)
+	}
+	if got := b.ConsecutiveFrom(5); got != 3 {
+		t.Errorf("ConsecutiveFrom(5) = %d, want 3", got)
+	}
+	if got := b.ConsecutiveFrom(8); got != 0 {
+		t.Errorf("ConsecutiveFrom(8) = %d, want 0", got)
+	}
+	if got := b.ConsecutiveFrom(9); got != 1 {
+		t.Errorf("ConsecutiveFrom(9) = %d, want 1", got)
+	}
+}
+
+func TestCountInRange(t *testing.T) {
+	b := New(10)
+	for id := segment.ID(10); id < 20; id += 2 {
+		b.Insert(id)
+	}
+	if got := b.CountInRange(segment.Range{Lo: 10, Hi: 20}); got != 5 {
+		t.Errorf("CountInRange = %d, want 5", got)
+	}
+	if got := b.CountInRange(segment.Range{Lo: 11, Hi: 12}); got != 0 {
+		t.Errorf("CountInRange = %d, want 0", got)
+	}
+}
+
+func TestRebaseOnLowInsert(t *testing.T) {
+	b := New(8)
+	b.Insert(1000)
+	b.Insert(995) // forces a downward rebase of the dense index
+	b.Insert(1001)
+	for _, id := range []segment.ID{1000, 995, 1001} {
+		if !b.Has(id) {
+			t.Errorf("segment %d lost after rebase", id)
+		}
+	}
+	if b.Has(996) || b.Has(999) {
+		t.Error("phantom segments after rebase")
+	}
+}
+
+func TestSnapshotAndWire(t *testing.T) {
+	b := New(600)
+	for id := segment.ID(100); id < 160; id++ {
+		if id%7 != 0 {
+			b.Insert(id)
+		}
+	}
+	m := b.Snapshot()
+	if m.Anchor != 100 && b.MinID() != m.Anchor {
+		t.Fatalf("anchor %d, want MinID %d", m.Anchor, b.MinID())
+	}
+	for id := segment.ID(90); id < 170; id++ {
+		if m.Has(id) != b.Has(id) {
+			t.Fatalf("map/buffer disagree at %d", id)
+		}
+	}
+	if m.WireBits() != 620 {
+		t.Fatalf("WireBits = %d, want 620", m.WireBits())
+	}
+	img, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMap(img, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Anchor != m.Anchor || back.Count() != m.Count() {
+		t.Fatalf("decoded anchor=%d count=%d, want %d/%d", back.Anchor, back.Count(), m.Anchor, m.Count())
+	}
+}
+
+func TestMapPositionEstimateMatchesInOrderBuffer(t *testing.T) {
+	// When segments arrive in id order, the wire map's position estimate
+	// equals the true FIFO position (the basis for using eq. 8 from local
+	// information only).
+	b := New(50)
+	for id := segment.ID(0); id < 50; id++ {
+		b.Insert(id)
+	}
+	m := b.Snapshot()
+	for id := segment.ID(0); id < 50; id++ {
+		if got, want := m.PositionFromTail(id), b.PositionFromTail(id); got != want {
+			t.Fatalf("position estimate of %d = %d, true = %d", id, got, want)
+		}
+	}
+}
+
+func TestQuickFIFOInvariants(t *testing.T) {
+	// Properties: Len <= Cap; eviction count = inserts - Len; all held ids
+	// are distinct; position-from-tail is a bijection onto [1, Len].
+	f := func(raw []uint16, capRaw uint8) bool {
+		capacity := 1 + int(capRaw)%64
+		b := New(capacity)
+		inserted := 0
+		for _, r := range raw {
+			if _, ok := b.Insert(segment.ID(r)); ok {
+				inserted++
+			}
+		}
+		if b.Len() > capacity {
+			return false
+		}
+		contents := b.Contents()
+		if len(contents) != b.Len() {
+			return false
+		}
+		seenPos := map[int]bool{}
+		seenID := map[segment.ID]bool{}
+		for _, id := range contents {
+			if seenID[id] {
+				return false
+			}
+			seenID[id] = true
+			p := b.PositionFromTail(id)
+			if p < 1 || p > b.Len() || seenPos[p] {
+				return false
+			}
+			seenPos[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSnapshotAgreesWithHas(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(64)
+		base := segment.ID(rng.Intn(100))
+		for i := 0; i < int(n); i++ {
+			b.Insert(base + segment.ID(rng.Intn(64)))
+		}
+		m := b.Snapshot()
+		for id := base - 5; id < base+70; id++ {
+			if id.Valid() && m.Has(id) != b.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	buf := New(600)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Insert(segment.ID(i))
+	}
+}
+
+func BenchmarkHas(b *testing.B) {
+	buf := New(600)
+	for i := 0; i < 600; i++ {
+		buf.Insert(segment.ID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Has(segment.ID(i % 900))
+	}
+}
+
+func BenchmarkPositionFromTail(b *testing.B) {
+	buf := New(600)
+	for i := 0; i < 600; i++ {
+		buf.Insert(segment.ID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.PositionFromTail(segment.ID(i % 600))
+	}
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gossipstream/internal/core"
+	"gossipstream/internal/metrics"
+	"gossipstream/internal/sim"
+	"gossipstream/internal/stats"
+)
+
+// AblationRow is one variant's aggregate outcome at a fixed network size.
+type AblationRow struct {
+	Name      string
+	PrepareS2 float64 // mean preparing time of S2 (the switch time), seconds
+	FinishS1  float64
+	Reduction float64 // vs. the row named "normal" in the same table
+}
+
+// Ablation compares scheduler or substrate variants on the same
+// topologies. Variants map a display name to an algorithm factory; the
+// baseline name anchors the reduction column.
+type Ablation struct {
+	Workload Workload
+	N        int
+	Baseline string
+	Variants []NamedFactory
+}
+
+// NamedFactory pairs an algorithm factory with its display name.
+type NamedFactory struct {
+	Name    string
+	Factory sim.AlgorithmFactory
+}
+
+// Run executes every variant over the workload's replicas at size N.
+func (a Ablation) Run() ([]AblationRow, error) {
+	w := a.Workload
+	w.Sizes = []int{a.N}
+	rows := make([]AblationRow, 0, len(a.Variants))
+	var baseline float64
+	for _, v := range a.Variants {
+		var preps, fins []float64
+		for r := 0; r < w.SeedsPerSize; r++ {
+			g, err := w.Topology(a.N, r)
+			if err != nil {
+				return nil, err
+			}
+			runSeed := w.BaseSeed ^ int64(a.N)<<20 ^ int64(r)<<8
+			s, err := sim.New(w.simConfig(g, runSeed, v.Factory))
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			preps = append(preps, res.AvgPrepareS2())
+			fins = append(fins, res.AvgFinishS1())
+		}
+		row := AblationRow{
+			Name:      v.Name,
+			PrepareS2: stats.Mean(preps),
+			FinishS1:  stats.Mean(fins),
+		}
+		if v.Name == a.Baseline {
+			baseline = row.PrepareS2
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		rows[i].Reduction = stats.ReductionRatio(baseline, rows[i].PrepareS2)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders an ablation table.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s\n", "variant", "prepareS2(s)", "finishS1(s)", "vs baseline")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %12.2f %12.2f %11.1f%%\n", r.Name, r.PrepareS2, r.FinishS1, r.Reduction*100)
+	}
+	return b.String()
+}
+
+// PriorityVariants builds the eq. (8)/(9) ablation set: the paper's
+// scoring against the traditional 1/n rarity and the single-term
+// priorities.
+func PriorityVariants() []NamedFactory {
+	mk := func(opt core.ScoreOptions) sim.AlgorithmFactory {
+		return func() core.Algorithm { return &core.FastSwitch{Options: opt} }
+	}
+	return []NamedFactory{
+		{Name: "normal", Factory: sim.Normal},
+		{Name: "fast (paper: eq.8 + max)", Factory: sim.Fast},
+		{Name: "fast, rarity=1/n", Factory: mk(core.ScoreOptions{Rarity: core.RarityTraditional})},
+		{Name: "fast, urgency only", Factory: mk(core.ScoreOptions{Priority: core.PriorityUrgencyOnly})},
+		{Name: "fast, rarity only", Factory: mk(core.ScoreOptions{Priority: core.PriorityRarityOnly})},
+	}
+}
+
+// SplitVariants isolates the optimal rate split: the full algorithm
+// against a variant that keeps the scoring but drops the r1/r2 split.
+func SplitVariants() []NamedFactory {
+	return []NamedFactory{
+		{Name: "normal", Factory: sim.Normal},
+		{Name: "fast (with rate split)", Factory: sim.Fast},
+		{Name: "fast, split disabled", Factory: func() core.Algorithm {
+			return &core.FastSwitch{DisableSplit: true}
+		}},
+	}
+}
+
+// NeighborCountSweep reruns the paired comparison at several M values —
+// the paper's claim that "M=5 is usually a good practical choice".
+func NeighborCountSweep(w Workload, n int, ms []int) ([]metrics.SizeRow, []int, error) {
+	rows := make([]metrics.SizeRow, 0, len(ms))
+	for _, m := range ms {
+		wm := w
+		wm.M = m
+		wm.Sizes = []int{n}
+		samples, err := wm.Sweep()
+		if err != nil {
+			return nil, nil, err
+		}
+		agg := metrics.AggregateBySize(samples)
+		rows = append(rows, agg[0])
+	}
+	return rows, ms, nil
+}
+
+// StartupThresholdSweep reruns the paired comparison at several Qs values.
+func StartupThresholdSweep(w Workload, n int, qss []int) ([]metrics.SizeRow, []int, error) {
+	rows := make([]metrics.SizeRow, 0, len(qss))
+	for _, qs := range qss {
+		wq := w
+		wq.Sizes = []int{n}
+		wq.qsOverride = qs
+		samples, err := wq.Sweep()
+		if err != nil {
+			return nil, nil, err
+		}
+		agg := metrics.AggregateBySize(samples)
+		rows = append(rows, agg[0])
+	}
+	return rows, qss, nil
+}

@@ -1,0 +1,241 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (Section 5): the ratio tracks of Figures 5/9, the finishing/preparing
+// bar charts of Figures 6/10, the switch-time and reduction-ratio curves
+// of Figures 7/11, and the communication-overhead curves of Figures 8/12 —
+// plus the ablation sweeps DESIGN.md calls out.
+//
+// A sweep is an embarrassingly parallel bag of simulation runs; the runner
+// fans them out over a bounded worker pool of goroutines while keeping
+// every run individually deterministic (topology seed + run seed).
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gossipstream/internal/metrics"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim"
+	"gossipstream/internal/trace"
+)
+
+// Workload is the common configuration of a figure regeneration. The zero
+// value is not useful; start from Paper().
+type Workload struct {
+	// Sizes are the overlay scales to sweep (the paper evaluates 100, 500,
+	// 1000, 2000, 4000, 8000).
+	Sizes []int
+	// SeedsPerSize runs each size on this many synthesized trace
+	// topologies with distinct run seeds and averages the results (the
+	// paper averages over its 30 crawl traces).
+	SeedsPerSize int
+	// BaseSeed derives every topology and run seed.
+	BaseSeed int64
+
+	// M is the per-node neighbor target after random-edge augmentation
+	// (Section 5.1 uses M=5).
+	M int
+
+	// WarmupTicks, JoinSpreadTicks and HorizonTicks shape each run; see
+	// sim.Config. Defaults reproduce the calibrated stable phase:
+	// members assemble over ~25 s and the switch fires at 40 s.
+	WarmupTicks     int
+	JoinSpreadTicks int
+	HorizonTicks    int
+
+	// Churn enables the dynamic environment of Section 5.4 (5 % leave and
+	// join per period).
+	Churn bool
+
+	// TrackRatios records the Figures 5/9 time series (costs CPU; only the
+	// ratio-track experiments need it).
+	TrackRatios bool
+
+	// Workers bounds the goroutine pool (default: GOMAXPROCS).
+	Workers int
+
+	// FastFactory and NormalFactory build the two compared schedulers.
+	// Overridden by the ablation experiments; nil means the paper's pair.
+	FastFactory   sim.AlgorithmFactory
+	NormalFactory sim.AlgorithmFactory
+
+	// Substrate ablation switches (see sim.Config).
+	PerLinkOutbound bool // use the per-link capacity model instead of shared
+	DisablePrefetch bool // no leftover-budget random prefetch
+
+	// qsOverride, when positive, replaces the paper's Qs=50 (used by the
+	// startup-threshold ablation).
+	qsOverride int
+}
+
+// Paper returns the calibrated workload reproducing Section 5.1: τ=1 s,
+// p=10 segments/s, Q=10, Qs=50, B=600, M=5, I∈[10,33] with mean 15,
+// shared outbound capacity, 40 warm-up periods with arrivals spread over
+// the first 25.
+func Paper() Workload {
+	return Workload{
+		Sizes:           []int{100, 500, 1000, 2000, 4000, 8000},
+		SeedsPerSize:    5,
+		BaseSeed:        20080917, // ICPP 2008 proceedings date
+		M:               5,
+		WarmupTicks:     40,
+		JoinSpreadTicks: 25,
+		HorizonTicks:    300,
+		FastFactory:     sim.Fast,
+		NormalFactory:   sim.Normal,
+	}
+}
+
+// Quick returns a scaled-down workload for tests and the quickstart
+// example: small overlays, one seed.
+func Quick() Workload {
+	w := Paper()
+	w.Sizes = []int{100, 300}
+	w.SeedsPerSize = 1
+	return w
+}
+
+// Topology synthesizes the overlay for one (size, replica) cell: a
+// Gnutella-like crawl trace augmented with random edges until every node
+// holds at least M neighbors (Section 5.1's preparation).
+func (w Workload) Topology(n int, replica int) (*overlay.Graph, error) {
+	seed := w.BaseSeed + int64(n)*1_000_003 + int64(replica)*7919
+	tr := trace.Synthesize(fmt.Sprintf("synth-%d-%d", n, replica), n, 1+replica%2, seed)
+	g, err := tr.Graph()
+	if err != nil {
+		return nil, err
+	}
+	overlay.AugmentMinDegree(g, w.M, rand.New(rand.NewSource(seed^0xa06)))
+	return g, nil
+}
+
+// simConfig assembles the sim.Config for one run on a fresh topology.
+func (w Workload) simConfig(g *overlay.Graph, runSeed int64, algo sim.AlgorithmFactory) sim.Config {
+	cfg := sim.Config{
+		Graph:           g,
+		Seed:            runSeed,
+		NewAlgorithm:    algo,
+		WarmupTicks:     w.WarmupTicks,
+		JoinSpreadTicks: w.JoinSpreadTicks,
+		HorizonTicks:    w.HorizonTicks,
+		FirstSource:     -1,
+		NewSource:       -1,
+		SharedOutbound:  !w.PerLinkOutbound,
+		DisablePrefetch: w.DisablePrefetch,
+		Qs:              w.qsOverride,
+		TrackRatios:     w.TrackRatios,
+	}
+	if w.Churn {
+		cfg.Churn = &sim.ChurnConfig{LeaveFraction: 0.05, JoinFraction: 0.05}
+	}
+	return cfg
+}
+
+// job is one simulation to execute.
+type job struct {
+	n, replica int
+	fast       bool
+}
+
+// Sweep runs both algorithms over every (size, replica) cell and returns
+// the paired samples, ordered by size then replica.
+func (w Workload) Sweep() ([]metrics.PairSample, error) {
+	if w.FastFactory == nil {
+		w.FastFactory = sim.Fast
+	}
+	if w.NormalFactory == nil {
+		w.NormalFactory = sim.Normal
+	}
+	type cell struct {
+		fast, normal *sim.Result
+		err          error
+	}
+	cells := make([]cell, len(w.Sizes)*w.SeedsPerSize)
+	jobs := make([]job, 0, len(cells)*2)
+	for si := range w.Sizes {
+		for r := 0; r < w.SeedsPerSize; r++ {
+			jobs = append(jobs, job{n: w.Sizes[si], replica: r, fast: true})
+			jobs = append(jobs, job{n: w.Sizes[si], replica: r, fast: false})
+		}
+	}
+
+	workers := w.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan job)
+	cellIndex := func(j job) int {
+		for si, n := range w.Sizes {
+			if n == j.n {
+				return si*w.SeedsPerSize + j.replica
+			}
+		}
+		return -1
+	}
+	var mu sync.Mutex
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				res, err := w.runOne(j)
+				mu.Lock()
+				c := &cells[cellIndex(j)]
+				if err != nil && c.err == nil {
+					c.err = err
+				}
+				if j.fast {
+					c.fast = res
+				} else {
+					c.normal = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+
+	samples := make([]metrics.PairSample, 0, len(cells))
+	for si, n := range w.Sizes {
+		for r := 0; r < w.SeedsPerSize; r++ {
+			c := cells[si*w.SeedsPerSize+r]
+			if c.err != nil {
+				return nil, fmt.Errorf("experiment: size %d replica %d: %w", n, r, c.err)
+			}
+			samples = append(samples, metrics.PairSample{
+				N:    n,
+				Seed: w.BaseSeed + int64(r),
+				Fast: c.fast, Normal: c.normal,
+			})
+		}
+	}
+	return samples, nil
+}
+
+// runOne executes a single simulation job.
+func (w Workload) runOne(j job) (*sim.Result, error) {
+	g, err := w.Topology(j.n, j.replica)
+	if err != nil {
+		return nil, err
+	}
+	factory := w.NormalFactory
+	if j.fast {
+		factory = w.FastFactory
+	}
+	runSeed := w.BaseSeed ^ int64(j.n)<<20 ^ int64(j.replica)<<8
+	s, err := sim.New(w.simConfig(g, runSeed, factory))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gossipstream/internal/core"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim"
+)
+
+// tiny returns a workload small enough for unit tests.
+func tiny() Workload {
+	w := Paper()
+	w.Sizes = []int{80}
+	w.SeedsPerSize = 2
+	w.WarmupTicks = 25
+	w.JoinSpreadTicks = 12
+	w.HorizonTicks = 150
+	w.Workers = 2
+	return w
+}
+
+func TestTopologyProperties(t *testing.T) {
+	w := Paper()
+	g, err := w.Topology(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.MinDegree() < w.M {
+		t.Errorf("min degree %d < M=%d after augmentation", g.MinDegree(), w.M)
+	}
+	if !g.Connected() {
+		t.Error("topology disconnected")
+	}
+	// Same cell → identical topology; different replica → different.
+	g2, _ := w.Topology(200, 0)
+	if g.M() != g2.M() {
+		t.Error("same cell produced different topologies")
+	}
+	g3, _ := w.Topology(200, 1)
+	if g3.M() == g.M() && g3.N() == g.N() {
+		// Equal edge count alone is possible; degree sequence equality is
+		// overwhelmingly unlikely across replicas.
+		same := true
+		for u := 0; u < g.N(); u++ {
+			if g.Degree(overlay.NodeID(u)) != g3.Degree(overlay.NodeID(u)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different replicas produced identical topologies")
+		}
+	}
+}
+
+func TestSweepPairsAlgorithms(t *testing.T) {
+	w := tiny()
+	samples, err := w.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	for _, s := range samples {
+		if s.Fast == nil || s.Normal == nil {
+			t.Fatal("missing algorithm result")
+		}
+		if s.Fast.Algorithm != "fast" || s.Normal.Algorithm != "normal" {
+			t.Fatalf("mislabeled results: %s / %s", s.Fast.Algorithm, s.Normal.Algorithm)
+		}
+		if s.Fast.Nodes != s.Normal.Nodes {
+			t.Error("paired runs saw different populations")
+		}
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	w := tiny()
+	w.SeedsPerSize = 1
+	a, err := w.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Fast.AvgPrepareS2() != b[0].Fast.AvgPrepareS2() {
+		t.Error("sweep not reproducible")
+	}
+}
+
+func TestRunSizeSweepAndFormatting(t *testing.T) {
+	w := tiny()
+	rows, err := w.RunSizeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].N != 80 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	fp := FormatFinishPrepare(rows, false)
+	st := FormatSwitchTime(rows, false)
+	ov := FormatOverhead(rows, false)
+	for _, out := range []string{fp, st, ov} {
+		if !strings.Contains(out, "80") {
+			t.Errorf("size missing from table:\n%s", out)
+		}
+	}
+	if !strings.Contains(fp, "Figure 6") || !strings.Contains(st, "Figure 7") || !strings.Contains(ov, "Figure 8") {
+		t.Error("figure labels missing")
+	}
+	if !strings.Contains(FormatSwitchTime(rows, true), "Figure 11") {
+		t.Error("dynamic label missing")
+	}
+	csv := CSV(rows)
+	if !strings.HasPrefix(csv, "n,samples,") || !strings.Contains(csv, "80,") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestRunRatioTrack(t *testing.T) {
+	w := tiny()
+	w.SeedsPerSize = 1
+	rt, err := w.RunRatioTrack(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.FastUndelivered.Len() == 0 || rt.NormalDelivered.Len() == 0 {
+		t.Fatal("ratio series empty")
+	}
+	out := rt.Render()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "undelivered") {
+		t.Errorf("render missing labels:\n%s", out)
+	}
+}
+
+func TestAblationRun(t *testing.T) {
+	w := tiny()
+	w.SeedsPerSize = 1
+	ab := Ablation{
+		Workload: w,
+		N:        80,
+		Baseline: "normal",
+		Variants: []NamedFactory{
+			{Name: "normal", Factory: sim.Normal},
+			{Name: "fast", Factory: sim.Fast},
+		},
+	}
+	rows, err := ab.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Reduction != 0 {
+		t.Errorf("baseline reduction = %v, want 0", rows[0].Reduction)
+	}
+	out := FormatAblation("test", rows)
+	if !strings.Contains(out, "normal") || !strings.Contains(out, "fast") {
+		t.Error("ablation table incomplete")
+	}
+}
+
+func TestVariantSets(t *testing.T) {
+	if len(PriorityVariants()) != 5 {
+		t.Error("priority variant set wrong")
+	}
+	if len(SplitVariants()) != 3 {
+		t.Error("split variant set wrong")
+	}
+	for _, v := range PriorityVariants() {
+		if v.Factory == nil {
+			t.Fatalf("variant %s has nil factory", v.Name)
+		}
+		if a := v.Factory(); a == nil {
+			t.Fatalf("variant %s built nil algorithm", v.Name)
+		}
+	}
+	// The ablation factories must build *distinctly configured* schedulers.
+	fs := PriorityVariants()[2].Factory().(*core.FastSwitch)
+	if fs.Options.Rarity != core.RarityTraditional {
+		t.Error("rarity variant misconfigured")
+	}
+}
+
+func TestQsOverride(t *testing.T) {
+	w := tiny()
+	w.SeedsPerSize = 1
+	rows, qss, err := StartupThresholdSweep(w, 80, []int{20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || qss[0] != 20 {
+		t.Fatalf("sweep shape wrong: %v", qss)
+	}
+	// A smaller startup threshold must prepare sooner.
+	if rows[0].FastPrepareS2 >= rows[1].FastPrepareS2 {
+		t.Errorf("Qs=20 prepare %.2f not below Qs=50 prepare %.2f",
+			rows[0].FastPrepareS2, rows[1].FastPrepareS2)
+	}
+}

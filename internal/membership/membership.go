@@ -1,0 +1,231 @@
+// Package membership maintains the gossip overlay under churn, in the
+// spirit of the peer-to-peer membership protocol of Ganesh, Kermarrec and
+// Massoulié that the paper builds on (reference [4]): every node keeps a
+// small partial view (M neighbors); a newcomer subscribes through a random
+// contact and its subscription is forwarded along the overlay until M
+// distinct peers adopt it; a departure triggers local repair, with the
+// leaver's former neighbors re-linking so their views stay near M.
+//
+// The Directory is the authoritative bookkeeping the simulator drives; the
+// subscription-forwarding walks are the protocol-shaped part (they only use
+// locally-available adjacency, never global scans).
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gossipstream/internal/overlay"
+)
+
+// Directory tracks which node slots are alive and rewires the overlay on
+// join and leave. Dense node ids are never reused; dead slots stay dead
+// (the simulator relies on stable ids).
+type Directory struct {
+	g     *overlay.Graph
+	m     int
+	rng   *rand.Rand
+	alive []bool
+	// list of alive ids with O(1) removal (swap-delete + position index)
+	list []overlay.NodeID
+	pos  []int // node id -> index in list, -1 when dead
+}
+
+// NewDirectory wraps an existing fully-alive overlay. m is the target view
+// size (the paper's M=5).
+func NewDirectory(g *overlay.Graph, m int, rng *rand.Rand) *Directory {
+	if m <= 0 {
+		panic(fmt.Sprintf("membership: target view size %d must be positive", m))
+	}
+	d := &Directory{g: g, m: m, rng: rng}
+	n := g.N()
+	d.alive = make([]bool, n)
+	d.list = make([]overlay.NodeID, n)
+	d.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		d.alive[i] = true
+		d.list[i] = overlay.NodeID(i)
+		d.pos[i] = i
+	}
+	return d
+}
+
+// Graph returns the underlying overlay (shared with the simulator).
+func (d *Directory) Graph() *overlay.Graph { return d.g }
+
+// TargetDegree returns M.
+func (d *Directory) TargetDegree() int { return d.m }
+
+// AliveCount returns the number of alive nodes.
+func (d *Directory) AliveCount() int { return len(d.list) }
+
+// IsAlive reports whether the node slot is alive.
+func (d *Directory) IsAlive(id overlay.NodeID) bool {
+	return int(id) < len(d.alive) && d.alive[id]
+}
+
+// Alive returns the alive ids; the slice is owned by the directory.
+func (d *Directory) Alive() []overlay.NodeID { return d.list }
+
+// RandomAlive returns a uniformly random alive node, excluding the given
+// ids. It returns -1 when no eligible node exists.
+func (d *Directory) RandomAlive(exclude ...overlay.NodeID) overlay.NodeID {
+	if len(d.list) == 0 {
+		return -1
+	}
+	for tries := 0; tries < 64; tries++ {
+		cand := d.list[d.rng.Intn(len(d.list))]
+		ok := true
+		for _, e := range exclude {
+			if cand == e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	// Dense exclusion corner: linear fallback keeps the method total.
+	for _, cand := range d.list {
+		ok := true
+		for _, e := range exclude {
+			if cand == e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	return -1
+}
+
+// Leave marks a node dead, clears its edges and repairs its former
+// neighbors' views: every ex-neighbor left under the target degree is
+// re-linked, preferring another ex-neighbor of the leaver (local mesh
+// healing) and falling back to a random alive peer. It returns the edges
+// added during repair.
+func (d *Directory) Leave(id overlay.NodeID) (repaired [][2]overlay.NodeID) {
+	if !d.IsAlive(id) {
+		return nil
+	}
+	d.markDead(id)
+	former := d.g.ClearNode(id)
+	// Local healing pass: chain ex-neighbors pairwise.
+	for i := 0; i+1 < len(former); i += 2 {
+		a, b := former[i], former[i+1]
+		if d.IsAlive(a) && d.IsAlive(b) &&
+			d.g.Degree(a) < d.m && d.g.Degree(b) < d.m &&
+			d.g.AddEdge(a, b) {
+			repaired = append(repaired, [2]overlay.NodeID{a, b})
+		}
+	}
+	// Fallback: top up each still-deficient ex-neighbor from the alive set.
+	for _, a := range former {
+		if !d.IsAlive(a) {
+			continue
+		}
+		for d.g.Degree(a) < d.m {
+			b := d.RandomAlive(a)
+			if b < 0 {
+				break
+			}
+			if d.g.AddEdge(a, b) {
+				repaired = append(repaired, [2]overlay.NodeID{a, b})
+			} else if d.g.Degree(a) >= d.AliveCount()-1 {
+				break // already adjacent to everyone alive
+			}
+		}
+	}
+	return repaired
+}
+
+// Join allocates a fresh node slot, selects M neighbors by subscription
+// forwarding from a random bootstrap contact, wires the edges, and returns
+// the new id with its neighbor set.
+func (d *Directory) Join() (id overlay.NodeID, neighbors []overlay.NodeID) {
+	id = d.g.AddNode()
+	d.alive = append(d.alive, true)
+	d.pos = append(d.pos, len(d.list))
+	d.list = append(d.list, id)
+
+	bootstrap := d.RandomAlive(id)
+	if bootstrap < 0 {
+		return id, nil
+	}
+	neighbors = d.subscriptionWalk(bootstrap, id)
+	for _, nb := range neighbors {
+		d.g.AddEdge(id, nb)
+	}
+	return id, neighbors
+}
+
+// subscriptionWalk emulates SCAMP-style subscription forwarding: the
+// bootstrap contact keeps the subscription and forwards M-1 copies; each
+// copy performs a short random walk over alive neighbors and is adopted
+// where it lands. Walks that collide retry with a fresh uniform pick so a
+// joiner always ends with min(M, alive-1) distinct neighbors.
+func (d *Directory) subscriptionWalk(bootstrap, joiner overlay.NodeID) []overlay.NodeID {
+	want := d.m
+	if avail := d.AliveCount() - 1; want > avail {
+		want = avail
+	}
+	adopted := make(map[overlay.NodeID]bool, want)
+	out := make([]overlay.NodeID, 0, want)
+	adopt := func(n overlay.NodeID) {
+		if n != joiner && d.IsAlive(n) && !adopted[n] {
+			adopted[n] = true
+			out = append(out, n)
+		}
+	}
+	adopt(bootstrap)
+	for tries := 0; len(out) < want && tries < want*16; tries++ {
+		cur := bootstrap
+		hops := 1 + d.rng.Intn(4)
+		for h := 0; h < hops; h++ {
+			nbs := d.aliveNeighbors(cur)
+			if len(nbs) == 0 {
+				break
+			}
+			cur = nbs[d.rng.Intn(len(nbs))]
+		}
+		if adopted[cur] || cur == joiner {
+			cur = d.RandomAlive(append(keys(adopted), joiner)...)
+			if cur < 0 {
+				break
+			}
+		}
+		adopt(cur)
+	}
+	return out
+}
+
+func (d *Directory) aliveNeighbors(u overlay.NodeID) []overlay.NodeID {
+	var out []overlay.NodeID
+	for _, v := range d.g.Neighbors(u) {
+		if d.IsAlive(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func keys(m map[overlay.NodeID]bool) []overlay.NodeID {
+	out := make([]overlay.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (d *Directory) markDead(id overlay.NodeID) {
+	i := d.pos[id]
+	last := len(d.list) - 1
+	d.list[i] = d.list[last]
+	d.pos[d.list[i]] = i
+	d.list = d.list[:last]
+	d.pos[id] = -1
+	d.alive[id] = false
+}

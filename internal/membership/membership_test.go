@@ -1,0 +1,177 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+
+	"gossipstream/internal/overlay"
+)
+
+func freshDirectory(t *testing.T, n, m int, seed int64) *Directory {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := overlay.Generate(overlay.KindPreferential, n, 1, rng)
+	overlay.AugmentMinDegree(g, m, rng)
+	return NewDirectory(g, m, rand.New(rand.NewSource(seed+1)))
+}
+
+func TestDirectoryInitialState(t *testing.T) {
+	d := freshDirectory(t, 100, 5, 1)
+	if d.AliveCount() != 100 {
+		t.Fatalf("alive = %d", d.AliveCount())
+	}
+	for i := 0; i < 100; i++ {
+		if !d.IsAlive(overlay.NodeID(i)) {
+			t.Fatalf("node %d not alive", i)
+		}
+	}
+	if d.TargetDegree() != 5 {
+		t.Fatalf("target degree = %d", d.TargetDegree())
+	}
+}
+
+func TestRandomAliveExcludes(t *testing.T) {
+	d := freshDirectory(t, 10, 3, 2)
+	var exclude []overlay.NodeID
+	for i := 0; i < 9; i++ {
+		exclude = append(exclude, overlay.NodeID(i))
+	}
+	got := d.RandomAlive(exclude...)
+	if got != 9 {
+		t.Fatalf("RandomAlive with 9 exclusions = %d, want 9", got)
+	}
+	exclude = append(exclude, 9)
+	if got := d.RandomAlive(exclude...); got != -1 {
+		t.Fatalf("RandomAlive with all excluded = %d, want -1", got)
+	}
+}
+
+func TestLeaveRepairsNeighbors(t *testing.T) {
+	d := freshDirectory(t, 200, 5, 3)
+	g := d.Graph()
+	victim := overlay.NodeID(17)
+	former := append([]overlay.NodeID(nil), g.Neighbors(victim)...)
+	d.Leave(victim)
+
+	if d.IsAlive(victim) {
+		t.Fatal("victim still alive")
+	}
+	if g.Degree(victim) != 0 {
+		t.Fatal("victim still wired")
+	}
+	if d.AliveCount() != 199 {
+		t.Fatalf("alive = %d", d.AliveCount())
+	}
+	// Every surviving ex-neighbor is repaired back to the target degree.
+	for _, nb := range former {
+		if d.IsAlive(nb) && g.Degree(nb) < d.TargetDegree() {
+			t.Errorf("ex-neighbor %d left at degree %d", nb, g.Degree(nb))
+		}
+	}
+	// Leaving twice is a no-op.
+	if rep := d.Leave(victim); rep != nil {
+		t.Error("second Leave repaired something")
+	}
+}
+
+func TestJoinWiresNewNode(t *testing.T) {
+	d := freshDirectory(t, 100, 5, 4)
+	id, neighbors := d.Join()
+	if int(id) != 100 {
+		t.Fatalf("new id = %d, want 100", id)
+	}
+	if !d.IsAlive(id) || d.AliveCount() != 101 {
+		t.Fatal("joiner not registered alive")
+	}
+	if len(neighbors) != 5 {
+		t.Fatalf("joiner got %d neighbors, want 5", len(neighbors))
+	}
+	seen := map[overlay.NodeID]bool{}
+	for _, nb := range neighbors {
+		if nb == id {
+			t.Fatal("joiner adopted itself")
+		}
+		if seen[nb] {
+			t.Fatal("duplicate neighbor")
+		}
+		seen[nb] = true
+		if !d.Graph().HasEdge(id, nb) {
+			t.Fatalf("edge to %d missing", nb)
+		}
+	}
+}
+
+func TestJoinIntoTinySystem(t *testing.T) {
+	g := overlay.New(2)
+	g.AddEdge(0, 1)
+	d := NewDirectory(g, 5, rand.New(rand.NewSource(5)))
+	id, neighbors := d.Join()
+	// Only 2 peers exist; the joiner can hold at most 2 neighbors.
+	if len(neighbors) > 2 || len(neighbors) == 0 {
+		t.Fatalf("joiner neighbors = %v", neighbors)
+	}
+	if !d.IsAlive(id) {
+		t.Fatal("joiner not alive")
+	}
+}
+
+func TestChurnStormKeepsSystemHealthy(t *testing.T) {
+	// Sustained 5% join + 5% leave per round (the paper's dynamic
+	// environment) must keep the overlay repaired: alive nodes near the
+	// target degree and the alive population stable.
+	d := freshDirectory(t, 300, 5, 6)
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		k := d.AliveCount() / 20
+		for i := 0; i < k; i++ {
+			if v := d.RandomAlive(); v >= 0 {
+				d.Leave(v)
+			}
+		}
+		for i := 0; i < k; i++ {
+			d.Join()
+		}
+		_ = rng
+	}
+	if got := d.AliveCount(); got < 250 || got > 350 {
+		t.Fatalf("alive population drifted to %d", got)
+	}
+	deficient := 0
+	for _, id := range d.Alive() {
+		if d.Graph().Degree(id) < d.TargetDegree()-1 {
+			deficient++
+		}
+	}
+	// Joins may briefly leave a node slightly under target; the system
+	// must not decay wholesale.
+	if deficient > d.AliveCount()/10 {
+		t.Errorf("%d of %d alive nodes below target degree", deficient, d.AliveCount())
+	}
+	// Dead nodes must never appear in adjacency lists of alive nodes.
+	for _, id := range d.Alive() {
+		for _, nb := range d.Graph().Neighbors(id) {
+			if !d.IsAlive(nb) {
+				t.Fatalf("alive node %d wired to dead node %d", id, nb)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []overlay.NodeID {
+		d := freshDirectory(t, 100, 5, 42)
+		d.Leave(3)
+		d.Leave(50)
+		_, nbs := d.Join()
+		return nbs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("join results differ across identical seeds")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("join neighbor sets differ across identical seeds")
+		}
+	}
+}

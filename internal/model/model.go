@@ -1,0 +1,198 @@
+// Package model implements the paper's analytic source-switch model
+// (Section 3) and its bandwidth-constrained refinement (Section 4).
+//
+// A node splits its constant inbound rate I into I1 (receiving the old
+// source S1) and I2 (receiving the new source S2) to minimize
+//
+//	T2 = Q2/I2   subject to   T2 >= T1' = Q1/I1 + Q/p,
+//
+// where Q1 is the number of undelivered S1 segments, Q2 the number of S2
+// segments still needed to start playback, Q the consecutive-segment
+// startup threshold of S1, and p the playback rate. The closed-form
+// optimum is I1 = r1 (eq. 4), I2 = I - r1. When the neighborhood can only
+// supply S1 at rate O1 and S2 at rate O2, the split degrades through the
+// four cases of Section 4.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params carries the model inputs of Table 1. All quantities are in
+// segments and segments/second.
+type Params struct {
+	Q  float64 // consecutive segments required to play S1
+	Q1 float64 // undelivered segments of S1
+	Q2 float64 // undelivered segments of S2 (initially Qs)
+	P  float64 // playback rate, segments/second
+	I  float64 // total inbound rate, segments/second
+}
+
+// Validate checks the parameter domain.
+func (p Params) Validate() error {
+	switch {
+	case p.Q <= 0:
+		return fmt.Errorf("model: Q=%v must be positive", p.Q)
+	case p.P <= 0:
+		return fmt.Errorf("model: p=%v must be positive", p.P)
+	case p.I <= 0:
+		return fmt.Errorf("model: I=%v must be positive", p.I)
+	case p.Q1 < 0 || p.Q2 < 0:
+		return fmt.Errorf("model: Q1=%v, Q2=%v must be non-negative", p.Q1, p.Q2)
+	case math.IsNaN(p.Q) || math.IsNaN(p.Q1) || math.IsNaN(p.Q2) || math.IsNaN(p.P) || math.IsNaN(p.I):
+		return errors.New("model: NaN parameter")
+	}
+	return nil
+}
+
+// Roots returns both roots r1 >= r1' of the quadratic (2):
+//
+//	I1^2 + (p(Q1+Q2)/Q - I) I1 - pIQ1/Q = 0.
+//
+// The paper shows r1' < 0 whenever Q1 > 0, so only r1 is meaningful; both
+// are exposed for the property tests that verify that claim.
+func (p Params) Roots() (r1, r1p float64) {
+	b := p.P*(p.Q1+p.Q2)/p.Q - p.I
+	c := -p.P * p.I * p.Q1 / p.Q
+	disc := b*b - 4*c
+	if disc < 0 {
+		// b^2 - 4c = b^2 + 4pIQ1/Q >= b^2 >= 0 analytically; guard against
+		// float rounding only.
+		disc = 0
+	}
+	sq := math.Sqrt(disc)
+	r1 = (-b + sq) / 2
+	r1p = (-b - sq) / 2
+	return r1, r1p
+}
+
+// OptimalSplit returns the unconstrained optimum I1 = r1, I2 = I - r1
+// (eq. 4-5). The result is clamped to [0, I] against float rounding.
+func (p Params) OptimalSplit() (i1, i2 float64) {
+	r1, _ := p.Roots()
+	if r1 < 0 {
+		r1 = 0
+	}
+	if r1 > p.I {
+		r1 = p.I
+	}
+	return r1, p.I - r1
+}
+
+// Times evaluates the schedule for a given split: T1 (time to receive the
+// rest of S1), T1' (time to finish playing S1) and T2 (time to gather the
+// first Qs segments of S2). A zero rate with a zero backlog costs zero
+// time; a zero rate with a positive backlog costs +Inf.
+func (p Params) Times(i1, i2 float64) (t1, t1p, t2 float64) {
+	t1 = safeDiv(p.Q1, i1)
+	t1p = t1 + p.Q/p.P
+	t2 = safeDiv(p.Q2, i2)
+	return t1, t1p, t2
+}
+
+// SwitchTime returns the startup delay of the new source under a split:
+// the playback of S2 starts at max(T1', T2) (the two start conditions of
+// Section 1).
+func (p Params) SwitchTime(i1, i2 float64) float64 {
+	_, t1p, t2 := p.Times(i1, i2)
+	return math.Max(t1p, t2)
+}
+
+func safeDiv(q, rate float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return q / rate
+}
+
+// Case identifies which of Section 4's four feasibility cases produced a
+// constrained split.
+type Case int
+
+// The four cases of Section 4, in the paper's numbering.
+const (
+	// CaseUnconstrained: r1 <= O1 and r2 <= O2 — the optimum is feasible.
+	CaseUnconstrained Case = 1 + iota
+	// CaseS2Limited: r2 > O2 — S2 supply is the bottleneck.
+	CaseS2Limited
+	// CaseS1Limited: r1 > O1 — S1 supply is the bottleneck.
+	CaseS1Limited
+	// CaseBothLimited: both supplies bind.
+	CaseBothLimited
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case CaseUnconstrained:
+		return "case1(unconstrained)"
+	case CaseS2Limited:
+		return "case2(S2-limited)"
+	case CaseS1Limited:
+		return "case3(S1-limited)"
+	case CaseBothLimited:
+		return "case4(both-limited)"
+	}
+	return fmt.Sprintf("case(%d)", int(c))
+}
+
+// Split is a resolved inbound allocation.
+type Split struct {
+	I1, I2 float64
+	Case   Case
+}
+
+// ConstrainedSplit applies the four cases of Section 4 given the available
+// supply rates O1 (old source) and O2 (new source):
+//
+//	case 1: r1<=O1, r2<=O2  -> I1=r1,               I2=r2
+//	case 2: r1<=O1, r2>O2   -> I1=min(O1, I-O2),    I2=O2
+//	case 3: r1>O1,  r2<=O2  -> I1=O1,               I2=min(O2, I-O1)
+//	case 4: r1>O1,  r2>O2   -> I1=O1,               I2=O2
+func (p Params) ConstrainedSplit(o1, o2 float64) Split {
+	if o1 < 0 {
+		o1 = 0
+	}
+	if o2 < 0 {
+		o2 = 0
+	}
+	r1, r2 := p.OptimalSplit()
+	switch {
+	case r1 <= o1 && r2 <= o2:
+		return Split{I1: r1, I2: r2, Case: CaseUnconstrained}
+	case r1 <= o1 && r2 > o2:
+		return Split{I1: math.Min(o1, p.I-o2), I2: o2, Case: CaseS2Limited}
+	case r1 > o1 && r2 <= o2:
+		return Split{I1: o1, I2: math.Min(o2, p.I-o1), Case: CaseS1Limited}
+	default:
+		return Split{I1: o1, I2: o2, Case: CaseBothLimited}
+	}
+}
+
+// NormalSplit is the baseline allocation of Section 5.1: give the old
+// source strict priority — fill I1 with as much S1 supply as the inbound
+// allows, then hand whatever is left to S2.
+func (p Params) NormalSplit(o1, o2 float64) Split {
+	if o1 < 0 {
+		o1 = 0
+	}
+	if o2 < 0 {
+		o2 = 0
+	}
+	i1 := math.Min(p.I, o1)
+	// Retrieving more S1 supply than the remaining backlog is useless; the
+	// practical scheduler only ever offers Q1 segments, mirrored here.
+	if i1 > p.Q1 {
+		i1 = p.Q1
+	}
+	i2 := math.Min(p.I-i1, o2)
+	if i2 > p.Q2 {
+		i2 = p.Q2
+	}
+	return Split{I1: i1, I2: i2, Case: CaseBothLimited}
+}

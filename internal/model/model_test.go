@@ -1,0 +1,269 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams returns the Section 5.1 defaults with a given backlog state.
+func paperParams(q1, q2 float64) Params {
+	return Params{Q: 10, Q1: q1, Q2: q2, P: 10, I: 15}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperParams(100, 50).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Q: 0, Q1: 1, Q2: 1, P: 10, I: 15},
+		{Q: 10, Q1: 1, Q2: 1, P: 0, I: 15},
+		{Q: 10, Q1: 1, Q2: 1, P: 10, I: 0},
+		{Q: 10, Q1: -1, Q2: 1, P: 10, I: 15},
+		{Q: 10, Q1: 1, Q2: -1, P: 10, I: 15},
+		{Q: math.NaN(), Q1: 1, Q2: 1, P: 10, I: 15},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestRootsSatisfyQuadratic(t *testing.T) {
+	// Both roots must satisfy I1² + (p(Q1+Q2)/Q − I)·I1 − pIQ1/Q = 0 (eq. 2).
+	p := paperParams(150, 50)
+	r1, r1p := p.Roots()
+	for _, r := range []float64{r1, r1p} {
+		b := p.P*(p.Q1+p.Q2)/p.Q - p.I
+		c := -p.P * p.I * p.Q1 / p.Q
+		residual := r*r + b*r + c
+		if math.Abs(residual) > 1e-6 {
+			t.Errorf("root %v residual %v", r, residual)
+		}
+	}
+}
+
+func TestNegativeRootClaim(t *testing.T) {
+	// The paper: "Clearly r1' < 0 and thus r1' is not a reasonable
+	// solution" — holds whenever Q1 > 0.
+	f := func(q1, q2, i uint16) bool {
+		p := Params{Q: 10, Q1: 1 + float64(q1%2000), Q2: float64(q2 % 2000), P: 10, I: 10 + float64(i%24)}
+		_, r1p := p.Roots()
+		return r1p < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalSplitBounds(t *testing.T) {
+	// 0 <= r1 <= I and r1 + r2 = I for any valid parameters.
+	f := func(q1, q2, i uint16) bool {
+		p := Params{Q: 10, Q1: float64(q1 % 3000), Q2: float64(q2 % 3000), P: 10, I: 10 + float64(i%24)}
+		i1, i2 := p.OptimalSplit()
+		return i1 >= 0 && i1 <= p.I && math.Abs(i1+i2-p.I) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimumBalancesDeadlines(t *testing.T) {
+	// At the optimum the constraint is tight: T2 = T1' (the fast switch
+	// "splits the difference"). Requires both backlogs positive.
+	f := func(q1r, q2r, ir uint16) bool {
+		p := Params{Q: 10, Q1: 1 + float64(q1r%2000), Q2: 1 + float64(q2r%2000), P: 10, I: 10 + float64(ir%24)}
+		i1, i2 := p.OptimalSplit()
+		if i1 <= 0 || i2 <= 0 {
+			return true // degenerate corner: nothing to balance
+		}
+		_, t1p, t2 := p.Times(i1, i2)
+		return math.Abs(t1p-t2) < 1e-6*math.Max(1, t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimumIsFeasibleAndMinimal(t *testing.T) {
+	// No feasible static split (T2 >= T1') achieves smaller T2 than the
+	// closed form — verified by scanning I1 on a grid.
+	for _, q1 := range []float64{1, 40, 150, 400} {
+		for _, q2 := range []float64{10, 50, 120} {
+			p := paperParams(q1, q2)
+			i1Opt, i2Opt := p.OptimalSplit()
+			_, t1pOpt, t2Opt := p.Times(i1Opt, i2Opt)
+			if t2Opt < t1pOpt-1e-9 {
+				t.Fatalf("Q1=%v Q2=%v: optimum infeasible (T2=%v < T1'=%v)", q1, q2, t2Opt, t1pOpt)
+			}
+			for i1 := 0.01; i1 < p.I; i1 += 0.01 {
+				_, t1p, t2 := p.Times(i1, p.I-i1)
+				if t2 >= t1p && t2 < t2Opt-1e-6 {
+					t.Fatalf("Q1=%v Q2=%v: grid split I1=%v beats optimum (%v < %v)",
+						q1, q2, i1, t2, t2Opt)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroQ2GivesAllToOld(t *testing.T) {
+	// With no new-source demand the whole inbound goes to S1: analytically
+	// r1 = I exactly (the quadratic becomes a perfect square).
+	for _, q1 := range []float64{1, 10, 500} {
+		p := paperParams(q1, 0)
+		i1, i2 := p.OptimalSplit()
+		if math.Abs(i1-p.I) > 1e-9 || i2 > 1e-9 {
+			t.Errorf("Q1=%v: split = (%v, %v), want (I, 0)", q1, i1, i2)
+		}
+	}
+}
+
+func TestZeroQ1LeavesPlaybackConstraint(t *testing.T) {
+	// With nothing left of S1, the constraint degenerates to
+	// T2 >= Q/p, so r1 = max(0, I − p·Q2/Q).
+	p := paperParams(0, 50)
+	i1, _ := p.OptimalSplit()
+	want := math.Max(0, p.I-p.P*p.Q2/p.Q)
+	if math.Abs(i1-want) > 1e-9 {
+		t.Errorf("r1 = %v, want %v", i1, want)
+	}
+}
+
+func TestTimes(t *testing.T) {
+	p := paperParams(100, 50)
+	t1, t1p, t2 := p.Times(10, 5)
+	if t1 != 10 {
+		t.Errorf("T1 = %v, want 10", t1)
+	}
+	if t1p != 11 { // + Q/p = 1s
+		t.Errorf("T1' = %v, want 11", t1p)
+	}
+	if t2 != 10 {
+		t.Errorf("T2 = %v, want 10", t2)
+	}
+	// Zero rate with backlog: infinite; zero backlog: zero.
+	_, _, t2inf := p.Times(15, 0)
+	if !math.IsInf(t2inf, 1) {
+		t.Errorf("T2 with zero rate = %v, want +Inf", t2inf)
+	}
+	pz := paperParams(0, 0)
+	t1z, _, t2z := pz.Times(0, 0)
+	if t1z != 0 || t2z != 0 {
+		t.Errorf("zero-backlog times = %v, %v", t1z, t2z)
+	}
+}
+
+func TestSwitchTime(t *testing.T) {
+	p := paperParams(100, 50)
+	got := p.SwitchTime(10, 5)
+	if got != 11 { // max(11, 10)
+		t.Errorf("SwitchTime = %v, want 11", got)
+	}
+}
+
+func TestConstrainedSplitCases(t *testing.T) {
+	p := paperParams(150, 50)
+	r1, r2 := p.OptimalSplit()
+
+	cases := []struct {
+		o1, o2 float64
+		want   Case
+	}{
+		{r1 + 1, r2 + 1, CaseUnconstrained},
+		{r1 + 1, r2 / 2, CaseS2Limited},
+		{r1 / 2, r2 + 1, CaseS1Limited},
+		{r1 / 2, r2 / 2, CaseBothLimited},
+	}
+	for _, c := range cases {
+		got := p.ConstrainedSplit(c.o1, c.o2)
+		if got.Case != c.want {
+			t.Errorf("O1=%v O2=%v: case %v, want %v", c.o1, c.o2, got.Case, c.want)
+		}
+	}
+}
+
+func TestConstrainedSplitRespectsLimits(t *testing.T) {
+	// In every case: I1 <= O1 (case 2-4), I2 <= O2 (case 2-4),
+	// I1+I2 <= I, and all non-negative.
+	f := func(q1, q2, o1r, o2r uint16) bool {
+		p := paperParams(float64(q1%1000), float64(q2%300))
+		o1 := float64(o1r % 40)
+		o2 := float64(o2r % 40)
+		s := p.ConstrainedSplit(o1, o2)
+		if s.I1 < 0 || s.I2 < 0 {
+			return false
+		}
+		if s.I1+s.I2 > p.I+1e-9 {
+			return false
+		}
+		if s.Case != CaseUnconstrained && s.I1 > o1+1e-9 && s.I2 > o2+1e-9 {
+			return false
+		}
+		switch s.Case {
+		case CaseS2Limited, CaseBothLimited:
+			if s.I2 > o2+1e-9 {
+				return false
+			}
+		}
+		switch s.Case {
+		case CaseS1Limited, CaseBothLimited:
+			if s.I1 > o1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalSplitPriority(t *testing.T) {
+	p := paperParams(150, 50)
+	// Plenty of S1 supply: everything goes to S1.
+	s := p.NormalSplit(100, 100)
+	if s.I1 != p.I || s.I2 != 0 {
+		t.Errorf("normal split with rich S1 supply = (%v, %v), want (I, 0)", s.I1, s.I2)
+	}
+	// S1 supply-limited: leftover flows to S2.
+	s = p.NormalSplit(6, 100)
+	if s.I1 != 6 || s.I2 != 9 {
+		t.Errorf("normal split = (%v, %v), want (6, 9)", s.I1, s.I2)
+	}
+	// Small backlog: no point exceeding it.
+	pSmall := paperParams(4, 50)
+	s = pSmall.NormalSplit(100, 100)
+	if s.I1 != 4 || s.I2 != 11 {
+		t.Errorf("normal split small backlog = (%v, %v), want (4, 11)", s.I1, s.I2)
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	for c, want := range map[Case]string{
+		CaseUnconstrained: "case1(unconstrained)",
+		CaseS2Limited:     "case2(S2-limited)",
+		CaseS1Limited:     "case3(S1-limited)",
+		CaseBothLimited:   "case4(both-limited)",
+		Case(99):          "case(99)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Case(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func BenchmarkOptimalSplit(b *testing.B) {
+	p := paperParams(150, 50)
+	for i := 0; i < b.N; i++ {
+		p.OptimalSplit()
+	}
+}
+
+func BenchmarkConstrainedSplit(b *testing.B) {
+	p := paperParams(150, 50)
+	for i := 0; i < b.N; i++ {
+		p.ConstrainedSplit(12, 4)
+	}
+}

@@ -1,0 +1,207 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("AddEdge failed")
+	}
+	if g.AddEdge(0, 1) || g.AddEdge(1, 0) {
+		t.Error("duplicate edge accepted")
+	}
+	if g.AddEdge(2, 2) {
+		t.Error("self-loop accepted")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("undirected edge not symmetric")
+	}
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("removing absent edge succeeded")
+	}
+	if g.M() != 0 || g.Degree(0) != 0 {
+		t.Error("edge not fully removed")
+	}
+}
+
+func TestDegreesAndAverages(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if g.MinDegree() != 1 {
+		t.Errorf("MinDegree = %d", g.MinDegree())
+	}
+	if got := g.AvgDegree(); got != 1.5 {
+		t.Errorf("AvgDegree = %v, want 1.5", got)
+	}
+}
+
+func TestComponentsAndConnectivity(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 { // {0,1}, {2,3,4}, {5}
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reports connected")
+	}
+	rng := rand.New(rand.NewSource(1))
+	EnsureConnected(g, rng)
+	if !g.Connected() {
+		t.Error("EnsureConnected failed")
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	d := g.BFSDepths(0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestAddNodeAndClearNode(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	id := g.AddNode()
+	if id != 3 || g.N() != 4 {
+		t.Fatalf("AddNode id=%d N=%d", id, g.N())
+	}
+	g.AddEdge(id, 0)
+	former := g.ClearNode(0)
+	if len(former) != 3 {
+		t.Fatalf("ClearNode returned %d neighbors, want 3", len(former))
+	}
+	if g.Degree(0) != 0 || g.M() != 0 {
+		t.Error("ClearNode left edges behind")
+	}
+	for _, v := range former {
+		if g.HasEdge(0, v) {
+			t.Errorf("edge to %d survived ClearNode", v)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone changed original")
+	}
+	if c.M() != 2 || g.M() != 1 {
+		t.Error("edge counts wrong after clone")
+	}
+}
+
+func TestAugmentMinDegree(t *testing.T) {
+	// The paper's preparation: sparse crawl topologies are augmented until
+	// every node holds M=5 neighbors; the result must be connected.
+	for _, n := range []int{10, 100, 500} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := Generate(KindPreferential, n, 1, rng)
+		AugmentMinDegree(g, 5, rng)
+		if got := g.MinDegree(); got < 5 {
+			t.Errorf("n=%d: min degree %d after augmentation", n, got)
+		}
+		if !g.Connected() {
+			t.Errorf("n=%d: augmented graph disconnected", n)
+		}
+	}
+}
+
+func TestGenerateFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []GeneratorKind{KindPreferential, KindUniform, KindRing} {
+		g := Generate(kind, 200, 2, rng)
+		if g.N() != 200 {
+			t.Fatalf("kind %d: N = %d", kind, g.N())
+		}
+		if g.M() == 0 {
+			t.Fatalf("kind %d: no edges", kind)
+		}
+		if !g.Connected() && kind != KindPreferential {
+			// Uniform/ring attach every node to an earlier one or a ring —
+			// always connected. Preferential may isolate stragglers before
+			// augmentation; that is the crawls' realism.
+			t.Errorf("kind %d: disconnected", kind)
+		}
+	}
+}
+
+func TestPreferentialSkew(t *testing.T) {
+	// Preferential attachment should produce a heavier-tailed degree
+	// distribution than uniform attachment: its max degree dominates.
+	rng := rand.New(rand.NewSource(11))
+	pa := Generate(KindPreferential, 2000, 1, rng)
+	uni := Generate(KindUniform, 2000, 1, rng)
+	maxDeg := func(g *Graph) int {
+		m := 0
+		for u := 0; u < g.N(); u++ {
+			if d := g.Degree(NodeID(u)); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(pa) <= maxDeg(uni) {
+		t.Errorf("preferential max degree %d not above uniform %d", maxDeg(pa), maxDeg(uni))
+	}
+}
+
+func TestQuickEdgeSymmetry(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		g := New(64)
+		for _, p := range pairs {
+			u, v := NodeID(p%64), NodeID((p/64)%64)
+			g.AddEdge(u, v)
+		}
+		// Symmetry + degree sum = 2M.
+		sum := 0
+		for u := 0; u < g.N(); u++ {
+			sum += g.Degree(NodeID(u))
+			for _, v := range g.Neighbors(NodeID(u)) {
+				if !g.HasEdge(v, NodeID(u)) {
+					return false
+				}
+			}
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAugmentMinDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		g := Generate(KindPreferential, 1000, 1, rng)
+		AugmentMinDegree(g, 5, rng)
+	}
+}

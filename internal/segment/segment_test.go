@@ -1,0 +1,196 @@
+package segment
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIDValid(t *testing.T) {
+	if None.Valid() {
+		t.Error("None must not be valid")
+	}
+	if !ID(0).Valid() {
+		t.Error("id 0 must be valid")
+	}
+	if !ID(1 << 40).Valid() {
+		t.Error("large ids must be valid")
+	}
+	if ID(-7).Valid() {
+		t.Error("negative ids must not be valid")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := None.String(); got != "seg(none)" {
+		t.Errorf("None.String() = %q", got)
+	}
+	if got := ID(42).String(); got != "seg(42)" {
+		t.Errorf("ID(42).String() = %q", got)
+	}
+}
+
+func TestSessionOpenClose(t *testing.T) {
+	tl := NewTimeline(3)
+	cur := tl.Current()
+	if !cur.Open() {
+		t.Fatal("fresh timeline session must be open")
+	}
+	if cur.Begin != 0 {
+		t.Fatalf("first session begins at %d, want 0", cur.Begin)
+	}
+	if cur.Len() != -1 {
+		t.Errorf("open session Len = %d, want -1", cur.Len())
+	}
+	if !cur.Contains(1_000_000) {
+		t.Error("open session must contain any future id")
+	}
+	closed := tl.Close(99)
+	if closed.Open() {
+		t.Error("closed session reports open")
+	}
+	if closed.Len() != 100 {
+		t.Errorf("closed session Len = %d, want 100", closed.Len())
+	}
+	if closed.Contains(100) {
+		t.Error("closed session must not contain ids past End")
+	}
+	if !closed.Contains(99) || !closed.Contains(0) {
+		t.Error("closed session must contain its range")
+	}
+}
+
+func TestTimelineAppend(t *testing.T) {
+	tl := NewTimeline(1)
+	if _, err := tl.Append(2); err != ErrOpenTail {
+		t.Fatalf("Append on open tail: err = %v, want ErrOpenTail", err)
+	}
+	tl.Close(49)
+	s2, err := tl.Append(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Begin != 50 {
+		t.Errorf("idbegin = %d, want idend+1 = 50", s2.Begin)
+	}
+	if !s2.Open() {
+		t.Error("appended session must be open")
+	}
+	if got := len(tl.Sessions()); got != 2 {
+		t.Errorf("session count = %d, want 2", got)
+	}
+}
+
+func TestTimelineSessionOf(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.Close(49)
+	tl.Append(2)
+	tl.Close(120)
+	tl.Append(3)
+
+	cases := []struct {
+		id   ID
+		want SourceID
+		ok   bool
+	}{
+		{0, 1, true}, {49, 1, true}, {50, 2, true}, {120, 2, true},
+		{121, 3, true}, {1 << 30, 3, true}, {None, -1, false},
+	}
+	for _, c := range cases {
+		s, ok := tl.SessionOf(c.id)
+		if ok != c.ok {
+			t.Errorf("SessionOf(%d) ok = %v, want %v", c.id, ok, c.ok)
+			continue
+		}
+		if ok && s.Source != c.want {
+			t.Errorf("SessionOf(%d) source = %d, want %d", c.id, s.Source, c.want)
+		}
+	}
+}
+
+func TestTimelineManySessions(t *testing.T) {
+	tl := NewTimeline(0)
+	end := ID(-1)
+	for i := 1; i <= 20; i++ {
+		end += 100
+		tl.Close(end)
+		if _, err := tl.Append(SourceID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every id maps to the session that owns its century.
+	for id := ID(0); id < 2000; id += 37 {
+		s, ok := tl.SessionOf(id)
+		if !ok {
+			t.Fatalf("SessionOf(%d) missed", id)
+		}
+		if want := SourceID(id / 100); s.Source != want {
+			t.Fatalf("SessionOf(%d) source = %d, want %d", id, s.Source, want)
+		}
+	}
+}
+
+func TestClosePanics(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.Close(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("Close on a closed session must panic")
+		}
+	}()
+	tl.Close(20)
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{Lo: 10, Hi: 20}
+	if r.Empty() || r.Len() != 10 {
+		t.Fatalf("range %v: empty=%v len=%d", r, r.Empty(), r.Len())
+	}
+	if !r.Contains(10) || r.Contains(20) || r.Contains(9) {
+		t.Error("half-open containment wrong")
+	}
+	if (Range{Lo: 5, Hi: 5}).Len() != 0 {
+		t.Error("empty range must have zero length")
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Range
+	}{
+		{Range{0, 10}, Range{5, 15}, Range{5, 10}},
+		{Range{0, 10}, Range{10, 20}, Range{10, 10}},
+		{Range{0, 10}, Range{20, 30}, Range{20, 20}},
+		{Range{3, 7}, Range{0, 100}, Range{3, 7}},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if got.Len() != c.want.Len() || (!got.Empty() && got.Lo != c.want.Lo) {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRangeIntersectProperties(t *testing.T) {
+	// Intersection is commutative in content and never grows either side.
+	f := func(aLo, aLen, bLo, bLen uint16) bool {
+		a := Range{Lo: ID(aLo), Hi: ID(aLo) + ID(aLen)}
+		b := Range{Lo: ID(bLo), Hi: ID(bLo) + ID(bLen)}
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		if ab.Len() > a.Len() || ab.Len() > b.Len() {
+			return false
+		}
+		// Every id in the intersection lies in both inputs.
+		for id := ab.Lo; id < ab.Hi; id += 13 {
+			if !a.Contains(id) || !b.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

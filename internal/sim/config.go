@@ -1,0 +1,215 @@
+// Package sim is the gossip-based P2P streaming simulator the paper's
+// evaluation (Section 5) runs on: a deterministic, time-stepped model of
+// pull-based mesh streaming with heterogeneous bandwidth, FIFO buffers,
+// periodic buffer-map exchange, supplier-side contention, playback state
+// machines, serial source switches, and optional churn.
+//
+// One simulation is a pure function of its Config (including seeds):
+// re-running with the same configuration reproduces every transfer and
+// metric bit-for-bit. Simulations are single-goroutine; the experiment
+// package parallelizes across runs.
+package sim
+
+import (
+	"fmt"
+
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/core"
+	"gossipstream/internal/overlay"
+)
+
+// AlgorithmFactory builds a fresh scheduler instance for a run. Factories
+// rather than instances are configured because schedulers carry reusable
+// scratch state and runs may execute concurrently.
+type AlgorithmFactory func() core.Algorithm
+
+// Fast returns the paper's fast switch algorithm.
+func Fast() core.Algorithm { return &core.FastSwitch{} }
+
+// Normal returns the baseline normal switch algorithm.
+func Normal() core.Algorithm { return &core.NormalSwitch{} }
+
+// ChurnConfig enables the dynamic environment of Section 5.4: per
+// scheduling period, LeaveFraction of the alive nodes depart and the same
+// number of fresh nodes join, wiring themselves through the membership
+// protocol and adopting their neighbors' playback position.
+type ChurnConfig struct {
+	// LeaveFraction of alive non-source nodes leaving per tick (paper: 0.05).
+	LeaveFraction float64
+	// JoinFraction of alive nodes joining per tick (paper: 0.05).
+	JoinFraction float64
+}
+
+// Config fully describes one simulation run. Zero fields default to the
+// paper's Section 5.1 settings via Defaulted.
+type Config struct {
+	// Graph is the overlay topology; it is mutated by churn, so callers
+	// that reuse topologies should pass a Clone. Required.
+	Graph *overlay.Graph
+	// Seed drives every random decision of the run.
+	Seed int64
+
+	Tau       float64 // scheduling period τ, seconds (default 1.0)
+	P         float64 // playback rate, segments/second (default 10)
+	Q         int     // S1 consecutive-segment start threshold (default 10)
+	Qs        int     // segments of the new source needed to start (default 50)
+	BufferCap int     // buffer capacity B in segments (default 600)
+
+	// SourceOutFactor scales the source's outbound rate to
+	// SourceOutFactor·p ("much larger outbound rate"; default 6).
+	SourceOutFactor float64
+
+	// ServeRounds is the number of request/serve exchanges per scheduling
+	// period (default 3). The period is one second while a pull round-trip
+	// is tens of milliseconds, so nodes whose first-choice supplier ran out
+	// of capacity retry elsewhere within the same period.
+	ServeRounds int
+
+	// LinkShare divides a node's outbound rate across its links: the rate
+	// R(j) a supplier offers each neighbor is out_j / LinkShare. The
+	// default 1 is the paper's semantics — Figure 4 annotates each
+	// neighbor with its full outbound rate o_j, and Algorithm 1's τ(j)
+	// queues only the requester's own transfers at j. Setting LinkShare=M
+	// models a node provisioning its outbound equally across its M
+	// connections (used by the substrate-ablation benchmarks).
+	LinkShare int
+
+	// DisablePrefetch turns off the substrate's leftover-budget random
+	// prefetch. The paper's switch algorithms govern the *prioritized*
+	// share of inbound; like every data-driven mesh system (CoolStreaming
+	// et al.), the substrate spends any leftover inbound on randomly
+	// chosen missing segments so neighborhood holdings stay diverse and
+	// every link stays useful. Disabling it degenerates the mesh into an
+	// in-order wave bounded by the per-link rate — the substrate-ablation
+	// benchmark quantifies exactly that collapse.
+	DisablePrefetch bool
+
+	// SharedOutbound switches the bandwidth substrate from the paper's
+	// per-link model to a contention model.
+	//
+	// The paper's Algorithm 1 treats R(j) as the rate supplier j offers
+	// *to the requesting node* — queueing time τ(j) accumulates only the
+	// requester's own transfers, with no term for competing neighbors — so
+	// the faithful default (false) caps each supplier→requester link at
+	// R(j)·τ segments per period and lets a supplier serve all links at
+	// once. With SharedOutbound=true, R(j)·τ is instead a per-period
+	// aggregate budget shared by all of j's links (modern swarm-style
+	// contention; used by the substrate-ablation benchmarks).
+	SharedOutbound bool
+
+	// Profiles optionally pins per-node bandwidth; drawn from the paper's
+	// distribution when nil. Must match Graph.N() if set.
+	Profiles []bandwidth.Profile
+
+	// NewAlgorithm builds the per-run scheduler (default: the fast switch
+	// algorithm).
+	NewAlgorithm AlgorithmFactory
+
+	// WarmupTicks run before the measured switch so the system reaches its
+	// stable phase (default 40).
+	WarmupTicks int
+
+	// JoinSpreadTicks staggers node arrivals uniformly over the first part
+	// of the warm-up (default WarmupTicks/2; set negative for simultaneous
+	// start). Members of a conference or lecture session assemble over
+	// time but play the stream from its beginning, so a node arriving at
+	// time t carries a catch-up backlog of p·t segments — the undelivered
+	// backlog Q1 that the source switch problem is about. Nodes with
+	// little inbound headroom (I close to p) still carry part of it when
+	// the switch happens.
+	JoinSpreadTicks int
+	// HorizonTicks bound the post-switch measurement window (default 150).
+	HorizonTicks int
+
+	// FirstSource is the initial streaming source S1. A negative value
+	// auto-picks the lowest-id node whose degree equals the topology's
+	// minimum (a source "holding M connected neighbors", like every other
+	// node). Default: node 0.
+	FirstSource overlay.NodeID
+	// NewSource, when >= 0, pins the node promoted to S2 at the switch;
+	// otherwise a random alive non-source node is chosen.
+	NewSource overlay.NodeID
+
+	// Churn enables the dynamic environment; nil means static.
+	Churn *ChurnConfig
+
+	// TrackRatios records the per-tick undelivered/delivered ratio series
+	// (Figures 5 and 9). Costs one window scan per node per tick.
+	TrackRatios bool
+}
+
+// Defaulted returns a copy with unset fields replaced by the paper's
+// defaults.
+func (c Config) Defaulted() Config {
+	if c.Tau <= 0 {
+		c.Tau = 1.0
+	}
+	if c.P <= 0 {
+		c.P = bandwidth.PlayRate
+	}
+	if c.Q <= 0 {
+		c.Q = 10
+	}
+	if c.Qs <= 0 {
+		c.Qs = 50
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 600
+	}
+	if c.SourceOutFactor <= 0 {
+		c.SourceOutFactor = 6
+	}
+	if c.ServeRounds <= 0 {
+		c.ServeRounds = 3
+	}
+	if c.LinkShare <= 0 {
+		c.LinkShare = 1
+	}
+	if c.NewAlgorithm == nil {
+		c.NewAlgorithm = Fast
+	}
+	if c.WarmupTicks <= 0 {
+		c.WarmupTicks = 40
+	}
+	if c.JoinSpreadTicks == 0 {
+		c.JoinSpreadTicks = c.WarmupTicks / 2
+	}
+	if c.JoinSpreadTicks < 0 {
+		c.JoinSpreadTicks = 0
+	}
+	if c.HorizonTicks <= 0 {
+		c.HorizonTicks = 150
+	}
+	if c.NewSource == 0 && c.FirstSource == 0 {
+		c.NewSource = -1
+	}
+	return c
+}
+
+// Validate reports configuration errors that Defaulted cannot repair.
+func (c Config) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("sim: Config.Graph is required")
+	}
+	if c.Graph.N() < 2 {
+		return fmt.Errorf("sim: need at least 2 nodes, have %d", c.Graph.N())
+	}
+	if c.Profiles != nil && len(c.Profiles) != c.Graph.N() {
+		return fmt.Errorf("sim: %d profiles for %d nodes", len(c.Profiles), c.Graph.N())
+	}
+	if int(c.FirstSource) >= c.Graph.N() {
+		return fmt.Errorf("sim: FirstSource %d out of range", c.FirstSource)
+	}
+	if c.NewSource >= 0 && int(c.NewSource) >= c.Graph.N() {
+		return fmt.Errorf("sim: NewSource %d out of range", c.NewSource)
+	}
+	if c.Churn != nil {
+		if c.Churn.LeaveFraction < 0 || c.Churn.LeaveFraction >= 1 {
+			return fmt.Errorf("sim: LeaveFraction %v out of [0,1)", c.Churn.LeaveFraction)
+		}
+		if c.Churn.JoinFraction < 0 || c.Churn.JoinFraction >= 1 {
+			return fmt.Errorf("sim: JoinFraction %v out of [0,1)", c.Churn.JoinFraction)
+		}
+	}
+	return nil
+}

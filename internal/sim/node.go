@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/buffer"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+)
+
+// unset marks a per-node event that has not happened yet.
+const unset = -1
+
+// nodeState is everything one simulated peer owns. Fields are mutated only
+// by the Sim's single goroutine.
+type nodeState struct {
+	id      overlay.NodeID
+	buf     *buffer.Buffer
+	profile bandwidth.Profile
+	in, out *bandwidth.Budget
+
+	alive    bool
+	isSource bool // currently acting as the streaming source
+	wasS1    bool // was the old source of the measured switch
+	joinTick int  // tick the node entered the system (0 for initial nodes)
+	// startTick delays initial nodes' activation (staggered assembly of
+	// the session); inactive nodes neither request nor supply.
+	startTick int
+
+	// aliveDeg is the node's alive-neighbor count, refreshed each period;
+	// its outbound is shared equally across those links (link rate =
+	// out/aliveDeg — the R(j) of Algorithm 1).
+	aliveDeg int
+
+	// maxSeen is the largest segment id the node has received — its local
+	// notion of how far the stream extends (neighbors read it as the
+	// advertised high-water mark of the last exchanged buffer map).
+	maxSeen segment.ID
+
+	// Playback state machine.
+	sessionIdx int        // index into the timeline of the session being played/awaited
+	known      int        // number of timeline sessions this node has discovered
+	playActive bool       // currently consuming segments
+	playhead   segment.ID // next segment to play
+	anchor     segment.ID // first segment of the node's playback (joiners adopt a late anchor)
+
+	// Measured-switch bookkeeping (seconds are derived later; ticks here).
+	finishS1Tick  int // finished the whole playback of S1
+	prepareS2Tick int // gathered the first Qs segments of S2
+	startS2Tick   int // actually started playing S2 (max of the two conditions)
+	q0            int // undelivered S1 backlog at the switch tick
+	inCohort      bool
+
+	// Playback continuity accounting over the measurement window: played
+	// counts consumed segments, stalled counts playback slots lost to a
+	// hole at the playhead while mid-stream.
+	played, stalled int
+
+	// granted holds the segments already won in an earlier serve round of
+	// the current period: they are in flight (arriving at period end) and
+	// must not be re-requested in retry rounds.
+	granted map[segment.ID]struct{}
+
+	// Reused scratch for planning.
+	needOld, needNew []segment.ID
+}
+
+// markGranted notes an in-flight segment for the rest of the period.
+func (n *nodeState) markGranted(id segment.ID) {
+	if n.granted == nil {
+		n.granted = make(map[segment.ID]struct{}, 64)
+	}
+	n.granted[id] = struct{}{}
+}
+
+// isGranted reports whether the segment is already in flight this period.
+func (n *nodeState) isGranted(id segment.ID) bool {
+	_, ok := n.granted[id]
+	return ok
+}
+
+// clearGranted resets the in-flight set at period end.
+func (n *nodeState) clearGranted() {
+	for k := range n.granted {
+		delete(n.granted, k)
+	}
+}
+
+func newNodeState(id overlay.NodeID, prof bandwidth.Profile, bufCap, joinTick int) *nodeState {
+	return &nodeState{
+		id:            id,
+		buf:           buffer.New(bufCap),
+		profile:       prof,
+		in:            bandwidth.NewBudget(prof.In),
+		out:           bandwidth.NewBudget(prof.Out),
+		alive:         true,
+		joinTick:      joinTick,
+		maxSeen:       segment.None,
+		known:         1,
+		finishS1Tick:  unset,
+		prepareS2Tick: unset,
+		startS2Tick:   unset,
+		q0:            unset,
+	}
+}
+
+// receive lands one segment in the node's buffer (end-of-tick delivery).
+func (n *nodeState) receive(id segment.ID) {
+	n.buf.Insert(id)
+	if id > n.maxSeen {
+		n.maxSeen = id
+	}
+}
+
+// becomeSource promotes the node to streaming source: inbound drops to
+// zero, outbound is boosted, and any in-progress playback of the previous
+// stream is abandoned (the speaker stops being a listener).
+func (n *nodeState) becomeSource(outRate float64) {
+	n.isSource = true
+	n.profile = bandwidth.Profile{In: 0, Out: outRate}
+	n.in.SetRate(0)
+	n.out.SetRate(outRate)
+	n.playActive = false
+}
+
+// undeliveredIn counts the ids in [lo, hi] missing from the buffer.
+func (n *nodeState) undeliveredIn(lo, hi segment.ID) int {
+	if hi < lo {
+		return 0
+	}
+	missing := 0
+	for id := lo; id <= hi; id++ {
+		if !n.buf.Has(id) {
+			missing++
+		}
+	}
+	return missing
+}
+
+// appendMissing appends the ids in [lo, hi] absent from the buffer and not
+// already in flight to dst.
+func (n *nodeState) appendMissing(dst []segment.ID, lo, hi segment.ID) []segment.ID {
+	for id := lo; id <= hi; id++ {
+		if !n.buf.Has(id) && !n.isGranted(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

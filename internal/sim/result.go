@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"gossipstream/internal/stats"
+)
+
+// Result is everything one simulation run measured about its source
+// switch. Times are seconds relative to the switch instant ("simulation
+// time 0" in the paper's figures).
+type Result struct {
+	Algorithm string
+	Nodes     int // alive nodes at the switch
+	Cohort    int // nodes eligible for switch metrics
+
+	// Per-node completion times (only nodes that completed in-horizon).
+	FinishS1Times  []float64 // finished the whole playback of S1
+	PrepareS2Times []float64 // gathered the first Qs segments of S2
+	StartS2Times   []float64 // actually started playing S2
+
+	// Incomplete counts at measurement end.
+	UnfinishedS1 int
+	UnpreparedS2 int
+
+	// Ratio tracks (Figures 5/9); nil unless Config.TrackRatios.
+	UndeliveredS1 *stats.Series // Σ Q1(t) / Σ Q0 over the surviving cohort
+	DeliveredS2   *stats.Series // Σ (Qs−Q2(t)) / Σ Qs over the surviving cohort
+
+	// Communication accounting over the measurement window.
+	ControlBits int64
+	DataBits    int64
+
+	// Playback continuity accounting over the measurement window, summed
+	// across the cohort: segments actually played, and playback slots
+	// lost to a stall (a hole at the playhead while mid-stream).
+	PlayedSegments int64
+	StalledSlots   int64
+
+	// MeasuredTicks is the length of the measurement window.
+	MeasuredTicks int
+	// Horizon reports whether measurement stopped at the horizon rather
+	// than at cohort completion.
+	HitHorizon bool
+}
+
+// Continuity returns the cohort's playback continuity during the switch
+// window: played / (played + stalled). The paper argues the fast switch
+// "indirectly increases the playback continuity"; this makes the claim
+// measurable. Returns 1 when nothing was played (no slots lost).
+func (r *Result) Continuity() float64 {
+	total := r.PlayedSegments + r.StalledSlots
+	if total == 0 {
+		return 1
+	}
+	return float64(r.PlayedSegments) / float64(total)
+}
+
+// AvgFinishS1 returns the average finishing time of S1 (paper metric).
+func (r *Result) AvgFinishS1() float64 { return stats.Mean(r.FinishS1Times) }
+
+// AvgPrepareS2 returns the average preparing time of S2 — the paper's
+// "average switch time".
+func (r *Result) AvgPrepareS2() float64 { return stats.Mean(r.PrepareS2Times) }
+
+// AvgStartS2 returns the average actual S2 playback start time
+// (max of the two start conditions per node).
+func (r *Result) AvgStartS2() float64 { return stats.Mean(r.StartS2Times) }
+
+// MaxFinishS1 returns the last node's S1 finishing time.
+func (r *Result) MaxFinishS1() float64 { return stats.Max(r.FinishS1Times) }
+
+// MaxPrepareS2 returns the last node's S2 preparing time.
+func (r *Result) MaxPrepareS2() float64 { return stats.Max(r.PrepareS2Times) }
+
+// Overhead returns the communication overhead: buffer-map control bits
+// over data payload bits in the measurement window (Section 5.2 metric 3).
+func (r *Result) Overhead() float64 {
+	if r.DataBits == 0 {
+		return 0
+	}
+	return float64(r.ControlBits) / float64(r.DataBits)
+}
+
+// String implements fmt.Stringer with the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: n=%d cohort=%d finishS1=%.2fs prepareS2=%.2fs overhead=%.4f (unfinished=%d unprepared=%d)",
+		r.Algorithm, r.Nodes, r.Cohort, r.AvgFinishS1(), r.AvgPrepareS2(), r.Overhead(),
+		r.UnfinishedS1, r.UnpreparedS2)
+}

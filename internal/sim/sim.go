@@ -1,0 +1,883 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/bitfield"
+	"gossipstream/internal/core"
+	"gossipstream/internal/membership"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+	"gossipstream/internal/stats"
+)
+
+// Sim is one streaming system instance. Create with New, execute with Run.
+// A Sim is single-goroutine and not reusable after Run.
+type Sim struct {
+	cfg Config
+
+	rng      *rand.Rand // structural decisions (source pick)
+	churnRNG *rand.Rand
+	profRNG  *rand.Rand
+
+	g     *overlay.Graph
+	dir   *membership.Directory
+	nodes []*nodeState
+	algo  core.Algorithm
+
+	tl      *segment.Timeline
+	nextGen segment.ID // next id the current source will emit
+
+	oldSource, newSource overlay.NodeID
+	switchTick           int
+	s1End, s2Begin       segment.ID
+	newSessionIdx        int
+
+	tick      int
+	measuring bool
+
+	// measurement state
+	cohort      []overlay.NodeID
+	controlBits int64
+	dataBits    int64
+	res         *Result
+
+	// scratch reused across ticks
+	incoming    [][]pullRequest
+	plan        core.Plan
+	env         core.Env
+	delivered   []delivery
+	grantSet    map[segment.ID]bool
+	pairGrants  map[uint64]int // supplier→requester grants this period (per-link cap)
+	pairReqs    map[uint64]int // supplier→requester prefetch requests this round
+	plannedSet  map[segment.ID]struct{}
+	poolScratch []segment.ID
+
+	// per-tick diagnostics (tests and the debug CLI read these)
+	diagRequests   int
+	diagCandidates int
+	diagPlanned    int
+}
+
+// pullRequest is one queued segment pull at a supplier.
+type pullRequest struct {
+	from     overlay.NodeID
+	seg      segment.ID
+	expected float64
+}
+
+// delivery is a transfer granted this tick, landed at tick end.
+type delivery struct {
+	to  overlay.NodeID
+	seg segment.ID
+}
+
+// New validates the configuration and builds the initial system: all
+// nodes alive, S1 streaming from segment 0, buffers empty.
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.Defaulted()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		churnRNG: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed_c0de)),
+		profRNG:  rand.New(rand.NewSource(cfg.Seed ^ 0x0ba5_e5)),
+		g:        cfg.Graph,
+		algo:     cfg.NewAlgorithm(),
+	}
+	s.dir = membership.NewDirectory(s.g, neighborTarget(s.g), rand.New(rand.NewSource(cfg.Seed^0x3a11ce)))
+
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = bandwidth.Assign(s.g.N(), s.profRNG)
+	}
+	s.nodes = make([]*nodeState, s.g.N())
+	stagger := rand.New(rand.NewSource(cfg.Seed ^ 0x57a6)) // arrival times
+	for i := range s.nodes {
+		n := newNodeState(overlay.NodeID(i), profiles[i], cfg.BufferCap, 0)
+		if cfg.JoinSpreadTicks > 0 {
+			n.startTick = stagger.Intn(cfg.JoinSpreadTicks + 1)
+			n.alive = n.startTick == 0
+		}
+		s.nodes[i] = n
+	}
+	s.oldSource = cfg.FirstSource
+	if s.oldSource < 0 {
+		s.oldSource = minDegreeNode(s.g)
+	}
+	s.tl = segment.NewTimeline(segment.SourceID(s.oldSource))
+	src := s.nodes[s.oldSource]
+	src.becomeSource(cfg.SourceOutFactor * cfg.P)
+	src.wasS1 = true
+	src.alive = true // the session exists from the moment its source speaks
+	src.startTick = 0
+
+	s.incoming = make([][]pullRequest, len(s.nodes))
+	s.newSessionIdx = -1
+	return s, nil
+}
+
+// neighborTarget infers the membership view size from the topology's
+// minimum degree (the paper's M, after augmentation).
+func neighborTarget(g *overlay.Graph) int {
+	m := g.MinDegree()
+	if m < 1 {
+		m = 5
+	}
+	return m
+}
+
+// minDegreeNode returns the lowest-id node of minimum degree — the
+// auto-picked source, which holds exactly M neighbors like the paper's.
+func minDegreeNode(g *overlay.Graph) overlay.NodeID {
+	best := overlay.NodeID(0)
+	for u := 1; u < g.N(); u++ {
+		if g.Degree(overlay.NodeID(u)) < g.Degree(best) {
+			best = overlay.NodeID(u)
+		}
+	}
+	return best
+}
+
+// Run executes warm-up, the measured switch, and the post-switch window,
+// returning the collected Result.
+func (s *Sim) Run() (*Result, error) {
+	if s.res != nil {
+		return nil, fmt.Errorf("sim: Run called twice")
+	}
+	for s.tick = 0; s.tick < s.cfg.WarmupTicks; s.tick++ {
+		s.step()
+	}
+	s.performSwitch()
+	s.measuring = true
+	end := s.cfg.WarmupTicks + s.cfg.HorizonTicks
+	hitHorizon := true
+	for ; s.tick < end; s.tick++ {
+		s.step()
+		if s.cohortComplete() {
+			s.tick++
+			hitHorizon = false
+			break
+		}
+	}
+	s.finalize(hitHorizon)
+	return s.res, nil
+}
+
+// step advances the system by one scheduling period τ. Within a period,
+// planning and serving repeat up to ServeRounds times: the period is one
+// second while a pull round-trip is tens of milliseconds, so a real node
+// re-requests segments its first-choice supplier had no capacity for.
+// Budgets persist across rounds (capacity is per period), and segments
+// granted in any round land at period end (one overlay hop per period).
+func (s *Sim) step() {
+	if s.tick <= s.cfg.JoinSpreadTicks {
+		for _, n := range s.nodes {
+			if !n.alive && n.joinTick == 0 && n.startTick == s.tick {
+				n.alive = true
+			}
+		}
+	}
+	if s.cfg.Churn != nil {
+		s.applyChurn()
+	}
+	s.generate()
+	s.refill()
+	s.delivered = s.delivered[:0]
+	if s.pairGrants == nil {
+		s.pairGrants = make(map[uint64]int, 4096)
+	}
+	for k := range s.pairGrants {
+		delete(s.pairGrants, k)
+	}
+	s.diagRequests, s.diagCandidates, s.diagPlanned = 0, 0, 0
+	for round := 0; round < s.cfg.ServeRounds; round++ {
+		if s.pairReqs == nil {
+			s.pairReqs = make(map[uint64]int, 4096)
+		}
+		for k := range s.pairReqs {
+			delete(s.pairReqs, k)
+		}
+		s.planAll(round)
+		if !s.serve() && round > 0 {
+			break // no grants: further rounds cannot progress
+		}
+	}
+	s.deliver()
+	s.playbackAll()
+	if s.measuring {
+		s.recordTick()
+	}
+}
+
+// performSwitch is simulation time "0": S1 stops streaming, a new source
+// is promoted and starts S2, and the measurement cohort is frozen.
+func (s *Sim) performSwitch() {
+	s.switchTick = s.tick
+	s.s1End = s.nextGen - 1
+	s.tl.Close(s.s1End)
+
+	s.newSource = s.cfg.NewSource
+	if s.newSource < 0 || !s.dir.IsAlive(s.newSource) || s.nodes[s.newSource].isSource {
+		s.newSource = s.dir.RandomAlive(s.oldSource)
+	}
+	ses, err := s.tl.Append(segment.SourceID(s.newSource))
+	if err != nil {
+		panic(fmt.Sprintf("sim: timeline append: %v", err)) // unreachable: Close precedes
+	}
+	s.s2Begin = ses.Begin
+	s.newSessionIdx = len(s.tl.Sessions()) - 1
+
+	ns := s.nodes[s.newSource]
+	ns.becomeSource(s.cfg.SourceOutFactor * s.cfg.P)
+	// The synchronization mechanism the paper assumes: the new source
+	// knows S1's ending segment id and embeds it in its first segments.
+	ns.known = s.newSessionIdx + 1
+
+	// Freeze the cohort and per-node Q0 baselines.
+	s.res = &Result{Algorithm: s.algo.Name(), Nodes: s.dir.AliveCount()}
+	if s.cfg.TrackRatios {
+		s.res.UndeliveredS1 = &stats.Series{Label: "undelivered-S1"}
+		s.res.DeliveredS2 = &stats.Series{Label: "delivered-S2"}
+	}
+	for _, n := range s.nodes {
+		if !n.alive || n.isSource {
+			continue
+		}
+		n.inCohort = true
+		n.q0 = n.undeliveredIn(s.windowLo(n), s.s1End)
+		s.cohort = append(s.cohort, n.id)
+	}
+	s.res.Cohort = len(s.cohort)
+}
+
+// windowLo is the lowest segment id the node still cares about: its
+// playhead once playing, its playback anchor before that.
+func (s *Sim) windowLo(n *nodeState) segment.ID {
+	if n.playActive {
+		return n.playhead
+	}
+	if n.playhead > n.anchor {
+		// Between sessions: playhead parked past the previous session.
+		return n.playhead
+	}
+	return n.anchor
+}
+
+// generate lets the current source emit p·τ fresh segments.
+func (s *Sim) generate() {
+	cur := s.tl.Current()
+	if !cur.Open() {
+		return
+	}
+	src := s.nodes[cur.Source]
+	if !src.alive {
+		return
+	}
+	n := int(s.cfg.P*s.cfg.Tau + 1e-9)
+	for i := 0; i < n; i++ {
+		src.receive(s.nextGen)
+		s.nextGen++
+	}
+}
+
+// refill resets every alive node's per-period transfer budgets and
+// refreshes its alive-neighbor count (the denominator of the per-link
+// rate).
+func (s *Sim) refill() {
+	for _, n := range s.nodes {
+		if !n.alive {
+			continue
+		}
+		n.in.Refill(s.cfg.Tau)
+		n.out.Refill(s.cfg.Tau)
+		deg := 0
+		for _, v := range s.g.Neighbors(n.id) {
+			if s.nodes[v].alive {
+				deg++
+			}
+		}
+		n.aliveDeg = deg
+	}
+}
+
+// linkRate is R(j): the sending rate supplier j offers on each of its
+// links — out_j / LinkShare, a single per-node value, exactly the
+// "sending rate of node j" of Algorithm 1 (the paper never differentiates
+// R(j) by requester; Figure 4 annotates each neighbor with its outbound
+// rate o_j). The rate is never below one segment per period: a live
+// connection always makes some progress.
+func (s *Sim) linkRate(j *nodeState) float64 {
+	r := j.out.Rate() / float64(s.cfg.LinkShare)
+	if min := 1 / s.cfg.Tau; r < min {
+		r = min
+	}
+	return r
+}
+
+// linkCap is the whole-segment per-period capacity of one link.
+func (s *Sim) linkCap(j *nodeState) int {
+	c := int(s.linkRate(j)*s.cfg.Tau + 1e-9)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// planAll runs every alive non-source node's scheduler and queues the
+// resulting pull requests at their suppliers. On the first round it also
+// accounts the buffer-map exchange: each alive node receives one 620-bit
+// map per alive neighbor per period (retry rounds reuse the same maps).
+func (s *Sim) planAll(round int) {
+	wire := int64(bitfield.WireBits(s.cfg.BufferCap))
+	for i := range s.incoming {
+		s.incoming[i] = s.incoming[i][:0]
+	}
+	for _, n := range s.nodes {
+		if !n.alive {
+			continue
+		}
+		// Map exchange cost: n receives its alive neighbors' maps.
+		if s.measuring && round == 0 {
+			for _, v := range s.g.Neighbors(n.id) {
+				if s.nodes[v].alive {
+					s.controlBits += wire
+				}
+			}
+		}
+		if n.isSource || n.profile.In <= 0 || n.in.Available() < 1 {
+			continue
+		}
+		s.buildEnv(n, round)
+		if len(s.env.NeedOld) == 0 && len(s.env.NeedNew) == 0 {
+			continue
+		}
+		s.algo.Plan(&s.env, &s.plan)
+		s.diagRequests += len(s.plan.Requests)
+		s.diagCandidates += len(s.env.NeedOld) + len(s.env.NeedNew)
+		s.diagPlanned++
+		for _, req := range s.plan.Requests {
+			sup := overlay.NodeID(req.Supplier)
+			s.incoming[sup] = append(s.incoming[sup], pullRequest{
+				from:     n.id,
+				seg:      req.Segment,
+				expected: req.ExpectedAt,
+			})
+		}
+		if !s.cfg.DisablePrefetch {
+			s.prefetch(n)
+		}
+	}
+}
+
+// prefetch spends the node's leftover inbound budget on uniformly random
+// missing segments of the node's *current* stream. This is the substrate
+// behaviour of every data-driven mesh (random useful-piece selection): it
+// decorrelates neighborhood holdings so all links stay useful. It runs
+// identically under both switch algorithms, after — and never instead of —
+// their prioritized requests.
+//
+// Crucially, prefetch never touches the next session's segments: how much
+// inbound a node grants the new source before finishing the old one is
+// exactly the decision the paper's switch algorithms make, and the
+// emergent dissemination speed of S2 is the effect being measured.
+func (s *Sim) prefetch(n *nodeState) {
+	budget := n.in.Available() - len(s.plan.Requests)
+	if budget <= 0 {
+		return
+	}
+	// Segments the plan already requested this round must not be asked for
+	// again.
+	planned := s.plannedSet
+	if planned == nil {
+		planned = make(map[segment.ID]struct{}, 64)
+		s.plannedSet = planned
+	}
+	for k := range planned {
+		delete(planned, k)
+	}
+	for _, r := range s.plan.Requests {
+		planned[r.Segment] = struct{}{}
+	}
+	pool := s.poolScratch[:0]
+	pool = append(pool, n.needOld...)
+	s.poolScratch = pool
+	// Partial Fisher-Yates: draw random candidates until the budget or the
+	// pool is exhausted.
+	for k := 0; k < len(pool) && budget > 0; k++ {
+		j := k + s.rng.Intn(len(pool)-k)
+		pool[k], pool[j] = pool[j], pool[k]
+		id := pool[k]
+		if _, dup := planned[id]; dup || n.isGranted(id) {
+			continue
+		}
+		sup := s.pickSupplier(n, id)
+		if sup < 0 {
+			continue
+		}
+		key := uint64(sup)<<32 | uint64(uint32(n.id))
+		s.pairReqs[key]++
+		s.incoming[sup] = append(s.incoming[sup], pullRequest{from: n.id, seg: id})
+		budget--
+	}
+}
+
+// pickSupplier chooses a uniformly random neighbor that holds the segment
+// and whose link to n still has request capacity this period; -1 if none.
+func (s *Sim) pickSupplier(n *nodeState, id segment.ID) overlay.NodeID {
+	best := overlay.NodeID(-1)
+	count := 0
+	for _, v := range s.g.Neighbors(n.id) {
+		nb := s.nodes[v]
+		if !nb.alive || !nb.buf.Has(id) {
+			continue
+		}
+		key := uint64(v)<<32 | uint64(uint32(n.id))
+		if s.cfg.SharedOutbound {
+			if nb.out.Available() < 1 {
+				continue
+			}
+		} else if s.pairGrants[key]+s.pairReqs[key] >= s.linkCap(nb) {
+			continue
+		}
+		count++
+		if s.rng.Intn(count) == 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// buildEnv assembles the node's local scheduling view: its undelivered
+// windows and its alive neighbors as suppliers. Discovery of a new
+// session happens here — the node notices neighbors advertising segments
+// past the current session's end. In retry rounds (round > 0) neighbors
+// that answered "busy" — outbound exhausted — are dropped from the
+// supplier set so demand reroutes to peers with remaining capacity.
+func (s *Sim) buildEnv(n *nodeState, round int) {
+	s.env = core.Env{
+		Tau:      s.cfg.Tau,
+		P:        s.cfg.P,
+		Q:        float64(s.cfg.Q),
+		Inbound:  n.profile.In,
+		Playhead: s.windowLo(n),
+	}
+	s.env.Suppliers = s.env.Suppliers[:0]
+	maxAdvert := segment.None
+	for _, v := range s.g.Neighbors(n.id) {
+		nb := s.nodes[v]
+		if !nb.alive {
+			continue
+		}
+		if len(s.env.Suppliers) == core.MaxSuppliers {
+			// Hubs created by the random augmentation can exceed the
+			// scheduler's supplier mask; a node evaluates at most
+			// MaxSuppliers neighbors per period (far beyond the M=5 a
+			// real deployment maintains).
+			break
+		}
+		if nb.maxSeen > maxAdvert {
+			maxAdvert = nb.maxSeen
+		}
+		if round > 0 {
+			// Skip neighbors that signalled "busy" in the previous round:
+			// exhausted aggregate outbound (shared mode) or an exhausted
+			// link to this node (per-link mode).
+			if s.cfg.SharedOutbound {
+				if nb.out.Available() < 1 {
+					continue
+				}
+			} else {
+				key := uint64(v)<<32 | uint64(uint32(n.id))
+				if s.pairGrants[key] >= s.linkCap(nb) {
+					continue
+				}
+			}
+		}
+		rate := s.linkRate(nb)
+		if s.cfg.SharedOutbound {
+			rate = nb.out.Rate()
+		}
+		s.env.Suppliers = append(s.env.Suppliers, core.Supplier{
+			ID:   core.SupplierID(v),
+			Rate: rate,
+			View: nb.buf,
+		})
+	}
+	if maxAdvert == segment.None {
+		n.needOld, n.needNew = n.needOld[:0], n.needNew[:0]
+		s.env.NeedOld, s.env.NeedNew = nil, nil
+		return
+	}
+
+	sessions := s.tl.Sessions()
+	// Discovery: a neighbor advertises a segment beyond every session the
+	// node knows about.
+	for n.known < len(sessions) && maxAdvert >= sessions[n.known].Begin {
+		n.known++
+	}
+	if n.sessionIdx >= len(sessions) {
+		n.sessionIdx = len(sessions) - 1
+	}
+	cur := sessions[n.sessionIdx]
+
+	lo := s.windowLo(n)
+	hi := maxAdvert
+	if !cur.Open() && hi > cur.End {
+		hi = cur.End
+	}
+	if max := lo + segment.ID(s.cfg.BufferCap) - 1; hi > max {
+		hi = max
+	}
+	n.needOld = n.needOld[:0]
+	if hi >= lo {
+		n.needOld = n.appendMissing(n.needOld, lo, hi)
+	}
+
+	n.needNew = n.needNew[:0]
+	if next := n.sessionIdx + 1; next < n.known {
+		ns := sessions[next]
+		nhi := ns.Begin + segment.ID(s.cfg.Qs) - 1
+		if !ns.Open() && nhi > ns.End {
+			nhi = ns.End
+		}
+		n.needNew = n.appendMissing(n.needNew, ns.Begin, nhi)
+	}
+	s.env.NeedOld, s.env.NeedNew = n.needOld, n.needNew
+}
+
+// serve resolves this round's requests at every supplier.
+//
+// In the paper's per-link model (the default) a supplier answers each
+// neighbor independently at rate R(j): the only caps are the per-link
+// R(j)·τ segments per period and the requester's inbound budget. This is
+// exactly the capacity model behind Algorithm 1, whose queueing time τ(j)
+// accumulates only the requester's own transfers at j.
+//
+// In the shared-outbound ablation a supplier's R(j)·τ is an aggregate
+// period budget across all links. Service order then decides mesh
+// throughput: if a congested supplier answers every queue in the same
+// order, same-depth peers end up with identical holdings and have nothing
+// to trade. Mirroring the randomized forwarding of gossip protocols, the
+// supplier serves its queue in random order and grants each distinct
+// segment once before spending leftover capacity on duplicates.
+func (s *Sim) serve() (grantedAny bool) {
+	for sid := range s.incoming {
+		reqs := s.incoming[sid]
+		if len(reqs) == 0 {
+			continue
+		}
+		if s.cfg.SharedOutbound {
+			grantedAny = s.serveShared(overlay.NodeID(sid), reqs) || grantedAny
+		} else {
+			grantedAny = s.servePerLink(overlay.NodeID(sid), reqs) || grantedAny
+		}
+	}
+	return grantedAny
+}
+
+// servePerLink grants requests under the paper's link-capacity semantics.
+func (s *Sim) servePerLink(sid overlay.NodeID, reqs []pullRequest) (grantedAny bool) {
+	sup := s.nodes[sid]
+	linkCap := s.linkCap(sup)
+	for _, r := range reqs {
+		req := s.nodes[r.from]
+		if !req.alive || req.in.Available() < 1 ||
+			!sup.buf.Has(r.seg) || req.buf.Has(r.seg) || req.isGranted(r.seg) {
+			continue
+		}
+		key := uint64(sid)<<32 | uint64(uint32(r.from))
+		if s.pairGrants[key] >= linkCap {
+			continue // this link's period capacity is exhausted
+		}
+		s.pairGrants[key]++
+		req.in.Take(1)
+		req.markGranted(r.seg)
+		grantedAny = true
+		s.delivered = append(s.delivered, delivery{to: r.from, seg: r.seg})
+		if s.measuring {
+			s.dataBits += bandwidth.BitsForSegments(1)
+		}
+	}
+	return grantedAny
+}
+
+// serveShared grants requests under an aggregate outbound budget with
+// randomized, distinct-first service order.
+func (s *Sim) serveShared(sid overlay.NodeID, reqs []pullRequest) (grantedAny bool) {
+	sup := s.nodes[sid]
+	if sup.out.Available() < 1 {
+		return false
+	}
+	// Deterministic shuffle from the run's RNG stream.
+	s.rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	granted := s.grantSet
+	if granted == nil {
+		granted = make(map[segment.ID]bool, 64)
+		s.grantSet = granted
+	}
+	for k := range granted {
+		delete(granted, k)
+	}
+	for pass := 0; pass < 2 && sup.out.Available() >= 1; pass++ {
+		for _, r := range reqs {
+			if sup.out.Available() < 1 {
+				break
+			}
+			if pass == 0 && granted[r.seg] {
+				continue // distinct segments first
+			}
+			req := s.nodes[r.from]
+			if !req.alive || req.in.Available() < 1 ||
+				!sup.buf.Has(r.seg) || req.buf.Has(r.seg) || req.isGranted(r.seg) {
+				continue
+			}
+			sup.out.Take(1)
+			req.in.Take(1)
+			granted[r.seg] = true
+			req.markGranted(r.seg)
+			grantedAny = true
+			s.delivered = append(s.delivered, delivery{to: r.from, seg: r.seg})
+			if s.measuring {
+				s.dataBits += bandwidth.BitsForSegments(1)
+			}
+		}
+	}
+	return grantedAny
+}
+
+// deliver lands this tick's granted transfers (store-and-forward: a
+// segment received in period t becomes visible to neighbors in t+1).
+func (s *Sim) deliver() {
+	for _, d := range s.delivered {
+		n := s.nodes[d.to]
+		n.receive(d.seg)
+		n.clearGranted()
+	}
+}
+
+// playbackAll advances every alive non-source node's playback state
+// machine by one period.
+func (s *Sim) playbackAll() {
+	sessions := s.tl.Sessions()
+	perTick := int(s.cfg.P*s.cfg.Tau + 1e-9)
+	for _, n := range s.nodes {
+		if !n.alive || n.isSource {
+			continue
+		}
+		s.advancePlayback(n, sessions, perTick)
+		if s.measuring && n.inCohort && n.prepareS2Tick == unset && n.known > s.newSessionIdx {
+			if n.undeliveredIn(s.s2Begin, s.s2Begin+segment.ID(s.cfg.Qs)-1) == 0 {
+				n.prepareS2Tick = s.tick
+			}
+		}
+	}
+}
+
+func (s *Sim) advancePlayback(n *nodeState, sessions []segment.Session, perTick int) {
+	if n.sessionIdx >= len(sessions) {
+		return // finished every session that exists
+	}
+	cur := sessions[n.sessionIdx]
+	if !n.playActive {
+		if !s.tryStart(n, sessions, cur) {
+			return
+		}
+	}
+	for consumed := 0; consumed < perTick; consumed++ {
+		if !cur.Open() && n.playhead > cur.End {
+			break
+		}
+		if !n.buf.Has(n.playhead) {
+			// Stall: hole at the playhead. The remaining playback slots of
+			// this period are lost (continuity accounting).
+			if s.measuring && n.inCohort {
+				n.stalled += perTick - consumed
+			}
+			return
+		}
+		n.playhead++
+		if s.measuring && n.inCohort {
+			n.played++
+		}
+	}
+	if !cur.Open() && n.playhead > cur.End {
+		s.finishSession(n, cur)
+	}
+}
+
+// tryStart checks the stream start conditions: Q consecutive segments
+// from the playback anchor for a node entering a stream mid-way or at its
+// beginning; additionally, for a source switch, the first Qs segments of
+// the new source and completed playback of the old one (the latter is
+// implied by sessionIdx having advanced).
+func (s *Sim) tryStart(n *nodeState, sessions []segment.Session, cur segment.Session) bool {
+	if n.sessionIdx > 0 && n.anchor == cur.Begin {
+		// Starting a successor session: need its first Qs segments.
+		need := s.cfg.Qs
+		if !cur.Open() && cur.Len() < need {
+			need = cur.Len()
+		}
+		if n.buf.ConsecutiveFrom(cur.Begin) < need {
+			return false
+		}
+	} else if n.buf.ConsecutiveFrom(n.anchor) < s.cfg.Q {
+		return false
+	}
+	n.playActive = true
+	n.playhead = n.anchor
+	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx && n.startS2Tick == unset {
+		n.startS2Tick = s.tick
+	}
+	return true
+}
+
+// finishSession transitions a node that played its session to the end.
+func (s *Sim) finishSession(n *nodeState, cur segment.Session) {
+	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx-1 && n.finishS1Tick == unset {
+		n.finishS1Tick = s.tick
+	}
+	n.playActive = false
+	n.sessionIdx++
+	n.anchor = cur.End + 1
+	n.playhead = n.anchor
+}
+
+// applyChurn removes LeaveFraction of the alive non-source nodes and adds
+// JoinFraction fresh nodes, wired through the membership directory.
+func (s *Sim) applyChurn() {
+	alive := s.dir.AliveCount()
+	leaves := int(s.cfg.Churn.LeaveFraction * float64(alive))
+	for i := 0; i < leaves; i++ {
+		victim := s.dir.RandomAlive(s.oldSource, s.newSource)
+		if victim < 0 {
+			break
+		}
+		if s.nodes[victim].isSource || !s.nodes[victim].alive {
+			continue
+		}
+		s.nodes[victim].alive = false
+		s.dir.Leave(victim)
+	}
+	joins := int(s.cfg.Churn.JoinFraction * float64(alive))
+	for i := 0; i < joins; i++ {
+		id, neighbors := s.dir.Join()
+		prof := bandwidth.Profile{In: bandwidth.DrawRate(s.churnRNG), Out: bandwidth.DrawRate(s.churnRNG)}
+		n := newNodeState(id, prof, s.cfg.BufferCap, s.tick)
+		// "A new joining node ... starts its media playback by following
+		// its neighbors' current steps" (Section 5.4).
+		anchor := segment.ID(0)
+		for _, v := range neighbors {
+			if lo := s.windowLo(s.nodes[v]); lo > anchor {
+				anchor = lo
+			}
+		}
+		n.anchor = anchor
+		n.playhead = anchor
+		if ses, ok := s.tl.SessionOf(anchor); ok {
+			for idx, sv := range s.tl.Sessions() {
+				if sv.Begin == ses.Begin {
+					n.sessionIdx = idx
+					n.known = idx + 1
+					break
+				}
+			}
+		}
+		s.nodes = append(s.nodes, n)
+		s.incoming = append(s.incoming, nil)
+	}
+}
+
+// cohortComplete reports whether every surviving cohort member has both
+// finished S1 and prepared S2.
+func (s *Sim) cohortComplete() bool {
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if !n.alive {
+			continue
+		}
+		if n.finishS1Tick == unset || n.prepareS2Tick == unset {
+			return false
+		}
+	}
+	return true
+}
+
+// recordTick appends the tick's aggregate ratio points and accumulates
+// nothing else (bit counters are updated inline).
+func (s *Sim) recordTick() {
+	if !s.cfg.TrackRatios {
+		return
+	}
+	var q1Sum, q0Sum, d2Sum, qsSum int
+	qs := segment.ID(s.cfg.Qs)
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if !n.alive || n.q0 == unset {
+			continue
+		}
+		q0Sum += n.q0
+		if n.q0 > 0 {
+			lo := s.windowLo(n)
+			if lo > s.s1End {
+				// Finished or moved past S1 — nothing undelivered remains.
+			} else {
+				q1 := n.undeliveredIn(lo, s.s1End)
+				if q1 > n.q0 {
+					q1 = n.q0
+				}
+				q1Sum += q1
+			}
+		}
+		q2 := n.undeliveredIn(s.s2Begin, s.s2Begin+qs-1)
+		d2Sum += s.cfg.Qs - q2
+		qsSum += s.cfg.Qs
+	}
+	t := s.timeSince(s.tick)
+	if q0Sum > 0 {
+		s.res.UndeliveredS1.Append(t, float64(q1Sum)/float64(q0Sum))
+	}
+	if qsSum > 0 {
+		s.res.DeliveredS2.Append(t, float64(d2Sum)/float64(qsSum))
+	}
+}
+
+// timeSince converts an event tick into seconds after the switch: events
+// land at the end of their period.
+func (s *Sim) timeSince(tick int) float64 {
+	return float64(tick-s.switchTick+1) * s.cfg.Tau
+}
+
+// finalize assembles the Result from per-node event ticks.
+func (s *Sim) finalize(hitHorizon bool) {
+	r := s.res
+	r.HitHorizon = hitHorizon
+	r.MeasuredTicks = s.tick - s.switchTick
+	r.ControlBits = s.controlBits
+	r.DataBits = s.dataBits
+	var played, stalled int64
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if n.finishS1Tick != unset {
+			r.FinishS1Times = append(r.FinishS1Times, s.timeSince(n.finishS1Tick))
+		} else if n.alive {
+			r.UnfinishedS1++
+		}
+		if n.prepareS2Tick != unset {
+			r.PrepareS2Times = append(r.PrepareS2Times, s.timeSince(n.prepareS2Tick))
+		} else if n.alive {
+			r.UnpreparedS2++
+		}
+		if n.startS2Tick != unset {
+			r.StartS2Times = append(r.StartS2Times, s.timeSince(n.startS2Tick))
+		}
+		played += int64(n.played)
+		stalled += int64(n.stalled)
+	}
+	r.PlayedSegments = played
+	r.StalledSlots = stalled
+}

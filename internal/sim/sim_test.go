@@ -1,0 +1,488 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/overlay"
+)
+
+func quickConfig(g *overlay.Graph, factory AlgorithmFactory) Config {
+	return Config{
+		Graph:           g,
+		Seed:            11,
+		NewAlgorithm:    factory,
+		WarmupTicks:     30,
+		JoinSpreadTicks: 15,
+		HorizonTicks:    200,
+		FirstSource:     -1,
+		NewSource:       -1,
+		SharedOutbound:  true,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{}).Defaulted().Validate(); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := testTopology(t, 50, 1)
+	bad := quickConfig(g, Fast)
+	bad.Profiles = make([]bandwidth.Profile, 3)
+	if err := bad.Defaulted().Validate(); err == nil {
+		t.Error("profile count mismatch accepted")
+	}
+	bad = quickConfig(g, Fast)
+	bad.FirstSource = 1000
+	if err := bad.Defaulted().Validate(); err == nil {
+		t.Error("out-of-range FirstSource accepted")
+	}
+	bad = quickConfig(g, Fast)
+	bad.Churn = &ChurnConfig{LeaveFraction: 1.5}
+	if err := bad.Defaulted().Validate(); err == nil {
+		t.Error("bad churn fraction accepted")
+	}
+	tiny := Config{Graph: overlay.New(1)}
+	if err := tiny.Defaulted().Validate(); err == nil {
+		t.Error("single-node graph accepted")
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c := Config{}.Defaulted()
+	if c.Tau != 1.0 || c.P != 10 || c.Q != 10 || c.Qs != 50 || c.BufferCap != 600 {
+		t.Errorf("defaults diverge from Section 5.1: %+v", c)
+	}
+}
+
+func TestRunCompletesAndMeasures(t *testing.T) {
+	g := testTopology(t, 200, 3)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cohort < 190 {
+		t.Errorf("cohort = %d, want ~198", res.Cohort)
+	}
+	if res.UnpreparedS2 > 0 || res.UnfinishedS1 > 0 {
+		t.Errorf("incomplete nodes: %d unfinished, %d unprepared", res.UnfinishedS1, res.UnpreparedS2)
+	}
+	if res.AvgPrepareS2() <= 0 || math.IsNaN(res.AvgPrepareS2()) {
+		t.Errorf("prepare time = %v", res.AvgPrepareS2())
+	}
+	if res.AvgFinishS1() <= 0 || math.IsNaN(res.AvgFinishS1()) {
+		t.Errorf("finish time = %v", res.AvgFinishS1())
+	}
+	if res.DataBits == 0 || res.ControlBits == 0 {
+		t.Error("communication accounting empty")
+	}
+	if res.Overhead() <= 0 || res.Overhead() > 0.2 {
+		t.Errorf("overhead = %v, implausible", res.Overhead())
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	g := testTopology(t, 60, 4)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		g := testTopology(t, 150, 9)
+		s, err := New(quickConfig(g, Fast))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.AvgPrepareS2() != b.AvgPrepareS2() || a.AvgFinishS1() != b.AvgFinishS1() {
+		t.Errorf("identical seeds diverged: %v vs %v", a, b)
+	}
+	if a.DataBits != b.DataBits || a.ControlBits != b.ControlBits {
+		t.Error("bit accounting diverged across identical seeds")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	g1 := testTopology(t, 150, 9)
+	c1 := quickConfig(g1, Fast)
+	s1, _ := New(c1)
+	r1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := testTopology(t, 150, 9)
+	c2 := quickConfig(g2, Fast)
+	c2.Seed = 999
+	s2, _ := New(c2)
+	r2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.AvgPrepareS2() == r2.AvgPrepareS2() && r1.DataBits == r2.DataBits {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// invariantSim runs a simulation tick by tick, checking conservation
+// invariants after every step.
+func TestTickInvariants(t *testing.T) {
+	g := testTopology(t, 120, 5)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.cfg.WarmupTicks + 40
+	for s.tick = 0; s.tick < total; s.tick++ {
+		if s.tick == s.cfg.WarmupTicks {
+			s.performSwitch()
+			s.measuring = true
+		}
+		prevPlayheads := make(map[overlay.NodeID]int64)
+		for _, n := range s.nodes {
+			prevPlayheads[n.id] = int64(n.playhead)
+		}
+		s.step()
+		perTick := int(s.cfg.P * s.cfg.Tau)
+		seen := map[[2]int64]bool{}
+		perNode := map[overlay.NodeID]int{}
+		for _, d := range s.delivered {
+			key := [2]int64{int64(d.to), int64(d.seg)}
+			if seen[key] {
+				t.Fatalf("tick %d: duplicate delivery %v", s.tick, key)
+			}
+			seen[key] = true
+			perNode[d.to]++
+		}
+		for id, got := range perNode {
+			n := s.nodes[id]
+			// Inbound cap: rate·τ plus one carry segment.
+			if float64(got) > n.profile.In*s.cfg.Tau+1 {
+				t.Fatalf("tick %d: node %d received %d > inbound %v", s.tick, id, got, n.profile.In)
+			}
+		}
+		for _, n := range s.nodes {
+			if !n.alive {
+				continue
+			}
+			adv := int64(n.playhead) - prevPlayheads[n.id]
+			if adv < 0 && n.playActive {
+				t.Fatalf("tick %d: node %d playhead moved backwards", s.tick, n.id)
+			}
+			if adv > int64(perTick) && prevPlayheads[n.id] > 0 {
+				t.Fatalf("tick %d: node %d played %d > p segments", s.tick, n.id, adv)
+			}
+			// A playing node must hold every segment it has played up to
+			// the buffer horizon.
+			if n.playActive && n.playhead > n.anchor && !n.buf.Has(n.playhead-1) {
+				t.Fatalf("tick %d: node %d played a segment it does not hold", s.tick, n.id)
+			}
+		}
+	}
+}
+
+func TestPrepareImpliesConsecutiveQs(t *testing.T) {
+	g := testTopology(t, 150, 6)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if n.prepareS2Tick != unset && n.alive {
+			if got := n.buf.ConsecutiveFrom(s.s2Begin); got < s.cfg.Qs {
+				t.Fatalf("node %d prepared with only %d consecutive S2 segments", id, got)
+			}
+		}
+	}
+}
+
+func TestFinishImpliesFullS1Playback(t *testing.T) {
+	g := testTopology(t, 150, 6)
+	s, err := New(quickConfig(g, Normal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if n.finishS1Tick != unset && n.playhead <= s.s1End {
+			t.Fatalf("node %d marked finished with playhead %d <= s1End %d", id, n.playhead, s.s1End)
+		}
+	}
+}
+
+func TestStartS2RequiresBothConditions(t *testing.T) {
+	g := testTopology(t, 150, 6)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if n.startS2Tick == unset {
+			continue
+		}
+		if n.finishS1Tick == unset || n.startS2Tick < n.finishS1Tick {
+			t.Fatalf("node %d started S2 at %d before finishing S1 (%d)", id, n.startS2Tick, n.finishS1Tick)
+		}
+		if n.prepareS2Tick == unset || n.startS2Tick < n.prepareS2Tick {
+			t.Fatalf("node %d started S2 at %d before preparing (%d)", id, n.startS2Tick, n.prepareS2Tick)
+		}
+	}
+}
+
+func TestOverheadMatchesWireArithmetic(t *testing.T) {
+	// Control bits must be an exact multiple of the 620-bit map and data
+	// bits of the 30 kb segment (Section 5.3).
+	g := testTopology(t, 100, 7)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControlBits%620 != 0 {
+		t.Errorf("control bits %d not a multiple of 620", res.ControlBits)
+	}
+	if res.DataBits%(30*1024) != 0 {
+		t.Errorf("data bits %d not a multiple of 30 kb", res.DataBits)
+	}
+}
+
+func TestTrackRatiosSeries(t *testing.T) {
+	g := testTopology(t, 150, 8)
+	cfg := quickConfig(g, Normal)
+	cfg.TrackRatios = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, d := res.UndeliveredS1, res.DeliveredS2
+	if u == nil || d == nil || u.Len() == 0 || d.Len() == 0 {
+		t.Fatal("ratio series missing")
+	}
+	// The undelivered ratio starts at 1 and ends at 0; delivered starts at
+	// 0 and ends at 1 (Figure 5's envelope).
+	if _, y := u.At(0); y < 0.9 {
+		t.Errorf("undelivered ratio starts at %v, want ≈1", y)
+	}
+	if _, y := u.At(u.Len() - 1); y > 0.05 {
+		t.Errorf("undelivered ratio ends at %v, want ≈0", y)
+	}
+	if _, y := d.At(0); y > 0.3 {
+		t.Errorf("delivered ratio starts at %v, want ≈0", y)
+	}
+	if _, y := d.At(d.Len() - 1); y < 0.95 {
+		t.Errorf("delivered ratio ends at %v, want ≈1", y)
+	}
+	// Monotone directions (within small tolerance for churnless runs).
+	for i := 1; i < u.Len(); i++ {
+		if u.Y[i] > u.Y[i-1]+1e-9 {
+			t.Fatal("undelivered ratio increased")
+		}
+		if d.Y[i] < d.Y[i-1]-1e-9 {
+			t.Fatal("delivered ratio decreased")
+		}
+	}
+}
+
+func TestDynamicEnvironmentRuns(t *testing.T) {
+	g := testTopology(t, 200, 10)
+	cfg := quickConfig(g, Fast)
+	cfg.Churn = &ChurnConfig{LeaveFraction: 0.05, JoinFraction: 0.05}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cohort == 0 {
+		t.Fatal("empty cohort under churn")
+	}
+	// At 5% departures per period most of the cohort leaves before the
+	// switch completes; what matters is that the survivors are not
+	// wedged: (nearly) every cohort node still alive at the end prepared.
+	if res.UnpreparedS2 > res.Cohort/20 {
+		t.Errorf("%d surviving cohort nodes never prepared (cohort %d)", res.UnpreparedS2, res.Cohort)
+	}
+	if len(res.PrepareS2Times) == 0 {
+		t.Error("nobody prepared under churn")
+	}
+}
+
+func TestPerLinkModeRuns(t *testing.T) {
+	g := testTopology(t, 150, 12)
+	cfg := quickConfig(g, Fast)
+	cfg.SharedOutbound = false
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnpreparedS2 > 0 {
+		t.Errorf("%d unprepared in per-link mode", res.UnpreparedS2)
+	}
+}
+
+func TestPrefetchAblationDegradesThroughput(t *testing.T) {
+	// Without the random prefetch the mesh degenerates toward an in-order
+	// pipeline during streaming: delivery falls behind, so the undelivered
+	// backlog at the switch is larger and S1 takes visibly longer to
+	// finish (the substrate ablation's point).
+	run := func(disable bool) float64 {
+		g := testTopology(t, 150, 13)
+		cfg := quickConfig(g, Fast)
+		cfg.DisablePrefetch = disable
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgFinishS1()
+	}
+	with := run(false)
+	without := run(true)
+	if !(without > with) {
+		t.Errorf("finish time with prefetch off (%v) not above prefetch on (%v)", without, with)
+	}
+}
+
+func TestPinnedSources(t *testing.T) {
+	g := testTopology(t, 100, 14)
+	cfg := quickConfig(g, Fast)
+	cfg.FirstSource = 3
+	cfg.NewSource = 7
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.oldSource != 3 || s.newSource != 7 {
+		t.Errorf("sources = (%d, %d), want (3, 7)", s.oldSource, s.newSource)
+	}
+	if !s.nodes[7].isSource || s.nodes[7].profile.In != 0 {
+		t.Error("new source not promoted")
+	}
+}
+
+func TestSourcesExcludedFromCohort(t *testing.T) {
+	g := testTopology(t, 100, 15)
+	cfg := quickConfig(g, Fast)
+	cfg.FirstSource = 3
+	cfg.NewSource = 7
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range s.cohort {
+		if id == 3 || id == 7 {
+			t.Fatalf("source %d in cohort", id)
+		}
+	}
+}
+
+func TestContinuityAccounting(t *testing.T) {
+	g := testTopology(t, 150, 6)
+	s, err := New(quickConfig(g, Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlayedSegments == 0 {
+		t.Fatal("no playback recorded in the measurement window")
+	}
+	c := res.Continuity()
+	if c <= 0 || c > 1 {
+		t.Fatalf("continuity = %v, outside (0,1]", c)
+	}
+	// During a switch some stalling is expected (nodes drain backlogs and
+	// wait for S2), but the system must not be mostly stalled.
+	if c < 0.5 {
+		t.Errorf("continuity %v implausibly low", c)
+	}
+	// Zero-window result reports perfect continuity by convention.
+	empty := &Result{}
+	if empty.Continuity() != 1 {
+		t.Error("empty result continuity must be 1")
+	}
+}
+
+func TestFastBeatsNormalOnPreparingTime(t *testing.T) {
+	// The headline reproduction at test scale: averaged over topologies,
+	// the fast algorithm prepares S2 sooner than the normal algorithm.
+	var fastSum, normalSum float64
+	const runs = 3
+	for r := 0; r < runs; r++ {
+		for _, alg := range []struct {
+			factory AlgorithmFactory
+			sum     *float64
+		}{{Fast, &fastSum}, {Normal, &normalSum}} {
+			g := testTopology(t, 250, int64(20+r))
+			cfg := quickConfig(g, alg.factory)
+			cfg.Seed = int64(100 + r)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			*alg.sum += res.AvgPrepareS2()
+		}
+	}
+	if fastSum >= normalSum {
+		t.Errorf("fast total prepare %.2f not below normal %.2f", fastSum, normalSum)
+	}
+	t.Logf("prepare time over %d runs: fast=%.2f normal=%.2f reduction=%.1f%%",
+		runs, fastSum/runs, normalSum/runs, (normalSum-fastSum)/normalSum*100)
+}

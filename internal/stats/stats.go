@@ -1,0 +1,209 @@
+// Package stats provides the small numeric helpers the metrics and
+// experiment layers aggregate with: means, quantiles, dispersion, and
+// simple series utilities. Everything is deterministic and allocation-
+// conscious; no external dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of the values.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the smallest value, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance, or NaN for an empty slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the q-th percentile (q in [0,100]) using linear
+// interpolation between order statistics. It copies and sorts its input.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the usual aggregate descriptors of one sample.
+type Summary struct {
+	N             int
+	Mean, StdDev  float64
+	Min, Max      float64
+	Median        float64
+	P90, P95, P99 float64
+}
+
+// Summarize computes a Summary; empty input yields NaN fields and N=0.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+		P90:    Percentile(xs, 90),
+		P95:    Percentile(xs, 95),
+		P99:    Percentile(xs, 99),
+	}
+}
+
+// String implements fmt.Stringer with a compact one-line rendering.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P90, s.Max)
+}
+
+// ConfidenceInterval95 returns the half-width of the normal-approximation
+// 95% confidence interval of the mean (1.96·sd/√n), or NaN when n < 2.
+func ConfidenceInterval95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	// Sample (not population) standard deviation for the CI.
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	sd := math.Sqrt(s / float64(len(xs)-1))
+	return 1.96 * sd / math.Sqrt(float64(len(xs)))
+}
+
+// ReductionRatio returns (base - improved) / base — the paper's headline
+// metric ("reduction ratio of average source switch time"). It is NaN when
+// base is zero or negative.
+func ReductionRatio(base, improved float64) float64 {
+	if base <= 0 {
+		return math.NaN()
+	}
+	return (base - improved) / base
+}
+
+// Series is an ordered sequence of (x, y) points, used for the figure
+// time-series (ratio tracks) and size sweeps.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.X) }
+
+// At returns the i-th point.
+func (s *Series) At(i int) (x, y float64) { return s.X[i], s.Y[i] }
+
+// YAt returns the y value at the first x >= target, or the last y when the
+// series ends earlier. Series must be x-sorted.
+func (s *Series) YAt(target float64) float64 {
+	for i, x := range s.X {
+		if x >= target {
+			return s.Y[i]
+		}
+	}
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// CrossingTime returns the first x at which y passes threshold in the
+// given direction (rising: y >= th; falling: y <= th), or NaN.
+func (s *Series) CrossingTime(th float64, rising bool) float64 {
+	for i := range s.X {
+		if rising && s.Y[i] >= th {
+			return s.X[i]
+		}
+		if !rising && s.Y[i] <= th {
+			return s.X[i]
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanSumMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if !almost(Mean(xs), 2.8) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almost(Sum(xs), 14) {
+		t.Errorf("Sum = %v", Sum(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty-slice aggregates must be NaN")
+	}
+	if Sum(nil) != 0 {
+		t.Error("empty Sum must be 0")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Variance(xs), 4) {
+		t.Errorf("Variance = %v, want 4", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {75, 32.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); !almost(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile must be NaN")
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(101) did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Median, 3) || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	if !math.IsNaN(ConfidenceInterval95([]float64{1})) {
+		t.Error("CI of single sample must be NaN")
+	}
+	ci := ConfidenceInterval95([]float64{10, 10, 10, 10})
+	if !almost(ci, 0) {
+		t.Errorf("CI of constant sample = %v, want 0", ci)
+	}
+	ci = ConfidenceInterval95([]float64{0, 10})
+	want := 1.96 * math.Sqrt(50) / math.Sqrt(2)
+	if !almost(ci, want) {
+		t.Errorf("CI = %v, want %v", ci, want)
+	}
+}
+
+func TestReductionRatio(t *testing.T) {
+	// The paper's headline arithmetic: normal 24 s → fast 18 s = 25 %.
+	if got := ReductionRatio(24, 18); !almost(got, 0.25) {
+		t.Errorf("reduction = %v, want 0.25", got)
+	}
+	if !math.IsNaN(ReductionRatio(0, 5)) {
+		t.Error("zero baseline must yield NaN")
+	}
+	if got := ReductionRatio(10, 12); !almost(got, -0.2) {
+		t.Errorf("regression case = %v, want -0.2", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Label: "x"}
+	for i := 1; i <= 5; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if s.Len() != 5 {
+		t.Fatal("Len wrong")
+	}
+	if x, y := s.At(2); x != 3 || y != 9 {
+		t.Errorf("At(2) = (%v, %v)", x, y)
+	}
+	if got := s.YAt(3.5); got != 16 {
+		t.Errorf("YAt(3.5) = %v, want 16 (first x >= 3.5)", got)
+	}
+	if got := s.YAt(99); got != 25 {
+		t.Errorf("YAt past end = %v, want last y", got)
+	}
+	if got := (&Series{}).YAt(1); !math.IsNaN(got) {
+		t.Error("YAt on empty series must be NaN")
+	}
+}
+
+func TestSeriesCrossingTime(t *testing.T) {
+	s := &Series{}
+	ys := []float64{1.0, 0.8, 0.5, 0.2, 0.0}
+	for i, y := range ys {
+		s.Append(float64(i), y)
+	}
+	if got := s.CrossingTime(0.5, false); got != 2 {
+		t.Errorf("falling crossing = %v, want 2", got)
+	}
+	up := &Series{}
+	for i, y := range []float64{0, 0.4, 0.9, 1} {
+		up.Append(float64(i), y)
+	}
+	if got := up.CrossingTime(0.9, true); got != 2 {
+		t.Errorf("rising crossing = %v, want 2", got)
+	}
+	if got := up.CrossingTime(2, true); !math.IsNaN(got) {
+		t.Error("unreachable threshold must be NaN")
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []int16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		q := float64(qRaw) / 255 * 100
+		p := Percentile(xs, q)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return p >= sorted[0] && p <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	tr := Synthesize("test", 500, 1, 42)
+	if tr.N() != 500 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	for i, n := range tr.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %d has id %d (ids must be dense)", i, n.ID)
+		}
+		if n.PingMS <= 0 || n.SpeedKbs <= 0 || n.Port < 6346 {
+			t.Fatalf("implausible record: %+v", n)
+		}
+	}
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crawl-like: low average degree, well under the M=5 the augmentation
+	// later enforces.
+	if avg := g.AvgDegree(); avg < 0.5 || avg > 5 {
+		t.Errorf("average degree %v outside crawl-like range", avg)
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	a := Synthesize("d", 200, 1, 7)
+	b := Synthesize("d", 200, 1, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("edges differ across identical seeds")
+		}
+	}
+	if a.Nodes[10] != b.Nodes[10] {
+		t.Fatal("node records differ across identical seeds")
+	}
+	c := Synthesize("d", 200, 1, 8)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	tr := Synthesize("roundtrip", 150, 2, 99)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || back.N() != tr.N() || len(back.Edges) != len(tr.Edges) {
+		t.Fatalf("round trip mismatch: %s/%d/%d vs %s/%d/%d",
+			back.Name, back.N(), len(back.Edges), tr.Name, tr.N(), len(tr.Edges))
+	}
+	for i := range tr.Nodes {
+		if back.Nodes[i] != tr.Nodes[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, back.Nodes[i], tr.Nodes[i])
+		}
+	}
+	for i := range tr.Edges {
+		if back.Edges[i] != tr.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"unknown record": "X 1 2\n",
+		"short node":     "N 1 1.2.3.4\n",
+		"bad id":         "N x 1.2.3.4 host 6346 20 56\n",
+		"bad port":       "N 0 1.2.3.4 host x 20 56\n",
+		"bad ping":       "N 0 1.2.3.4 host 6346 x 56\n",
+		"bad speed":      "N 0 1.2.3.4 host 6346 20 x\n",
+		"bad edge":       "N 0 1.2.3.4 host 6346 20 56\nE a 0\n",
+		"short edge":     "N 0 1.2.3.4 host 6346 20 56\nE 0\n",
+		"bad T":          "T\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nT demo\nN 0 1.2.3.4 h 6346 20 56\nN 1 1.2.3.5 h 6347 30 128\n\nE 0 1\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || tr.N() != 2 || len(tr.Edges) != 1 {
+		t.Fatalf("parsed %s/%d/%d", tr.Name, tr.N(), len(tr.Edges))
+	}
+}
+
+func TestGraphRejectsBadTraces(t *testing.T) {
+	tr := &Trace{Name: "bad", Nodes: []Node{{ID: 5}}}
+	if _, err := tr.Graph(); err == nil {
+		t.Error("non-dense ids accepted")
+	}
+	tr = &Trace{Name: "bad", Nodes: []Node{{ID: 0}}, Edges: [][2]int{{0, 3}}}
+	if _, err := tr.Graph(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestFamilySizes(t *testing.T) {
+	sizes := FamilySizes()
+	if len(sizes) != 30 {
+		t.Fatalf("family has %d sizes, want 30 (the paper's trace count)", len(sizes))
+	}
+	must := map[int]bool{100: false, 500: false, 1000: false, 2000: false, 4000: false, 8000: false, 10000: false}
+	prev := 0
+	for _, s := range sizes {
+		if s < 100 || s > 10000 {
+			t.Errorf("size %d outside the paper's 100..10000 range", s)
+		}
+		if s <= prev {
+			t.Error("sizes not strictly ascending")
+		}
+		prev = s
+		if _, ok := must[s]; ok {
+			must[s] = true
+		}
+	}
+	for s, seen := range must {
+		if !seen {
+			t.Errorf("evaluation size %d missing from family", s)
+		}
+	}
+}
+
+func TestFamily(t *testing.T) {
+	fam := Family(1)
+	if len(fam) != 30 {
+		t.Fatalf("family has %d traces", len(fam))
+	}
+	for _, tr := range fam[:5] {
+		if _, err := tr.Graph(); err != nil {
+			t.Errorf("trace %s: %v", tr.Name, err)
+		}
+	}
+}
+
+func BenchmarkSynthesize1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Synthesize("bench", 1000, 1, int64(i))
+	}
+}
