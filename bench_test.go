@@ -14,6 +14,8 @@
 package gossipstream_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"gossipstream/internal/experiment"
@@ -275,10 +277,32 @@ func BenchmarkAblationSubstrate(b *testing.B) {
 
 // BenchmarkSimulationTick measures raw simulator throughput: one full
 // scheduling period of a 1000-node system (all phases: maps, planning,
-// contention, transfers, playback).
+// contention, transfers, playback) on the serial engine.
 func BenchmarkSimulationTick(b *testing.B) {
+	benchTicks(b, 1000, 1)
+}
+
+// BenchmarkEngineParallel contrasts the serial engine (workers=1) with
+// the parallel engine (workers=GOMAXPROCS) at two scales. The engine's
+// determinism contract makes the runs bit-identical — only wall-clock
+// differs — so ns/op across the workers variants IS the speedup
+// measurement. BENCH_engine.json snapshots one run.
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				benchTicks(b, n, workers)
+			})
+		}
+	}
+}
+
+// benchTicks times b.N warm-up scheduling periods of an n-node system at
+// the given engine concurrency.
+func benchTicks(b *testing.B, n, workers int) {
+	b.Helper()
 	w := experiment.Paper()
-	g, err := w.Topology(1000, 0)
+	g, err := w.Topology(n, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -286,6 +310,7 @@ func BenchmarkSimulationTick(b *testing.B) {
 		Graph: g, Seed: 1, NewAlgorithm: sim.Fast,
 		FirstSource: -1, NewSource: -1, SharedOutbound: true,
 		WarmupTicks: b.N, HorizonTicks: 1, JoinSpreadTicks: 10,
+		Workers: workers,
 	}
 	s, err := sim.New(cfg)
 	if err != nil {

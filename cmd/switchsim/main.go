@@ -34,6 +34,8 @@ func main() {
 		churn   = flag.Bool("churn", false, "dynamic environment: 5% leave/join per period")
 		perLink = flag.Bool("perlink", false, "per-link outbound capacity instead of shared")
 		ratios  = flag.Bool("ratios", false, "track and draw the Figure 5/9 ratio curves")
+		workers = flag.Int("workers", 0, "engine workers (0/1 = serial engine, <0 = GOMAXPROCS); results are identical at any setting")
+		timings = flag.Bool("timings", false, "print the per-phase wall-clock breakdown")
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 			NewSource:       -1,
 			SharedOutbound:  !*perLink,
 			TrackRatios:     *ratios,
+			Workers:         *workers,
 		}
 		if *churn {
 			cfg.Churn = &sim.ChurnConfig{LeaveFraction: 0.05, JoinFraction: 0.05}
@@ -64,7 +67,17 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return s.Run()
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		if *timings {
+			fmt.Printf("  phase timings (%d workers):\n", s.Workers())
+			for _, t := range s.PhaseTimings() {
+				fmt.Printf("    %-10s %12v\n", t.Name, t.Total)
+			}
+		}
+		return res, nil
 	}
 
 	factories := map[string]sim.AlgorithmFactory{}

@@ -1,0 +1,3 @@
+module gossipstream
+
+go 1.24

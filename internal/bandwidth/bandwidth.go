@@ -53,10 +53,10 @@ func SourceProfile(outFactor float64) Profile {
 // 10 + 5·(1-e^(-23/5)) ≈ 14.95.
 func DrawRate(rng *rand.Rand) float64 {
 	const tailMean = MeanRate - MinRate
-	const cap = MaxRate - MinRate
+	const tailCap = MaxRate - MinRate
 	x := rng.ExpFloat64() * tailMean
-	if x > cap {
-		x = cap
+	if x > tailCap {
+		x = tailCap
 	}
 	return MinRate + math.Floor(x) // integer segment rates, as in the paper
 }
@@ -122,6 +122,17 @@ func (b *Budget) Take(n int) bool {
 	}
 	b.tokens -= float64(n)
 	return true
+}
+
+// Refund returns n previously taken segments to the budget (a tentative
+// grant that did not commit). Refunding more than was taken this period
+// is a programming error the type cannot detect cheaply; callers pair
+// every Refund with an earlier successful Take.
+func (b *Budget) Refund(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bandwidth: Refund(%d)", n))
+	}
+	b.tokens += float64(n)
 }
 
 // BitsForSegments converts a segment count to payload bits (30 kb = 30·1024

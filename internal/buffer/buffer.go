@@ -162,26 +162,26 @@ func (b *Buffer) Newest() segment.ID {
 // Insertion order usually tracks id order, but pull scheduling fills holes
 // out of order, so this is a scan over the FIFO contents.
 func (b *Buffer) MinID() segment.ID {
-	min := segment.None
+	lowest := segment.None
 	for i := 0; i < b.size; i++ {
 		id := b.ring[(b.head+i)%b.capacity]
-		if min == segment.None || id < min {
-			min = id
+		if lowest == segment.None || id < lowest {
+			lowest = id
 		}
 	}
-	return min
+	return lowest
 }
 
 // MaxID returns the largest segment id held, or segment.None when empty.
 func (b *Buffer) MaxID() segment.ID {
-	max := segment.None
+	highest := segment.None
 	for i := 0; i < b.size; i++ {
 		id := b.ring[(b.head+i)%b.capacity]
-		if id > max {
-			max = id
+		if id > highest {
+			highest = id
 		}
 	}
-	return max
+	return highest
 }
 
 // Contents returns the held ids in FIFO order (oldest first). The slice is

@@ -496,10 +496,3 @@ func mergeByPriority(dst []Request, o1, o2 []Request) []Request {
 	}
 	return dst
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

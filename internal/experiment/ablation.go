@@ -7,6 +7,7 @@ import (
 	"gossipstream/internal/core"
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/sim"
+	"gossipstream/internal/sim/engine"
 	"gossipstream/internal/stats"
 )
 
@@ -34,30 +35,47 @@ type NamedFactory struct {
 	Factory sim.AlgorithmFactory
 }
 
-// Run executes every variant over the workload's replicas at size N.
+// Run executes every variant over the workload's replicas at size N,
+// fanning the (variant, replica) trials out over the engine pool with
+// per-trial seeds.
 func (a Ablation) Run() ([]AblationRow, error) {
 	w := a.Workload
 	w.Sizes = []int{a.N}
+	reps := w.SeedsPerSize
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	outcomes := make([]outcome, len(a.Variants)*reps)
+	engine.NewPool(w.Workers).Run(len(outcomes), func(_, i int) {
+		v := a.Variants[i/reps]
+		r := i % reps
+		g, err := w.Topology(a.N, r)
+		if err != nil {
+			outcomes[i] = outcome{err: err}
+			return
+		}
+		runSeed := w.BaseSeed ^ int64(a.N)<<20 ^ int64(r)<<8
+		s, err := sim.New(w.simConfig(g, runSeed, v.Factory))
+		if err != nil {
+			outcomes[i] = outcome{err: err}
+			return
+		}
+		res, err := s.Run()
+		outcomes[i] = outcome{res: res, err: err}
+	})
+
 	rows := make([]AblationRow, 0, len(a.Variants))
 	var baseline float64
-	for _, v := range a.Variants {
+	for vi, v := range a.Variants {
 		var preps, fins []float64
-		for r := 0; r < w.SeedsPerSize; r++ {
-			g, err := w.Topology(a.N, r)
-			if err != nil {
-				return nil, err
+		for r := 0; r < reps; r++ {
+			o := outcomes[vi*reps+r]
+			if o.err != nil {
+				return nil, o.err
 			}
-			runSeed := w.BaseSeed ^ int64(a.N)<<20 ^ int64(r)<<8
-			s, err := sim.New(w.simConfig(g, runSeed, v.Factory))
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			preps = append(preps, res.AvgPrepareS2())
-			fins = append(fins, res.AvgFinishS1())
+			preps = append(preps, o.res.AvgPrepareS2())
+			fins = append(fins, o.res.AvgFinishS1())
 		}
 		row := AblationRow{
 			Name:      v.Name,

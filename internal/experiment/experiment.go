@@ -5,19 +5,22 @@
 // plus the ablation sweeps DESIGN.md calls out.
 //
 // A sweep is an embarrassingly parallel bag of simulation runs; the runner
-// fans them out over a bounded worker pool of goroutines while keeping
-// every run individually deterministic (topology seed + run seed).
+// fans them out over the same engine worker pool the simulator's phases
+// run on (internal/sim/engine), one trial per shard, while keeping every
+// run individually deterministic (topology seed + run seed). Nested
+// parallelism is available too: SimWorkers > 1 additionally parallelizes
+// the phases inside each trial — useful when a few huge trials cannot
+// saturate the machine by trial fan-out alone.
 package experiment
 
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/sim"
+	"gossipstream/internal/sim/engine"
 	"gossipstream/internal/trace"
 )
 
@@ -53,8 +56,14 @@ type Workload struct {
 	// ratio-track experiments need it).
 	TrackRatios bool
 
-	// Workers bounds the goroutine pool (default: GOMAXPROCS).
+	// Workers bounds the trial fan-out pool (default: GOMAXPROCS).
 	Workers int
+
+	// SimWorkers sets the engine concurrency *inside* each simulation
+	// (sim.Config.Workers): 0 runs every trial on the serial engine,
+	// negative selects GOMAXPROCS per trial. Results are identical at any
+	// setting; only wall-clock changes.
+	SimWorkers int
 
 	// FastFactory and NormalFactory build the two compared schedulers.
 	// Overridden by the ablation experiments; nil means the paper's pair.
@@ -126,6 +135,7 @@ func (w Workload) simConfig(g *overlay.Graph, runSeed int64, algo sim.AlgorithmF
 		DisablePrefetch: w.DisablePrefetch,
 		Qs:              w.qsOverride,
 		TrackRatios:     w.TrackRatios,
+		Workers:         w.SimWorkers,
 	}
 	if w.Churn {
 		cfg.Churn = &sim.ChurnConfig{LeaveFraction: 0.05, JoinFraction: 0.05}
@@ -140,7 +150,9 @@ type job struct {
 }
 
 // Sweep runs both algorithms over every (size, replica) cell and returns
-// the paired samples, ordered by size then replica.
+// the paired samples, ordered by size then replica. Trials fan out over
+// the engine pool — one trial per shard, each writing its own result
+// slot, so no lock guards the fan-out.
 func (w Workload) Sweep() ([]metrics.PairSample, error) {
 	if w.FastFactory == nil {
 		w.FastFactory = sim.Fast
@@ -148,12 +160,7 @@ func (w Workload) Sweep() ([]metrics.PairSample, error) {
 	if w.NormalFactory == nil {
 		w.NormalFactory = sim.Normal
 	}
-	type cell struct {
-		fast, normal *sim.Result
-		err          error
-	}
-	cells := make([]cell, len(w.Sizes)*w.SeedsPerSize)
-	jobs := make([]job, 0, len(cells)*2)
+	jobs := make([]job, 0, len(w.Sizes)*w.SeedsPerSize*2)
 	for si := range w.Sizes {
 		for r := 0; r < w.SeedsPerSize; r++ {
 			jobs = append(jobs, job{n: w.Sizes[si], replica: r, fast: true})
@@ -161,63 +168,31 @@ func (w Workload) Sweep() ([]metrics.PairSample, error) {
 		}
 	}
 
-	workers := w.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	type outcome struct {
+		res *sim.Result
+		err error
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	next := make(chan job)
-	cellIndex := func(j job) int {
-		for si, n := range w.Sizes {
-			if n == j.n {
-				return si*w.SeedsPerSize + j.replica
-			}
-		}
-		return -1
-	}
-	var mu sync.Mutex
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				res, err := w.runOne(j)
-				mu.Lock()
-				c := &cells[cellIndex(j)]
-				if err != nil && c.err == nil {
-					c.err = err
-				}
-				if j.fast {
-					c.fast = res
-				} else {
-					c.normal = res
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
+	outcomes := make([]outcome, len(jobs))
+	engine.NewPool(w.Workers).Run(len(jobs), func(_, i int) {
+		res, err := w.runOne(jobs[i])
+		outcomes[i] = outcome{res: res, err: err}
+	})
 
-	samples := make([]metrics.PairSample, 0, len(cells))
-	for si, n := range w.Sizes {
-		for r := 0; r < w.SeedsPerSize; r++ {
-			c := cells[si*w.SeedsPerSize+r]
-			if c.err != nil {
-				return nil, fmt.Errorf("experiment: size %d replica %d: %w", n, r, c.err)
-			}
-			samples = append(samples, metrics.PairSample{
-				N:    n,
-				Seed: w.BaseSeed + int64(r),
-				Fast: c.fast, Normal: c.normal,
-			})
+	samples := make([]metrics.PairSample, 0, len(jobs)/2)
+	for i := 0; i < len(jobs); i += 2 {
+		j := jobs[i]
+		fast, normal := outcomes[i], outcomes[i+1]
+		if fast.err != nil {
+			return nil, fmt.Errorf("experiment: size %d replica %d: %w", j.n, j.replica, fast.err)
 		}
+		if normal.err != nil {
+			return nil, fmt.Errorf("experiment: size %d replica %d: %w", j.n, j.replica, normal.err)
+		}
+		samples = append(samples, metrics.PairSample{
+			N:    j.n,
+			Seed: w.BaseSeed + int64(j.replica),
+			Fast: fast.res, Normal: normal.res,
+		})
 	}
 	return samples, nil
 }

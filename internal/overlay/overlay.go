@@ -118,13 +118,11 @@ func (g *Graph) MinDegree() int {
 	if g.N() == 0 {
 		return 0
 	}
-	min := len(g.adj[0])
+	deg := len(g.adj[0])
 	for _, l := range g.adj[1:] {
-		if len(l) < min {
-			min = len(l)
-		}
+		deg = min(deg, len(l))
 	}
-	return min
+	return deg
 }
 
 // AvgDegree returns the mean degree.

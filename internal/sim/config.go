@@ -6,8 +6,10 @@
 //
 // One simulation is a pure function of its Config (including seeds):
 // re-running with the same configuration reproduces every transfer and
-// metric bit-for-bit. Simulations are single-goroutine; the experiment
-// package parallelizes across runs.
+// metric bit-for-bit — at any Config.Workers setting, because the engine
+// shards per-node work on a fixed grid with per-shard RNG streams and
+// merges shard outputs in shard order (see internal/sim/engine). The
+// experiment package additionally parallelizes across runs.
 package sim
 
 import (
@@ -136,6 +138,14 @@ type Config struct {
 	// TrackRatios records the per-tick undelivered/delivered ratio series
 	// (Figures 5 and 9). Costs one window scan per node per tick.
 	TrackRatios bool
+
+	// Workers sets the engine concurrency for the sharded phases (plan,
+	// serve, refill, playback). 0 or 1 selects the serial engine;
+	// negative selects GOMAXPROCS. The worker count never affects
+	// results: per-shard RNG streams and shard-ordered merges make a run
+	// a pure function of the seed at any concurrency (see
+	// internal/sim/engine).
+	Workers int
 }
 
 // Defaulted returns a copy with unset fields replaced by the paper's

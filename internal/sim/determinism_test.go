@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gossipstream/internal/stats"
+)
+
+// resultsEqual compares two Results field by field, including the bit
+// accounting and the optional ratio series.
+func resultsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Algorithm != b.Algorithm || a.Nodes != b.Nodes || a.Cohort != b.Cohort {
+		t.Errorf("%s: header diverged: %+v vs %+v", label, a, b)
+	}
+	if a.ControlBits != b.ControlBits {
+		t.Errorf("%s: controlBits %d vs %d", label, a.ControlBits, b.ControlBits)
+	}
+	if a.DataBits != b.DataBits {
+		t.Errorf("%s: dataBits %d vs %d", label, a.DataBits, b.DataBits)
+	}
+	if a.UnfinishedS1 != b.UnfinishedS1 || a.UnpreparedS2 != b.UnpreparedS2 {
+		t.Errorf("%s: incomplete counts diverged", label)
+	}
+	if a.PlayedSegments != b.PlayedSegments || a.StalledSlots != b.StalledSlots {
+		t.Errorf("%s: continuity accounting diverged", label)
+	}
+	if a.MeasuredTicks != b.MeasuredTicks || a.HitHorizon != b.HitHorizon {
+		t.Errorf("%s: window diverged", label)
+	}
+	if !reflect.DeepEqual(a.FinishS1Times, b.FinishS1Times) ||
+		!reflect.DeepEqual(a.PrepareS2Times, b.PrepareS2Times) ||
+		!reflect.DeepEqual(a.StartS2Times, b.StartS2Times) {
+		t.Errorf("%s: per-node event times diverged", label)
+	}
+	seriesEqual := func(name string, x, y *stats.Series) {
+		if (x == nil) != (y == nil) {
+			t.Errorf("%s: %s presence diverged", label, name)
+			return
+		}
+		if x != nil && (!reflect.DeepEqual(x.X, y.X) || !reflect.DeepEqual(x.Y, y.Y)) {
+			t.Errorf("%s: %s series diverged", label, name)
+		}
+	}
+	seriesEqual("undeliveredS1", a.UndeliveredS1, b.UndeliveredS1)
+	seriesEqual("deliveredS2", a.DeliveredS2, b.DeliveredS2)
+}
+
+// TestEngineWorkerCountInvariance is the determinism regression test of
+// the sharded engine: the same Config (including seeds) run on the serial
+// engine and with 1, 2 and 8 workers must produce identical Results —
+// every event time, ratio point, and the controlBits/dataBits accounting.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	scenarios := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"shared", func(c *Config) { c.SharedOutbound = true }},
+		{"perlink", func(c *Config) { c.SharedOutbound = false }},
+		{"shared-churn", func(c *Config) {
+			c.SharedOutbound = true
+			c.Churn = &ChurnConfig{LeaveFraction: 0.05, JoinFraction: 0.05}
+		}},
+		{"perlink-normal-algo", func(c *Config) {
+			c.SharedOutbound = false
+			c.NewAlgorithm = Normal
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(workers int) *Result {
+				g := testTopology(t, 180, 33)
+				cfg := quickConfig(g, Fast)
+				cfg.TrackRatios = true
+				sc.mut(&cfg)
+				cfg.Workers = workers
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := run(0) // the serial engine
+			for _, workers := range []int{1, 2, 8} {
+				resultsEqual(t, sc.name, serial, run(workers))
+			}
+		})
+	}
+}

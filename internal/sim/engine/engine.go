@@ -1,0 +1,150 @@
+// Package engine is the execution layer of the simulator: a deterministic
+// phase pipeline and a worker pool that shards per-node work.
+//
+// The determinism contract every caller relies on:
+//
+//  1. Work is decomposed into shards on a fixed grid (ShardSize nodes per
+//     shard) that depends only on the population size — never on the
+//     worker count. Node i always lands in shard i/ShardSize.
+//  2. Any randomness inside a shard comes from a dedicated RNG stream
+//     derived from (seed, phase, tick, round, shard) via SeedFor, so a
+//     shard draws the same values no matter which worker executes it or
+//     in which order shards complete.
+//  3. Shard outputs are buffered per shard and merged in ascending shard
+//     order by a serial merge step.
+//
+// Together these rules make a run a pure function of its configuration:
+// the same seed produces a bit-identical result at any worker count,
+// including the serial (one-worker) engine. Workers only decide how many
+// shards execute concurrently.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardSize is the number of consecutive node indices per shard. It is a
+// constant of the determinism contract: changing it reshuffles every
+// per-shard RNG stream and therefore changes simulation results (like
+// changing a seed would), so it must never depend on the worker count or
+// the hardware.
+const ShardSize = 256
+
+// NumShards returns the shard count covering a population of n items on
+// the fixed grid (0 for an empty population).
+func NumShards(n int) int {
+	return (n + ShardSize - 1) / ShardSize
+}
+
+// ShardSpan returns the half-open index range [lo, hi) of shard s over a
+// population of n items.
+func ShardSpan(n, s int) (lo, hi int) {
+	lo = s * ShardSize
+	hi = lo + ShardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ShardOf returns the shard index owning item i.
+func ShardOf(i int) int { return i / ShardSize }
+
+// Pool executes shard-indexed work across a bounded set of goroutines.
+// A Pool with one worker runs everything inline on the caller's
+// goroutine — that is the serial engine. Pools are reusable and safe for
+// sequential reuse; a single Run call distributes shards to workers
+// dynamically (work stealing), which is safe because the determinism
+// contract makes shard results independent of execution order.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given concurrency. workers <= 0 selects
+// GOMAXPROCS; workers == 1 is the serial engine.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency (>= 1).
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(worker, shard) for every shard in [0, shards). worker
+// identifies the executing slot in [0, Workers()) so callers can use
+// per-worker scratch without locks. Run returns when every shard has
+// completed. fn must not panic across shards it does not own; a panic in
+// any shard propagates to the caller.
+func (p *Pool) Run(shards int, fn func(worker, shard int)) {
+	if shards <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(0, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// The panic crosses a goroutine boundary; capture the
+					// worker's stack here or it is lost to the rethrow.
+					panics <- fmt.Sprintf("%v\n%s", r, debug.Stack())
+				}
+			}()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(worker, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(fmt.Sprintf("engine: worker panic: %s", r))
+	default:
+	}
+}
+
+// SeedFor derives the RNG seed of one (phase, tick, round, shard) cell
+// from the run seed. Streams for distinct cells are independent for all
+// practical purposes (splitmix64 finalization between injections), and
+// the derivation never involves the worker count, upholding the
+// determinism contract.
+func SeedFor(seed int64, phase, tick, round, shard int) int64 {
+	h := splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(phase))
+	h = splitmix64(h ^ uint64(tick))
+	h = splitmix64(h ^ uint64(round))
+	h = splitmix64(h ^ uint64(shard))
+	return int64(h)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed 64-bit permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,55 @@
+package engine
+
+import "time"
+
+// Phase is one named stage of a tick: generate, refill, plan, serve,
+// deliver, playback, churn, record. Run executes the stage over the whole
+// population (internally sharded or serial — the pipeline does not care).
+type Phase struct {
+	Name string
+	Run  func()
+}
+
+// Pipeline executes a fixed sequence of phases once per tick and
+// accumulates wall-clock time per phase. The timing instrumentation is
+// observational only — it never feeds back into simulation state, so it
+// cannot perturb determinism.
+type Pipeline struct {
+	phases []Phase
+	nanos  []int64
+	ticks  int64
+}
+
+// NewPipeline assembles a pipeline from its phases, in execution order.
+func NewPipeline(phases ...Phase) *Pipeline {
+	return &Pipeline{phases: phases, nanos: make([]int64, len(phases))}
+}
+
+// Run executes every phase in order (one simulated tick).
+func (p *Pipeline) Run() {
+	for i := range p.phases {
+		start := time.Now()
+		p.phases[i].Run()
+		p.nanos[i] += int64(time.Since(start))
+	}
+	p.ticks++
+}
+
+// PhaseTiming reports the accumulated cost of one phase.
+type PhaseTiming struct {
+	Name  string
+	Total time.Duration
+}
+
+// Timings returns the per-phase accumulated wall-clock costs, in phase
+// order, over the Ticks() executed so far.
+func (p *Pipeline) Timings() []PhaseTiming {
+	out := make([]PhaseTiming, len(p.phases))
+	for i, ph := range p.phases {
+		out[i] = PhaseTiming{Name: ph.Name, Total: time.Duration(p.nanos[i])}
+	}
+	return out
+}
+
+// Ticks returns how many times the pipeline has run.
+func (p *Pipeline) Ticks() int64 { return p.ticks }

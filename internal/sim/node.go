@@ -3,6 +3,7 @@ package sim
 import (
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/buffer"
+	"gossipstream/internal/core"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
 )
@@ -10,8 +11,11 @@ import (
 // unset marks a per-node event that has not happened yet.
 const unset = -1
 
-// nodeState is everything one simulated peer owns. Fields are mutated only
-// by the Sim's single goroutine.
+// nodeState is everything one simulated peer owns. During the parallel
+// phases a node's fields are mutated only by the worker that owns its
+// shard — with two audited exceptions, linkGrants and linkReqs, whose
+// per-neighbor slots are each written by exactly one goroutine (see the
+// field comments).
 type nodeState struct {
 	id      overlay.NodeID
 	buf     *buffer.Buffer
@@ -57,32 +61,67 @@ type nodeState struct {
 
 	// granted holds the segments already won in an earlier serve round of
 	// the current period: they are in flight (arriving at period end) and
-	// must not be re-requested in retry rounds.
-	granted map[segment.ID]struct{}
+	// must not be re-requested in retry rounds. At most Inbound·τ entries,
+	// so a flat slice with linear membership beats a map; it is appended
+	// only by the serial commit step and cleared at delivery.
+	granted []segment.ID
 
-	// Reused scratch for planning.
+	// linkGrants[i] counts this period's grants over the link from the
+	// node's i-th neighbor (the per-pair cap of the per-link substrate —
+	// the former pairGrants map, now requester-side and allocation-free).
+	// Slot i is written only by neighbor i's serve goroutine during
+	// propose and by the serial commit, never by two goroutines at once.
+	linkGrants []int32
+	// linkReqs[i] counts this round's prefetch requests on the same link
+	// (the former pairReqs map). Touched only by the node's own plan
+	// worker.
+	linkReqs []int32
+
+	// Per-period plan view, built once at round 0 of each scheduling
+	// period and reused by the retry rounds (suppliers get re-filtered for
+	// "busy", needs for "granted" — but the neighbor scan, session
+	// discovery and missing-segment scan run once per period, not once per
+	// round). viewSuppliers holds the alive neighbors as core suppliers;
+	// viewSupAdj maps each of them back to its index in the adjacency list
+	// (the linkGrants/linkReqs slot).
+	viewSuppliers []core.Supplier
+	viewSupAdj    []int32
+
+	// needOld and needNew cache the period's undelivered windows (the
+	// other half of the plan view).
 	needOld, needNew []segment.ID
 }
 
 // markGranted notes an in-flight segment for the rest of the period.
 func (n *nodeState) markGranted(id segment.ID) {
-	if n.granted == nil {
-		n.granted = make(map[segment.ID]struct{}, 64)
-	}
-	n.granted[id] = struct{}{}
+	n.granted = append(n.granted, id)
 }
 
 // isGranted reports whether the segment is already in flight this period.
 func (n *nodeState) isGranted(id segment.ID) bool {
-	_, ok := n.granted[id]
-	return ok
+	for _, g := range n.granted {
+		if g == id {
+			return true
+		}
+	}
+	return false
 }
 
 // clearGranted resets the in-flight set at period end.
 func (n *nodeState) clearGranted() {
-	for k := range n.granted {
-		delete(n.granted, k)
+	n.granted = n.granted[:0]
+}
+
+// ensureLinkScratch sizes the per-neighbor counters to the node's current
+// degree (adjacency lists mutate under churn between periods).
+func (n *nodeState) ensureLinkScratch(deg int) {
+	if cap(n.linkGrants) < deg {
+		n.linkGrants = make([]int32, deg)
+		n.linkReqs = make([]int32, deg)
+		return
 	}
+	n.linkGrants = n.linkGrants[:deg]
+	n.linkReqs = n.linkReqs[:deg]
 }
 
 func newNodeState(id overlay.NodeID, prof bandwidth.Profile, bufCap, joinTick int) *nodeState {
@@ -137,7 +176,9 @@ func (n *nodeState) undeliveredIn(lo, hi segment.ID) int {
 }
 
 // appendMissing appends the ids in [lo, hi] absent from the buffer and not
-// already in flight to dst.
+// already in flight to dst. It runs at round 0 of a period, where the
+// in-flight set is empty (grants are cleared at delivery), so the
+// isGranted scan is a cheap no-op kept for robustness.
 func (n *nodeState) appendMissing(dst []segment.ID, lo, hi segment.ID) []segment.ID {
 	for id := lo; id <= hi; id++ {
 		if !n.buf.Has(id) && !n.isGranted(id) {

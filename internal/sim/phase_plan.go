@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math/rand"
+
+	"gossipstream/internal/bitfield"
+	"gossipstream/internal/core"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+	"gossipstream/internal/sim/engine"
+)
+
+// The plan phase runs every alive non-source node's scheduler and routes
+// the resulting pull requests to their suppliers. Nodes are sharded on
+// the engine grid; each shard plans its nodes with a dedicated RNG stream
+// and buffers its requests in a per-shard outbox, which the serial merge
+// step routes into the suppliers' queues in shard order — so the queue
+// contents are identical at any worker count.
+
+// phaseSchedule drives the per-period plan/serve rounds: planning and
+// serving repeat up to ServeRounds times, because the period is one
+// second while a pull round-trip is tens of milliseconds — a real node
+// re-requests segments its first-choice supplier had no capacity for.
+// Budgets persist across rounds (capacity is per period), and segments
+// granted in any round land at period end (one overlay hop per period).
+func (s *Sim) phaseSchedule() {
+	s.sessions = s.tl.Sessions()
+	s.delivered = s.delivered[:0]
+	s.diagRequests, s.diagCandidates, s.diagPlanned = 0, 0, 0
+	for s.round = 0; s.round < s.cfg.ServeRounds; s.round++ {
+		s.granted = false
+		s.sched.Run() // plan, then serve
+		if !s.granted && s.round > 0 {
+			break // no grants: further rounds cannot progress
+		}
+	}
+}
+
+// planRound is the parallel half of one scheduling round. On round 0 it
+// also snapshots each node's plan view (neighbor suppliers + undelivered
+// windows) for the period and accounts the buffer-map exchange: each
+// alive node receives one 620-bit map per alive neighbor per period
+// (retry rounds reuse the same maps).
+func (s *Sim) planRound() {
+	n := len(s.nodes)
+	shards := s.ensureShards(n)
+	round := s.round
+	for i := range s.incoming {
+		s.incoming[i] = s.incoming[i][:0]
+	}
+	s.pool.Run(shards, func(worker, shard int) {
+		ws := s.workers[worker]
+		sh := &s.shards[shard]
+		sh.requests = sh.requests[:0]
+		sh.controlBits = 0
+		sh.diagRequests, sh.diagCandidates, sh.diagPlanned = 0, 0, 0
+		rng := rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngPlan, s.tick, round, shard)))
+		wire := int64(bitfield.WireBits(s.cfg.BufferCap))
+		lo, hi := engine.ShardSpan(n, shard)
+		for i := lo; i < hi; i++ {
+			nd := s.nodes[i]
+			if !nd.alive {
+				continue
+			}
+			// Map exchange cost: nd receives its alive neighbors' maps.
+			if s.measuring && round == 0 {
+				for _, v := range s.g.Neighbors(nd.id) {
+					if s.nodes[v].alive {
+						sh.controlBits += wire
+					}
+				}
+			}
+			if nd.isSource || nd.profile.In <= 0 || nd.in.Available() < 1 {
+				continue
+			}
+			s.planNode(ws, sh, nd, round, rng)
+		}
+	})
+	// Serial merge: route every shard's requests in shard order.
+	for si := 0; si < shards; si++ {
+		sh := &s.shards[si]
+		s.controlBits += sh.controlBits
+		s.diagRequests += sh.diagRequests
+		s.diagCandidates += sh.diagCandidates
+		s.diagPlanned += sh.diagPlanned
+		for _, rr := range sh.requests {
+			s.incoming[rr.sup] = append(s.incoming[rr.sup], rr.req)
+		}
+	}
+}
+
+// planNode runs one node's scheduler for the round and queues its
+// requests in the shard outbox.
+func (s *Sim) planNode(ws *workerScratch, sh *shardScratch, n *nodeState, round int, rng *rand.Rand) {
+	if round == 0 {
+		s.buildView(n)
+	}
+	for i := range n.linkReqs {
+		n.linkReqs[i] = 0 // per-round prefetch request counters
+	}
+	ws.env = core.Env{
+		Tau:       s.cfg.Tau,
+		P:         s.cfg.P,
+		Q:         float64(s.cfg.Q),
+		Inbound:   n.profile.In,
+		Playhead:  s.windowLo(n),
+		Suppliers: ws.env.Suppliers[:0],
+	}
+	ws.supAdj = ws.supAdj[:0]
+	for k := range n.viewSuppliers {
+		sup := n.viewSuppliers[k]
+		if round > 0 {
+			// Skip neighbors that signalled "busy" in the previous round:
+			// exhausted aggregate outbound (shared mode) or an exhausted
+			// link to this node (per-link mode).
+			nb := s.nodes[sup.ID]
+			if s.cfg.SharedOutbound {
+				if nb.out.Available() < 1 {
+					continue
+				}
+			} else if int(n.linkGrants[n.viewSupAdj[k]]) >= s.linkCap(nb) {
+				continue
+			}
+		}
+		ws.env.Suppliers = append(ws.env.Suppliers, sup)
+		ws.supAdj = append(ws.supAdj, n.viewSupAdj[k])
+	}
+
+	// Needs: the cached per-period windows, minus segments granted in
+	// earlier rounds of this period (in flight, must not be re-requested).
+	needOld, needNew := n.needOld, n.needNew
+	ws.seen.begin()
+	if round > 0 && len(n.granted) > 0 {
+		for _, id := range n.granted {
+			ws.seen.add(id)
+		}
+		needOld = filterSeen(ws.needOld[:0], n.needOld, &ws.seen)
+		ws.needOld = needOld
+		needNew = filterSeen(ws.needNew[:0], n.needNew, &ws.seen)
+		ws.needNew = needNew
+	}
+	if len(needOld) == 0 && len(needNew) == 0 {
+		return
+	}
+	ws.env.NeedOld, ws.env.NeedNew = needOld, needNew
+
+	ws.algo.Plan(&ws.env, &ws.plan)
+	sh.diagRequests += len(ws.plan.Requests)
+	sh.diagCandidates += len(needOld) + len(needNew)
+	sh.diagPlanned++
+	for _, req := range ws.plan.Requests {
+		sh.requests = append(sh.requests, routedRequest{
+			sup: overlay.NodeID(req.Supplier),
+			req: pullRequest{
+				from:     n.id,
+				seg:      req.Segment,
+				expected: req.ExpectedAt,
+				nbIdx:    ws.supAdj[req.SupplierIndex],
+			},
+		})
+	}
+	if !s.cfg.DisablePrefetch {
+		s.prefetch(ws, sh, n, rng)
+	}
+}
+
+// filterSeen appends the ids of src absent from seen to dst.
+func filterSeen(dst, src []segment.ID, seen *segSet) []segment.ID {
+	for _, id := range src {
+		if !seen.has(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// buildView snapshots the node's per-period plan view: its alive
+// neighbors as suppliers (with their adjacency slots) and its undelivered
+// windows. Built once per period — the view is stable across the retry
+// rounds because buffers, rates and playheads only change at period
+// boundaries; rounds re-filter it for busy suppliers and in-flight
+// segments. Discovery of a new session happens here — the node notices
+// neighbors advertising segments past the current session's end.
+func (s *Sim) buildView(n *nodeState) {
+	n.viewSuppliers = n.viewSuppliers[:0]
+	n.viewSupAdj = n.viewSupAdj[:0]
+	maxAdvert := segment.None
+	for ni, v := range s.g.Neighbors(n.id) {
+		nb := s.nodes[v]
+		if !nb.alive {
+			continue
+		}
+		if len(n.viewSuppliers) == core.MaxSuppliers {
+			// Hubs created by the random augmentation can exceed the
+			// scheduler's supplier mask; a node evaluates at most
+			// MaxSuppliers neighbors per period (far beyond the M=5 a
+			// real deployment maintains).
+			break
+		}
+		if nb.maxSeen > maxAdvert {
+			maxAdvert = nb.maxSeen
+		}
+		rate := s.linkRate(nb)
+		if s.cfg.SharedOutbound {
+			rate = nb.out.Rate()
+		}
+		n.viewSuppliers = append(n.viewSuppliers, core.Supplier{
+			ID:   core.SupplierID(v),
+			Rate: rate,
+			View: nb.buf,
+		})
+		n.viewSupAdj = append(n.viewSupAdj, int32(ni))
+	}
+	if maxAdvert == segment.None {
+		n.needOld, n.needNew = n.needOld[:0], n.needNew[:0]
+		return
+	}
+
+	sessions := s.sessions
+	// Discovery: a neighbor advertises a segment beyond every session the
+	// node knows about.
+	for n.known < len(sessions) && maxAdvert >= sessions[n.known].Begin {
+		n.known++
+	}
+	if n.sessionIdx >= len(sessions) {
+		n.sessionIdx = len(sessions) - 1
+	}
+	cur := sessions[n.sessionIdx]
+
+	lo := s.windowLo(n)
+	hi := maxAdvert
+	if !cur.Open() && hi > cur.End {
+		hi = cur.End
+	}
+	if winHi := lo + segment.ID(s.cfg.BufferCap) - 1; hi > winHi {
+		hi = winHi
+	}
+	n.needOld = n.needOld[:0]
+	if hi >= lo {
+		n.needOld = n.appendMissing(n.needOld, lo, hi)
+	}
+
+	n.needNew = n.needNew[:0]
+	if next := n.sessionIdx + 1; next < n.known {
+		ns := sessions[next]
+		nhi := ns.Begin + segment.ID(s.cfg.Qs) - 1
+		if !ns.Open() && nhi > ns.End {
+			nhi = ns.End
+		}
+		n.needNew = n.appendMissing(n.needNew, ns.Begin, nhi)
+	}
+}
+
+// prefetch spends the node's leftover inbound budget on uniformly random
+// missing segments of the node's *current* stream. This is the substrate
+// behaviour of every data-driven mesh (random useful-piece selection): it
+// decorrelates neighborhood holdings so all links stay useful. It runs
+// identically under both switch algorithms, after — and never instead of —
+// their prioritized requests.
+//
+// Crucially, prefetch never touches the next session's segments: how much
+// inbound a node grants the new source before finishing the old one is
+// exactly the decision the paper's switch algorithms make, and the
+// emergent dissemination speed of S2 is the effect being measured.
+func (s *Sim) prefetch(ws *workerScratch, sh *shardScratch, n *nodeState, rng *rand.Rand) {
+	budget := n.in.Available() - len(ws.plan.Requests)
+	if budget <= 0 {
+		return
+	}
+	// Segments the plan already requested this round must not be asked
+	// for again (ws.seen already stamps the in-flight set).
+	for _, r := range ws.plan.Requests {
+		ws.seen.add(r.Segment)
+	}
+	pool := append(ws.pool[:0], ws.env.NeedOld...)
+	ws.pool = pool
+	// Partial Fisher-Yates: draw random candidates until the budget or the
+	// pool is exhausted.
+	for k := 0; k < len(pool) && budget > 0; k++ {
+		j := k + rng.Intn(len(pool)-k)
+		pool[k], pool[j] = pool[j], pool[k]
+		id := pool[k]
+		if ws.seen.has(id) {
+			continue
+		}
+		sup, ni := s.pickSupplier(n, id, rng)
+		if sup < 0 {
+			continue
+		}
+		n.linkReqs[ni]++
+		sh.requests = append(sh.requests, routedRequest{
+			sup: sup,
+			req: pullRequest{from: n.id, seg: id, nbIdx: ni},
+		})
+		budget--
+	}
+}
+
+// pickSupplier chooses a uniformly random neighbor that holds the segment
+// and whose link to n still has request capacity this period; -1 if none.
+// The second return is the neighbor's adjacency slot.
+func (s *Sim) pickSupplier(n *nodeState, id segment.ID, rng *rand.Rand) (overlay.NodeID, int32) {
+	best, bestIdx := overlay.NodeID(-1), int32(-1)
+	count := 0
+	for ni, v := range s.g.Neighbors(n.id) {
+		nb := s.nodes[v]
+		if !nb.alive || !nb.buf.Has(id) {
+			continue
+		}
+		if s.cfg.SharedOutbound {
+			if nb.out.Available() < 1 {
+				continue
+			}
+		} else if int(n.linkGrants[ni]+n.linkReqs[ni]) >= s.linkCap(nb) {
+			continue
+		}
+		count++
+		if rng.Intn(count) == 0 {
+			best, bestIdx = v, int32(ni)
+		}
+	}
+	return best, bestIdx
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math/rand"
+
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim/engine"
+)
+
+// The serve phase resolves the round's requests at every supplier in two
+// sub-steps:
+//
+//   - propose (parallel, sharded over suppliers): each supplier walks its
+//     request queue and tentatively grants under its own capacity — the
+//     per-link R(j)·τ caps of the paper's model, or the aggregate
+//     outbound budget of the shared ablation — spending that capacity
+//     immediately. Requester state is only read (it is frozen during the
+//     parallel step), so proposals depend solely on round-start state and
+//     supplier-local state: deterministic at any worker count.
+//
+//   - commit (serial, shard order): each proposal is re-validated against
+//     the requester's live inbound budget, which competing suppliers may
+//     have oversubscribed during propose. Winners become deliveries;
+//     losers refund the supplier's spent capacity so it is available to
+//     the next round (capacity is per period).
+//
+// In the paper's per-link model (the default) a supplier answers each
+// neighbor independently at rate R(j): the only caps are the per-link
+// R(j)·τ segments per period and the requester's inbound budget. This is
+// exactly the capacity model behind Algorithm 1, whose queueing time τ(j)
+// accumulates only the requester's own transfers at j.
+//
+// In the shared-outbound ablation a supplier's R(j)·τ is an aggregate
+// period budget across all links. Service order then decides mesh
+// throughput: if a congested supplier answers every queue in the same
+// order, same-depth peers end up with identical holdings and have nothing
+// to trade. Mirroring the randomized forwarding of gossip protocols, the
+// supplier serves its queue in random order (from its shard's RNG
+// stream) and grants each distinct segment once before spending leftover
+// capacity on duplicates.
+
+// serveRound executes propose and commit for the current round, setting
+// s.granted when any grant landed.
+func (s *Sim) serveRound() {
+	n := len(s.nodes)
+	shards := s.ensureShards(n)
+	round := s.round
+	s.pool.Run(shards, func(worker, shard int) {
+		ws := s.workers[worker]
+		sh := &s.shards[shard]
+		sh.proposals = sh.proposals[:0]
+		var rng *rand.Rand
+		if s.cfg.SharedOutbound {
+			rng = rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngServe, s.tick, round, shard)))
+		}
+		lo, hi := engine.ShardSpan(n, shard)
+		for sid := lo; sid < hi; sid++ {
+			reqs := s.incoming[sid]
+			if len(reqs) == 0 {
+				continue
+			}
+			if s.cfg.SharedOutbound {
+				s.proposeShared(ws, sh, overlay.NodeID(sid), reqs, rng)
+			} else {
+				s.proposePerLink(ws, sh, overlay.NodeID(sid), reqs)
+			}
+		}
+	})
+
+	// Serial commit in shard order.
+	granted := false
+	for si := 0; si < shards; si++ {
+		for _, p := range s.shards[si].proposals {
+			req := s.nodes[p.from]
+			if !req.in.Take(1) {
+				// Competing suppliers oversubscribed this requester's
+				// inbound budget: refund the capacity spent at propose.
+				if s.cfg.SharedOutbound {
+					s.nodes[p.sup].out.Refund(1)
+				} else {
+					req.linkGrants[p.nbIdx]--
+				}
+				continue
+			}
+			req.markGranted(p.seg)
+			granted = true
+			s.delivered = append(s.delivered, delivery{to: p.from, seg: p.seg})
+			if s.measuring {
+				s.dataBits += bandwidth.BitsForSegments(1)
+			}
+		}
+	}
+	s.granted = granted
+}
+
+// proposePerLink proposes grants under the paper's link-capacity
+// semantics. The per-pair counter lives requester-side
+// (req.linkGrants[nbIdx]); the slot belongs to exactly one supplier, so
+// the concurrent increment is race-free.
+func (s *Sim) proposePerLink(ws *workerScratch, sh *shardScratch, sid overlay.NodeID, reqs []pullRequest) {
+	sup := s.nodes[sid]
+	perLink := int32(s.linkCap(sup))
+	ws.reqCount.begin()
+	for _, r := range reqs {
+		req := s.nodes[r.from]
+		if !req.alive || req.in.Available() < int(ws.reqCount.get(r.from))+1 ||
+			!sup.buf.Has(r.seg) || req.buf.Has(r.seg) || req.isGranted(r.seg) {
+			continue
+		}
+		if req.linkGrants[r.nbIdx] >= perLink {
+			continue // this link's period capacity is exhausted
+		}
+		req.linkGrants[r.nbIdx]++
+		ws.reqCount.inc(r.from)
+		sh.proposals = append(sh.proposals, proposal{sup: sid, from: r.from, seg: r.seg, nbIdx: r.nbIdx})
+	}
+}
+
+// proposeShared proposes grants under an aggregate outbound budget with
+// randomized, distinct-first service order.
+func (s *Sim) proposeShared(ws *workerScratch, sh *shardScratch, sid overlay.NodeID, reqs []pullRequest, rng *rand.Rand) {
+	sup := s.nodes[sid]
+	if sup.out.Available() < 1 {
+		return
+	}
+	// Deterministic shuffle from the shard's RNG stream.
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	ws.seen.begin()     // distinct segments proposed so far
+	ws.reqCount.begin() // per-requester proposals in this queue
+	propose := func(r pullRequest) bool {
+		req := s.nodes[r.from]
+		if !req.alive || req.in.Available() < int(ws.reqCount.get(r.from))+1 ||
+			!sup.buf.Has(r.seg) || req.buf.Has(r.seg) || req.isGranted(r.seg) {
+			return false
+		}
+		sup.out.Take(1)
+		ws.seen.add(r.seg)
+		ws.reqCount.inc(r.from)
+		sh.proposals = append(sh.proposals, proposal{sup: sid, from: r.from, seg: r.seg, nbIdx: r.nbIdx})
+		return true
+	}
+	// Pass 1: distinct segments only; queue entries deferred by the
+	// distinct-first rule are collected for the duplicate pass (an entry
+	// proposed once must not be proposed again — the grant is pending).
+	ws.retry = ws.retry[:0]
+	for i, r := range reqs {
+		if sup.out.Available() < 1 {
+			break
+		}
+		if ws.seen.has(r.seg) {
+			ws.retry = append(ws.retry, int32(i))
+			continue
+		}
+		propose(r)
+	}
+	// Pass 2: spend leftover capacity on duplicate segments.
+	for _, i := range ws.retry {
+		if sup.out.Available() < 1 {
+			break
+		}
+		propose(reqs[i])
+	}
+}

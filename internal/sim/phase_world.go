@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/segment"
+	"gossipstream/internal/sim/engine"
+)
+
+// The world phases: everything around the plan/serve rounds — staggered
+// arrivals, segment generation, budget refills, delivery, playback and
+// churn. Refill and playback shard per-node work across the pool (the
+// work is node-local and RNG-free, so the determinism contract holds
+// trivially); the rest is serial by nature (single source, global
+// directory) and cheap.
+
+// phaseArrivals activates initial nodes whose staggered start time has
+// come (the assembly of the session during warm-up).
+func (s *Sim) phaseArrivals() {
+	if s.tick > s.cfg.JoinSpreadTicks {
+		return
+	}
+	for _, n := range s.nodes {
+		if !n.alive && n.joinTick == 0 && n.startTick == s.tick {
+			n.alive = true
+		}
+	}
+}
+
+// phaseGenerate lets the current source emit p·τ fresh segments.
+func (s *Sim) phaseGenerate() {
+	cur := s.tl.Current()
+	if !cur.Open() {
+		return
+	}
+	src := s.nodes[cur.Source]
+	if !src.alive {
+		return
+	}
+	n := int(s.cfg.P*s.cfg.Tau + 1e-9)
+	for i := 0; i < n; i++ {
+		src.receive(s.nextGen)
+		s.nextGen++
+	}
+}
+
+// phaseRefill resets every alive node's per-period transfer budgets and
+// per-link grant counters, and refreshes its alive-neighbor count (the
+// denominator of the per-link rate). Sharded: all writes are node-local,
+// neighbor reads are of the alive flag frozen by the churn phase.
+func (s *Sim) phaseRefill() {
+	n := len(s.nodes)
+	shards := s.ensureShards(n)
+	s.pool.Run(shards, func(_, shard int) {
+		lo, hi := engine.ShardSpan(n, shard)
+		for i := lo; i < hi; i++ {
+			nd := s.nodes[i]
+			if !nd.alive {
+				continue
+			}
+			nd.in.Refill(s.cfg.Tau)
+			nd.out.Refill(s.cfg.Tau)
+			nbs := s.g.Neighbors(nd.id)
+			nd.ensureLinkScratch(len(nbs))
+			deg := 0
+			for ni, v := range nbs {
+				nd.linkGrants[ni] = 0 // per-period link grant counters
+				if s.nodes[v].alive {
+					deg++
+				}
+			}
+			nd.aliveDeg = deg
+		}
+	})
+}
+
+// phaseDeliver lands this tick's granted transfers (store-and-forward: a
+// segment received in period t becomes visible to neighbors in t+1).
+func (s *Sim) phaseDeliver() {
+	for _, d := range s.delivered {
+		n := s.nodes[d.to]
+		n.receive(d.seg)
+		n.clearGranted()
+	}
+}
+
+// phasePlayback advances every alive non-source node's playback state
+// machine by one period and checks the cohort's prepare-S2 condition.
+// Sharded: playback state is node-local and the timeline snapshot is
+// read-only.
+func (s *Sim) phasePlayback() {
+	sessions := s.sessions
+	perTick := int(s.cfg.P*s.cfg.Tau + 1e-9)
+	n := len(s.nodes)
+	shards := s.ensureShards(n)
+	s.pool.Run(shards, func(_, shard int) {
+		lo, hi := engine.ShardSpan(n, shard)
+		for i := lo; i < hi; i++ {
+			nd := s.nodes[i]
+			if !nd.alive || nd.isSource {
+				continue
+			}
+			s.advancePlayback(nd, sessions, perTick)
+			if s.measuring && nd.inCohort && nd.prepareS2Tick == unset && nd.known > s.newSessionIdx {
+				if nd.undeliveredIn(s.s2Begin, s.s2Begin+segment.ID(s.cfg.Qs)-1) == 0 {
+					nd.prepareS2Tick = s.tick
+				}
+			}
+		}
+	})
+}
+
+func (s *Sim) advancePlayback(n *nodeState, sessions []segment.Session, perTick int) {
+	if n.sessionIdx >= len(sessions) {
+		return // finished every session that exists
+	}
+	cur := sessions[n.sessionIdx]
+	if !n.playActive {
+		if !s.tryStart(n, sessions, cur) {
+			return
+		}
+	}
+	for consumed := 0; consumed < perTick; consumed++ {
+		if !cur.Open() && n.playhead > cur.End {
+			break
+		}
+		if !n.buf.Has(n.playhead) {
+			// Stall: hole at the playhead. The remaining playback slots of
+			// this period are lost (continuity accounting).
+			if s.measuring && n.inCohort {
+				n.stalled += perTick - consumed
+			}
+			return
+		}
+		n.playhead++
+		if s.measuring && n.inCohort {
+			n.played++
+		}
+	}
+	if !cur.Open() && n.playhead > cur.End {
+		s.finishSession(n, cur)
+	}
+}
+
+// tryStart checks the stream start conditions: Q consecutive segments
+// from the playback anchor for a node entering a stream mid-way or at its
+// beginning; additionally, for a source switch, the first Qs segments of
+// the new source and completed playback of the old one (the latter is
+// implied by sessionIdx having advanced).
+func (s *Sim) tryStart(n *nodeState, sessions []segment.Session, cur segment.Session) bool {
+	if n.sessionIdx > 0 && n.anchor == cur.Begin {
+		// Starting a successor session: need its first Qs segments.
+		need := s.cfg.Qs
+		if !cur.Open() && cur.Len() < need {
+			need = cur.Len()
+		}
+		if n.buf.ConsecutiveFrom(cur.Begin) < need {
+			return false
+		}
+	} else if n.buf.ConsecutiveFrom(n.anchor) < s.cfg.Q {
+		return false
+	}
+	n.playActive = true
+	n.playhead = n.anchor
+	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx && n.startS2Tick == unset {
+		n.startS2Tick = s.tick
+	}
+	return true
+}
+
+// finishSession transitions a node that played its session to the end.
+func (s *Sim) finishSession(n *nodeState, cur segment.Session) {
+	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx-1 && n.finishS1Tick == unset {
+		n.finishS1Tick = s.tick
+	}
+	n.playActive = false
+	n.sessionIdx++
+	n.anchor = cur.End + 1
+	n.playhead = n.anchor
+}
+
+// phaseChurn removes LeaveFraction of the alive non-source nodes and adds
+// JoinFraction fresh nodes, wired through the membership directory.
+// Running at tick end, after playback: departures and joins take effect
+// for the next period's refill and planning.
+func (s *Sim) phaseChurn() {
+	if s.cfg.Churn == nil {
+		return
+	}
+	alive := s.dir.AliveCount()
+	leaves := int(s.cfg.Churn.LeaveFraction * float64(alive))
+	for i := 0; i < leaves; i++ {
+		victim := s.dir.RandomAlive(s.oldSource, s.newSource)
+		if victim < 0 {
+			break
+		}
+		if s.nodes[victim].isSource || !s.nodes[victim].alive {
+			continue
+		}
+		s.nodes[victim].alive = false
+		s.dir.Leave(victim)
+	}
+	joins := int(s.cfg.Churn.JoinFraction * float64(alive))
+	for i := 0; i < joins; i++ {
+		id, neighbors := s.dir.Join()
+		prof := bandwidth.Profile{In: bandwidth.DrawRate(s.churnRNG), Out: bandwidth.DrawRate(s.churnRNG)}
+		n := newNodeState(id, prof, s.cfg.BufferCap, s.tick)
+		// "A new joining node ... starts its media playback by following
+		// its neighbors' current steps" (Section 5.4).
+		anchor := segment.ID(0)
+		for _, v := range neighbors {
+			if lo := s.windowLo(s.nodes[v]); lo > anchor {
+				anchor = lo
+			}
+		}
+		n.anchor = anchor
+		n.playhead = anchor
+		if ses, ok := s.tl.SessionOf(anchor); ok {
+			for idx, sv := range s.tl.Sessions() {
+				if sv.Begin == ses.Begin {
+					n.sessionIdx = idx
+					n.known = idx + 1
+					break
+				}
+			}
+		}
+		s.nodes = append(s.nodes, n)
+		s.incoming = append(s.incoming, nil)
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"gossipstream/internal/core"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+)
+
+// This file holds the allocation-free scratch structures behind the
+// phase pipeline. The old engine kept four maps on the Sim
+// (grantSet, pairGrants, pairReqs, plannedSet) that were cleared by
+// iterating every key each tick; the sharded engine replaces them with
+// generation-stamped flat arrays (reset is a single counter increment)
+// and per-neighbor counter slices on the nodes (see nodeState).
+
+// segSet is a set of segment ids backed by a generation-stamped flat
+// array: membership is marks[id] == gen, and begin() empties the set by
+// bumping gen. Segment ids are dense from 0 (the global id space of the
+// timeline), so the array spans the stream emitted so far.
+type segSet struct {
+	gen   uint32
+	marks []uint32
+}
+
+// begin starts a fresh, empty set.
+func (s *segSet) begin() {
+	s.gen++
+	if s.gen == 0 { // wrapped: stale marks could alias, wipe them
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// add inserts id into the set.
+func (s *segSet) add(id segment.ID) {
+	i := int(id)
+	if i >= len(s.marks) {
+		grown := make([]uint32, i+i/2+64)
+		copy(grown, s.marks)
+		s.marks = grown
+	}
+	s.marks[i] = s.gen
+}
+
+// has reports membership.
+func (s *segSet) has(id segment.ID) bool {
+	i := int(id)
+	return i < len(s.marks) && s.marks[i] == s.gen
+}
+
+// nodeCounter counts per-node values with the same stamped-reset trick
+// (the per-requester proposal counts inside one supplier's serve queue).
+type nodeCounter struct {
+	gen    uint32
+	stamps []uint32
+	counts []int32
+}
+
+// begin starts a fresh, all-zero counter.
+func (c *nodeCounter) begin() {
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.stamps {
+			c.stamps[i] = 0
+		}
+		c.gen = 1
+	}
+}
+
+func (c *nodeCounter) grow(i int) {
+	grown := make([]uint32, i+i/2+64)
+	copy(grown, c.stamps)
+	c.stamps = grown
+	counts := make([]int32, len(grown))
+	copy(counts, c.counts)
+	c.counts = counts
+}
+
+// get returns the count for id.
+func (c *nodeCounter) get(id overlay.NodeID) int32 {
+	i := int(id)
+	if i >= len(c.stamps) || c.stamps[i] != c.gen {
+		return 0
+	}
+	return c.counts[i]
+}
+
+// inc increments the count for id.
+func (c *nodeCounter) inc(id overlay.NodeID) {
+	i := int(id)
+	if i >= len(c.stamps) {
+		c.grow(i)
+	}
+	if c.stamps[i] != c.gen {
+		c.stamps[i] = c.gen
+		c.counts[i] = 0
+	}
+	c.counts[i]++
+}
+
+// workerScratch is the reusable state of one pool worker slot. Workers
+// execute shards dynamically, which is safe because nothing here carries
+// information between shards: every field is (re)initialized per node or
+// per supplier visit.
+type workerScratch struct {
+	env  core.Env
+	plan core.Plan
+	algo core.Algorithm
+	// supAdj maps env.Suppliers back to adjacency indices for the node
+	// currently being planned (parallel slice to env.Suppliers).
+	supAdj []int32
+	// needOld/needNew hold the round's granted-filtered needs when the
+	// cached per-period view cannot be used verbatim (rounds > 0).
+	needOld, needNew []segment.ID
+	// seen stamps segments already granted or planned (the former
+	// plannedSet map, and the distinct-first grant set of shared serve).
+	seen segSet
+	// reqCount counts proposals per requester inside one supplier queue.
+	reqCount nodeCounter
+	// retry holds the queue indexes deferred by the distinct-first rule
+	// of shared serve (candidates for the duplicate pass).
+	retry []int32
+	// pool is the prefetch candidate pool (the former poolScratch).
+	pool []segment.ID
+}
+
+// shardScratch buffers one shard's phase output until the serial merge.
+// Indexed by shard on the fixed grid; contents are valid only within the
+// producing round.
+type shardScratch struct {
+	// requests is the plan phase outbox: requests routed to suppliers
+	// during the serial merge, in planning order.
+	requests []routedRequest
+	// proposals is the serve phase outbox: tentative grants awaiting the
+	// serial commit.
+	proposals []proposal
+	// controlBits accumulates the round-0 buffer-map exchange cost.
+	controlBits int64
+	// Per-tick diagnostics, merged into the Sim's counters.
+	diagRequests, diagCandidates, diagPlanned int
+}
+
+// routedRequest is a pull request together with the supplier it is
+// addressed to (the routing key of the merge step).
+type routedRequest struct {
+	sup overlay.NodeID
+	req pullRequest
+}
+
+// pullRequest is one queued segment pull at a supplier.
+type pullRequest struct {
+	from     overlay.NodeID
+	seg      segment.ID
+	expected float64
+	// nbIdx is the supplier's index in the requester's adjacency list —
+	// the requester-side linkGrants/linkReqs slot of this link.
+	nbIdx int32
+}
+
+// proposal is a tentative grant produced by the parallel serve phase. The
+// supplier has already spent the capacity (outbound tokens in shared
+// mode, a linkGrants slot in per-link mode); the serial commit either
+// lands it as a delivery or refunds the capacity when the requester's
+// inbound budget was oversubscribed by competing suppliers.
+type proposal struct {
+	sup   overlay.NodeID
+	from  overlay.NodeID
+	seg   segment.ID
+	nbIdx int32
+}
+
+// delivery is a transfer granted this tick, landed at tick end.
+type delivery struct {
+	to  overlay.NodeID
+	seg segment.ID
+}

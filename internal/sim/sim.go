@@ -5,18 +5,26 @@ import (
 	"math/rand"
 
 	"gossipstream/internal/bandwidth"
-	"gossipstream/internal/bitfield"
 	"gossipstream/internal/core"
 	"gossipstream/internal/membership"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
+	"gossipstream/internal/sim/engine"
 	"gossipstream/internal/stats"
 )
 
 // Sim is one streaming system instance. Create with New, execute with Run.
-// A Sim is single-goroutine and not reusable after Run.
+// A Sim is not reusable after Run. Each tick executes the phase pipeline
+// (arrivals → generate → refill → plan/serve rounds → deliver → playback →
+// churn → record); the plan, serve, refill and playback phases shard
+// per-node work across the engine worker pool, under the engine package's
+// determinism contract — results are bit-identical at any worker count.
 type Sim struct {
 	cfg Config
+
+	pool     *engine.Pool
+	pipeline *engine.Pipeline
+	sched    *engine.Pipeline // the per-round plan → serve sub-pipeline
 
 	rng      *rand.Rand // structural decisions (source pick)
 	churnRNG *rand.Rand
@@ -25,7 +33,7 @@ type Sim struct {
 	g     *overlay.Graph
 	dir   *membership.Directory
 	nodes []*nodeState
-	algo  core.Algorithm
+	algo  core.Algorithm // naming only; planning uses per-worker instances
 
 	tl      *segment.Timeline
 	nextGen segment.ID // next id the current source will emit
@@ -44,16 +52,16 @@ type Sim struct {
 	dataBits    int64
 	res         *Result
 
-	// scratch reused across ticks
-	incoming    [][]pullRequest
-	plan        core.Plan
-	env         core.Env
-	delivered   []delivery
-	grantSet    map[segment.ID]bool
-	pairGrants  map[uint64]int // supplier→requester grants this period (per-link cap)
-	pairReqs    map[uint64]int // supplier→requester prefetch requests this round
-	plannedSet  map[segment.ID]struct{}
-	poolScratch []segment.ID
+	// Per-tick pipeline state.
+	round    int               // current plan/serve round within the period
+	granted  bool              // whether the current round committed any grant
+	sessions []segment.Session // per-tick snapshot of the timeline
+
+	// Sharded scratch, reused across ticks.
+	workers   []*workerScratch
+	shards    []shardScratch
+	incoming  [][]pullRequest
+	delivered []delivery
 
 	// per-tick diagnostics (tests and the debug CLI read these)
 	diagRequests   int
@@ -61,18 +69,12 @@ type Sim struct {
 	diagPlanned    int
 }
 
-// pullRequest is one queued segment pull at a supplier.
-type pullRequest struct {
-	from     overlay.NodeID
-	seg      segment.ID
-	expected float64
-}
-
-// delivery is a transfer granted this tick, landed at tick end.
-type delivery struct {
-	to  overlay.NodeID
-	seg segment.ID
-}
+// RNG stream tags of the parallel phases (the `phase` input of
+// engine.SeedFor). New parallel phases must claim fresh tags.
+const (
+	rngPlan = iota + 1
+	rngServe
+)
 
 // New validates the configuration and builds the initial system: all
 // nodes alive, S1 streaming from segment 0, buffers empty.
@@ -118,7 +120,50 @@ func New(cfg Config) (*Sim, error) {
 
 	s.incoming = make([][]pullRequest, len(s.nodes))
 	s.newSessionIdx = -1
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1 // the serial engine
+	}
+	s.pool = engine.NewPool(workers)
+	s.workers = make([]*workerScratch, s.pool.Workers())
+	for i := range s.workers {
+		s.workers[i] = &workerScratch{algo: cfg.NewAlgorithm()}
+	}
+	s.sched = engine.NewPipeline(
+		engine.Phase{Name: "plan", Run: s.planRound},
+		engine.Phase{Name: "serve", Run: s.serveRound},
+	)
+	s.pipeline = engine.NewPipeline(
+		engine.Phase{Name: "arrivals", Run: s.phaseArrivals},
+		engine.Phase{Name: "generate", Run: s.phaseGenerate},
+		engine.Phase{Name: "refill", Run: s.phaseRefill},
+		engine.Phase{Name: "schedule", Run: s.phaseSchedule},
+		engine.Phase{Name: "deliver", Run: s.phaseDeliver},
+		engine.Phase{Name: "playback", Run: s.phasePlayback},
+		engine.Phase{Name: "churn", Run: s.phaseChurn},
+		engine.Phase{Name: "record", Run: s.phaseRecord},
+	)
 	return s, nil
+}
+
+// Workers returns the engine concurrency the simulation runs with (1 for
+// the serial engine).
+func (s *Sim) Workers() int { return s.pool.Workers() }
+
+// PhaseTimings returns the accumulated wall-clock cost per pipeline
+// phase, with the schedule phase broken down into its plan and serve
+// sub-phases. Diagnostic only.
+func (s *Sim) PhaseTimings() []engine.PhaseTiming {
+	var out []engine.PhaseTiming
+	for _, t := range s.pipeline.Timings() {
+		if t.Name == "schedule" {
+			out = append(out, s.sched.Timings()...)
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
 }
 
 // neighborTarget infers the membership view size from the topology's
@@ -168,50 +213,17 @@ func (s *Sim) Run() (*Result, error) {
 	return s.res, nil
 }
 
-// step advances the system by one scheduling period τ. Within a period,
-// planning and serving repeat up to ServeRounds times: the period is one
-// second while a pull round-trip is tens of milliseconds, so a real node
-// re-requests segments its first-choice supplier had no capacity for.
-// Budgets persist across rounds (capacity is per period), and segments
-// granted in any round land at period end (one overlay hop per period).
-func (s *Sim) step() {
-	if s.tick <= s.cfg.JoinSpreadTicks {
-		for _, n := range s.nodes {
-			if !n.alive && n.joinTick == 0 && n.startTick == s.tick {
-				n.alive = true
-			}
-		}
+// step advances the system by one scheduling period τ: one run of the
+// phase pipeline.
+func (s *Sim) step() { s.pipeline.Run() }
+
+// ensureShards sizes the per-shard scratch to the current population.
+func (s *Sim) ensureShards(n int) int {
+	shards := engine.NumShards(n)
+	for len(s.shards) < shards {
+		s.shards = append(s.shards, shardScratch{})
 	}
-	if s.cfg.Churn != nil {
-		s.applyChurn()
-	}
-	s.generate()
-	s.refill()
-	s.delivered = s.delivered[:0]
-	if s.pairGrants == nil {
-		s.pairGrants = make(map[uint64]int, 4096)
-	}
-	for k := range s.pairGrants {
-		delete(s.pairGrants, k)
-	}
-	s.diagRequests, s.diagCandidates, s.diagPlanned = 0, 0, 0
-	for round := 0; round < s.cfg.ServeRounds; round++ {
-		if s.pairReqs == nil {
-			s.pairReqs = make(map[uint64]int, 4096)
-		}
-		for k := range s.pairReqs {
-			delete(s.pairReqs, k)
-		}
-		s.planAll(round)
-		if !s.serve() && round > 0 {
-			break // no grants: further rounds cannot progress
-		}
-	}
-	s.deliver()
-	s.playbackAll()
-	if s.measuring {
-		s.recordTick()
-	}
+	return shards
 }
 
 // performSwitch is simulation time "0": S1 stops streaming, a new source
@@ -268,43 +280,6 @@ func (s *Sim) windowLo(n *nodeState) segment.ID {
 	return n.anchor
 }
 
-// generate lets the current source emit p·τ fresh segments.
-func (s *Sim) generate() {
-	cur := s.tl.Current()
-	if !cur.Open() {
-		return
-	}
-	src := s.nodes[cur.Source]
-	if !src.alive {
-		return
-	}
-	n := int(s.cfg.P*s.cfg.Tau + 1e-9)
-	for i := 0; i < n; i++ {
-		src.receive(s.nextGen)
-		s.nextGen++
-	}
-}
-
-// refill resets every alive node's per-period transfer budgets and
-// refreshes its alive-neighbor count (the denominator of the per-link
-// rate).
-func (s *Sim) refill() {
-	for _, n := range s.nodes {
-		if !n.alive {
-			continue
-		}
-		n.in.Refill(s.cfg.Tau)
-		n.out.Refill(s.cfg.Tau)
-		deg := 0
-		for _, v := range s.g.Neighbors(n.id) {
-			if s.nodes[v].alive {
-				deg++
-			}
-		}
-		n.aliveDeg = deg
-	}
-}
-
 // linkRate is R(j): the sending rate supplier j offers on each of its
 // links — out_j / LinkShare, a single per-node value, exactly the
 // "sending rate of node j" of Algorithm 1 (the paper never differentiates
@@ -313,8 +288,8 @@ func (s *Sim) refill() {
 // connection always makes some progress.
 func (s *Sim) linkRate(j *nodeState) float64 {
 	r := j.out.Rate() / float64(s.cfg.LinkShare)
-	if min := 1 / s.cfg.Tau; r < min {
-		r = min
+	if floor := 1 / s.cfg.Tau; r < floor {
+		r = floor
 	}
 	return r
 }
@@ -326,470 +301,6 @@ func (s *Sim) linkCap(j *nodeState) int {
 		c = 1
 	}
 	return c
-}
-
-// planAll runs every alive non-source node's scheduler and queues the
-// resulting pull requests at their suppliers. On the first round it also
-// accounts the buffer-map exchange: each alive node receives one 620-bit
-// map per alive neighbor per period (retry rounds reuse the same maps).
-func (s *Sim) planAll(round int) {
-	wire := int64(bitfield.WireBits(s.cfg.BufferCap))
-	for i := range s.incoming {
-		s.incoming[i] = s.incoming[i][:0]
-	}
-	for _, n := range s.nodes {
-		if !n.alive {
-			continue
-		}
-		// Map exchange cost: n receives its alive neighbors' maps.
-		if s.measuring && round == 0 {
-			for _, v := range s.g.Neighbors(n.id) {
-				if s.nodes[v].alive {
-					s.controlBits += wire
-				}
-			}
-		}
-		if n.isSource || n.profile.In <= 0 || n.in.Available() < 1 {
-			continue
-		}
-		s.buildEnv(n, round)
-		if len(s.env.NeedOld) == 0 && len(s.env.NeedNew) == 0 {
-			continue
-		}
-		s.algo.Plan(&s.env, &s.plan)
-		s.diagRequests += len(s.plan.Requests)
-		s.diagCandidates += len(s.env.NeedOld) + len(s.env.NeedNew)
-		s.diagPlanned++
-		for _, req := range s.plan.Requests {
-			sup := overlay.NodeID(req.Supplier)
-			s.incoming[sup] = append(s.incoming[sup], pullRequest{
-				from:     n.id,
-				seg:      req.Segment,
-				expected: req.ExpectedAt,
-			})
-		}
-		if !s.cfg.DisablePrefetch {
-			s.prefetch(n)
-		}
-	}
-}
-
-// prefetch spends the node's leftover inbound budget on uniformly random
-// missing segments of the node's *current* stream. This is the substrate
-// behaviour of every data-driven mesh (random useful-piece selection): it
-// decorrelates neighborhood holdings so all links stay useful. It runs
-// identically under both switch algorithms, after — and never instead of —
-// their prioritized requests.
-//
-// Crucially, prefetch never touches the next session's segments: how much
-// inbound a node grants the new source before finishing the old one is
-// exactly the decision the paper's switch algorithms make, and the
-// emergent dissemination speed of S2 is the effect being measured.
-func (s *Sim) prefetch(n *nodeState) {
-	budget := n.in.Available() - len(s.plan.Requests)
-	if budget <= 0 {
-		return
-	}
-	// Segments the plan already requested this round must not be asked for
-	// again.
-	planned := s.plannedSet
-	if planned == nil {
-		planned = make(map[segment.ID]struct{}, 64)
-		s.plannedSet = planned
-	}
-	for k := range planned {
-		delete(planned, k)
-	}
-	for _, r := range s.plan.Requests {
-		planned[r.Segment] = struct{}{}
-	}
-	pool := s.poolScratch[:0]
-	pool = append(pool, n.needOld...)
-	s.poolScratch = pool
-	// Partial Fisher-Yates: draw random candidates until the budget or the
-	// pool is exhausted.
-	for k := 0; k < len(pool) && budget > 0; k++ {
-		j := k + s.rng.Intn(len(pool)-k)
-		pool[k], pool[j] = pool[j], pool[k]
-		id := pool[k]
-		if _, dup := planned[id]; dup || n.isGranted(id) {
-			continue
-		}
-		sup := s.pickSupplier(n, id)
-		if sup < 0 {
-			continue
-		}
-		key := uint64(sup)<<32 | uint64(uint32(n.id))
-		s.pairReqs[key]++
-		s.incoming[sup] = append(s.incoming[sup], pullRequest{from: n.id, seg: id})
-		budget--
-	}
-}
-
-// pickSupplier chooses a uniformly random neighbor that holds the segment
-// and whose link to n still has request capacity this period; -1 if none.
-func (s *Sim) pickSupplier(n *nodeState, id segment.ID) overlay.NodeID {
-	best := overlay.NodeID(-1)
-	count := 0
-	for _, v := range s.g.Neighbors(n.id) {
-		nb := s.nodes[v]
-		if !nb.alive || !nb.buf.Has(id) {
-			continue
-		}
-		key := uint64(v)<<32 | uint64(uint32(n.id))
-		if s.cfg.SharedOutbound {
-			if nb.out.Available() < 1 {
-				continue
-			}
-		} else if s.pairGrants[key]+s.pairReqs[key] >= s.linkCap(nb) {
-			continue
-		}
-		count++
-		if s.rng.Intn(count) == 0 {
-			best = v
-		}
-	}
-	return best
-}
-
-// buildEnv assembles the node's local scheduling view: its undelivered
-// windows and its alive neighbors as suppliers. Discovery of a new
-// session happens here — the node notices neighbors advertising segments
-// past the current session's end. In retry rounds (round > 0) neighbors
-// that answered "busy" — outbound exhausted — are dropped from the
-// supplier set so demand reroutes to peers with remaining capacity.
-func (s *Sim) buildEnv(n *nodeState, round int) {
-	s.env = core.Env{
-		Tau:      s.cfg.Tau,
-		P:        s.cfg.P,
-		Q:        float64(s.cfg.Q),
-		Inbound:  n.profile.In,
-		Playhead: s.windowLo(n),
-	}
-	s.env.Suppliers = s.env.Suppliers[:0]
-	maxAdvert := segment.None
-	for _, v := range s.g.Neighbors(n.id) {
-		nb := s.nodes[v]
-		if !nb.alive {
-			continue
-		}
-		if len(s.env.Suppliers) == core.MaxSuppliers {
-			// Hubs created by the random augmentation can exceed the
-			// scheduler's supplier mask; a node evaluates at most
-			// MaxSuppliers neighbors per period (far beyond the M=5 a
-			// real deployment maintains).
-			break
-		}
-		if nb.maxSeen > maxAdvert {
-			maxAdvert = nb.maxSeen
-		}
-		if round > 0 {
-			// Skip neighbors that signalled "busy" in the previous round:
-			// exhausted aggregate outbound (shared mode) or an exhausted
-			// link to this node (per-link mode).
-			if s.cfg.SharedOutbound {
-				if nb.out.Available() < 1 {
-					continue
-				}
-			} else {
-				key := uint64(v)<<32 | uint64(uint32(n.id))
-				if s.pairGrants[key] >= s.linkCap(nb) {
-					continue
-				}
-			}
-		}
-		rate := s.linkRate(nb)
-		if s.cfg.SharedOutbound {
-			rate = nb.out.Rate()
-		}
-		s.env.Suppliers = append(s.env.Suppliers, core.Supplier{
-			ID:   core.SupplierID(v),
-			Rate: rate,
-			View: nb.buf,
-		})
-	}
-	if maxAdvert == segment.None {
-		n.needOld, n.needNew = n.needOld[:0], n.needNew[:0]
-		s.env.NeedOld, s.env.NeedNew = nil, nil
-		return
-	}
-
-	sessions := s.tl.Sessions()
-	// Discovery: a neighbor advertises a segment beyond every session the
-	// node knows about.
-	for n.known < len(sessions) && maxAdvert >= sessions[n.known].Begin {
-		n.known++
-	}
-	if n.sessionIdx >= len(sessions) {
-		n.sessionIdx = len(sessions) - 1
-	}
-	cur := sessions[n.sessionIdx]
-
-	lo := s.windowLo(n)
-	hi := maxAdvert
-	if !cur.Open() && hi > cur.End {
-		hi = cur.End
-	}
-	if max := lo + segment.ID(s.cfg.BufferCap) - 1; hi > max {
-		hi = max
-	}
-	n.needOld = n.needOld[:0]
-	if hi >= lo {
-		n.needOld = n.appendMissing(n.needOld, lo, hi)
-	}
-
-	n.needNew = n.needNew[:0]
-	if next := n.sessionIdx + 1; next < n.known {
-		ns := sessions[next]
-		nhi := ns.Begin + segment.ID(s.cfg.Qs) - 1
-		if !ns.Open() && nhi > ns.End {
-			nhi = ns.End
-		}
-		n.needNew = n.appendMissing(n.needNew, ns.Begin, nhi)
-	}
-	s.env.NeedOld, s.env.NeedNew = n.needOld, n.needNew
-}
-
-// serve resolves this round's requests at every supplier.
-//
-// In the paper's per-link model (the default) a supplier answers each
-// neighbor independently at rate R(j): the only caps are the per-link
-// R(j)·τ segments per period and the requester's inbound budget. This is
-// exactly the capacity model behind Algorithm 1, whose queueing time τ(j)
-// accumulates only the requester's own transfers at j.
-//
-// In the shared-outbound ablation a supplier's R(j)·τ is an aggregate
-// period budget across all links. Service order then decides mesh
-// throughput: if a congested supplier answers every queue in the same
-// order, same-depth peers end up with identical holdings and have nothing
-// to trade. Mirroring the randomized forwarding of gossip protocols, the
-// supplier serves its queue in random order and grants each distinct
-// segment once before spending leftover capacity on duplicates.
-func (s *Sim) serve() (grantedAny bool) {
-	for sid := range s.incoming {
-		reqs := s.incoming[sid]
-		if len(reqs) == 0 {
-			continue
-		}
-		if s.cfg.SharedOutbound {
-			grantedAny = s.serveShared(overlay.NodeID(sid), reqs) || grantedAny
-		} else {
-			grantedAny = s.servePerLink(overlay.NodeID(sid), reqs) || grantedAny
-		}
-	}
-	return grantedAny
-}
-
-// servePerLink grants requests under the paper's link-capacity semantics.
-func (s *Sim) servePerLink(sid overlay.NodeID, reqs []pullRequest) (grantedAny bool) {
-	sup := s.nodes[sid]
-	linkCap := s.linkCap(sup)
-	for _, r := range reqs {
-		req := s.nodes[r.from]
-		if !req.alive || req.in.Available() < 1 ||
-			!sup.buf.Has(r.seg) || req.buf.Has(r.seg) || req.isGranted(r.seg) {
-			continue
-		}
-		key := uint64(sid)<<32 | uint64(uint32(r.from))
-		if s.pairGrants[key] >= linkCap {
-			continue // this link's period capacity is exhausted
-		}
-		s.pairGrants[key]++
-		req.in.Take(1)
-		req.markGranted(r.seg)
-		grantedAny = true
-		s.delivered = append(s.delivered, delivery{to: r.from, seg: r.seg})
-		if s.measuring {
-			s.dataBits += bandwidth.BitsForSegments(1)
-		}
-	}
-	return grantedAny
-}
-
-// serveShared grants requests under an aggregate outbound budget with
-// randomized, distinct-first service order.
-func (s *Sim) serveShared(sid overlay.NodeID, reqs []pullRequest) (grantedAny bool) {
-	sup := s.nodes[sid]
-	if sup.out.Available() < 1 {
-		return false
-	}
-	// Deterministic shuffle from the run's RNG stream.
-	s.rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
-	granted := s.grantSet
-	if granted == nil {
-		granted = make(map[segment.ID]bool, 64)
-		s.grantSet = granted
-	}
-	for k := range granted {
-		delete(granted, k)
-	}
-	for pass := 0; pass < 2 && sup.out.Available() >= 1; pass++ {
-		for _, r := range reqs {
-			if sup.out.Available() < 1 {
-				break
-			}
-			if pass == 0 && granted[r.seg] {
-				continue // distinct segments first
-			}
-			req := s.nodes[r.from]
-			if !req.alive || req.in.Available() < 1 ||
-				!sup.buf.Has(r.seg) || req.buf.Has(r.seg) || req.isGranted(r.seg) {
-				continue
-			}
-			sup.out.Take(1)
-			req.in.Take(1)
-			granted[r.seg] = true
-			req.markGranted(r.seg)
-			grantedAny = true
-			s.delivered = append(s.delivered, delivery{to: r.from, seg: r.seg})
-			if s.measuring {
-				s.dataBits += bandwidth.BitsForSegments(1)
-			}
-		}
-	}
-	return grantedAny
-}
-
-// deliver lands this tick's granted transfers (store-and-forward: a
-// segment received in period t becomes visible to neighbors in t+1).
-func (s *Sim) deliver() {
-	for _, d := range s.delivered {
-		n := s.nodes[d.to]
-		n.receive(d.seg)
-		n.clearGranted()
-	}
-}
-
-// playbackAll advances every alive non-source node's playback state
-// machine by one period.
-func (s *Sim) playbackAll() {
-	sessions := s.tl.Sessions()
-	perTick := int(s.cfg.P*s.cfg.Tau + 1e-9)
-	for _, n := range s.nodes {
-		if !n.alive || n.isSource {
-			continue
-		}
-		s.advancePlayback(n, sessions, perTick)
-		if s.measuring && n.inCohort && n.prepareS2Tick == unset && n.known > s.newSessionIdx {
-			if n.undeliveredIn(s.s2Begin, s.s2Begin+segment.ID(s.cfg.Qs)-1) == 0 {
-				n.prepareS2Tick = s.tick
-			}
-		}
-	}
-}
-
-func (s *Sim) advancePlayback(n *nodeState, sessions []segment.Session, perTick int) {
-	if n.sessionIdx >= len(sessions) {
-		return // finished every session that exists
-	}
-	cur := sessions[n.sessionIdx]
-	if !n.playActive {
-		if !s.tryStart(n, sessions, cur) {
-			return
-		}
-	}
-	for consumed := 0; consumed < perTick; consumed++ {
-		if !cur.Open() && n.playhead > cur.End {
-			break
-		}
-		if !n.buf.Has(n.playhead) {
-			// Stall: hole at the playhead. The remaining playback slots of
-			// this period are lost (continuity accounting).
-			if s.measuring && n.inCohort {
-				n.stalled += perTick - consumed
-			}
-			return
-		}
-		n.playhead++
-		if s.measuring && n.inCohort {
-			n.played++
-		}
-	}
-	if !cur.Open() && n.playhead > cur.End {
-		s.finishSession(n, cur)
-	}
-}
-
-// tryStart checks the stream start conditions: Q consecutive segments
-// from the playback anchor for a node entering a stream mid-way or at its
-// beginning; additionally, for a source switch, the first Qs segments of
-// the new source and completed playback of the old one (the latter is
-// implied by sessionIdx having advanced).
-func (s *Sim) tryStart(n *nodeState, sessions []segment.Session, cur segment.Session) bool {
-	if n.sessionIdx > 0 && n.anchor == cur.Begin {
-		// Starting a successor session: need its first Qs segments.
-		need := s.cfg.Qs
-		if !cur.Open() && cur.Len() < need {
-			need = cur.Len()
-		}
-		if n.buf.ConsecutiveFrom(cur.Begin) < need {
-			return false
-		}
-	} else if n.buf.ConsecutiveFrom(n.anchor) < s.cfg.Q {
-		return false
-	}
-	n.playActive = true
-	n.playhead = n.anchor
-	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx && n.startS2Tick == unset {
-		n.startS2Tick = s.tick
-	}
-	return true
-}
-
-// finishSession transitions a node that played its session to the end.
-func (s *Sim) finishSession(n *nodeState, cur segment.Session) {
-	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx-1 && n.finishS1Tick == unset {
-		n.finishS1Tick = s.tick
-	}
-	n.playActive = false
-	n.sessionIdx++
-	n.anchor = cur.End + 1
-	n.playhead = n.anchor
-}
-
-// applyChurn removes LeaveFraction of the alive non-source nodes and adds
-// JoinFraction fresh nodes, wired through the membership directory.
-func (s *Sim) applyChurn() {
-	alive := s.dir.AliveCount()
-	leaves := int(s.cfg.Churn.LeaveFraction * float64(alive))
-	for i := 0; i < leaves; i++ {
-		victim := s.dir.RandomAlive(s.oldSource, s.newSource)
-		if victim < 0 {
-			break
-		}
-		if s.nodes[victim].isSource || !s.nodes[victim].alive {
-			continue
-		}
-		s.nodes[victim].alive = false
-		s.dir.Leave(victim)
-	}
-	joins := int(s.cfg.Churn.JoinFraction * float64(alive))
-	for i := 0; i < joins; i++ {
-		id, neighbors := s.dir.Join()
-		prof := bandwidth.Profile{In: bandwidth.DrawRate(s.churnRNG), Out: bandwidth.DrawRate(s.churnRNG)}
-		n := newNodeState(id, prof, s.cfg.BufferCap, s.tick)
-		// "A new joining node ... starts its media playback by following
-		// its neighbors' current steps" (Section 5.4).
-		anchor := segment.ID(0)
-		for _, v := range neighbors {
-			if lo := s.windowLo(s.nodes[v]); lo > anchor {
-				anchor = lo
-			}
-		}
-		n.anchor = anchor
-		n.playhead = anchor
-		if ses, ok := s.tl.SessionOf(anchor); ok {
-			for idx, sv := range s.tl.Sessions() {
-				if sv.Begin == ses.Begin {
-					n.sessionIdx = idx
-					n.known = idx + 1
-					break
-				}
-			}
-		}
-		s.nodes = append(s.nodes, n)
-		s.incoming = append(s.incoming, nil)
-	}
 }
 
 // cohortComplete reports whether every surviving cohort member has both
@@ -807,8 +318,14 @@ func (s *Sim) cohortComplete() bool {
 	return true
 }
 
-// recordTick appends the tick's aggregate ratio points and accumulates
-// nothing else (bit counters are updated inline).
+// phaseRecord appends the tick's aggregate ratio points (bit counters are
+// updated inline by the other phases).
+func (s *Sim) phaseRecord() {
+	if s.measuring {
+		s.recordTick()
+	}
+}
+
 func (s *Sim) recordTick() {
 	if !s.cfg.TrackRatios {
 		return
