@@ -21,6 +21,7 @@ import (
 	"gossipstream/internal/experiment"
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/model"
+	"gossipstream/internal/scenario"
 	"gossipstream/internal/sim"
 )
 
@@ -280,6 +281,43 @@ func BenchmarkAblationSubstrate(b *testing.B) {
 // contention, transfers, playback) on the serial engine.
 func BenchmarkSimulationTick(b *testing.B) {
 	benchTicks(b, 1000, 1)
+}
+
+// BenchmarkScenario measures the scenario engine end to end: the
+// serial-handoff-chain library scenario (three measured switches in one
+// live mesh) at N=200 on the serial and the parallel engine. One op is a
+// whole multi-window run; the windows' mean switch time is reported so
+// the benchmark doubles as a metrics sanity check.
+func BenchmarkScenario(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("serial-handoff-chain/workers=%d", workers), func(b *testing.B) {
+			sc := scenario.SerialHandoffChain().Scaled(200)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg, err := sc.Config(sim.Fast)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Workers = workers
+				s, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Windows) != 3 {
+					b.Fatalf("windows = %d, want 3", len(res.Windows))
+				}
+				var prep float64
+				for _, w := range res.Windows {
+					prep += w.AvgPrepareS2()
+				}
+				b.ReportMetric(prep/3, "s-prepare-mean")
+			}
+		})
+	}
 }
 
 // BenchmarkEngineParallel contrasts the serial engine (workers=1) with

@@ -1,0 +1,224 @@
+// Command scenario runs event-scripted simulations: declarative
+// timelines of source handoffs and crashes, churn bursts, flash crowds
+// and bandwidth shifts, each switch reporting its own metrics block.
+// Scenarios come from the bundled library (-name, -list) or a plain-text
+// file (-f; -dump prints the canonical form of any scenario).
+//
+// Examples:
+//
+//	scenario -list
+//	scenario -name serial-handoff-chain
+//	scenario -name churn-storm -algo both -n 200
+//	scenario -f conf.scn -workers -1 -timings
+//	scenario -name source-crash -dump > crash.scn
+//	scenario -compare -n 150 # fast-vs-normal table over the whole library
+//	scenario -smoke          # run every bundled scenario small (CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossipstream/internal/experiment"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "scenario file to run (see internal/scenario for the format)")
+		name    = flag.String("name", "", "bundled scenario to run (see -list)")
+		list    = flag.Bool("list", false, "list the bundled scenarios")
+		dump    = flag.Bool("dump", false, "print the selected scenario's canonical text instead of running it")
+		algo    = flag.String("algo", "fast", "scheduler: fast, normal or both")
+		n       = flag.Int("n", 0, "override the overlay size (crowd batches rescale proportionally)")
+		seed    = flag.Int64("seed", 0, "override the scenario seed (0 keeps the file's)")
+		workers = flag.Int("workers", 0, "engine workers (0/1 = serial engine, <0 = GOMAXPROCS); results are identical at any setting")
+		timings = flag.Bool("timings", false, "print the per-phase wall-clock breakdown")
+		smoke   = flag.Bool("smoke", false, "run every bundled scenario at small scale and verify its windows (CI guard)")
+		compare = flag.Bool("compare", false, "sweep fast vs normal over the whole bundled library (experiment.ScenarioSweep)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range scenario.Library() {
+			fmt.Printf("%-22s n=%-5d events=%-2d %s\n", sc.Name, sc.Nodes, len(sc.Events), sc.Desc)
+		}
+		return
+	}
+	if *smoke {
+		runSmoke()
+		return
+	}
+	if *compare {
+		scs := scenario.Library()
+		if *n > 0 {
+			for i, sc := range scs {
+				scs[i] = sc.Scaled(*n)
+			}
+		}
+		outcomes, err := experiment.ScenarioSweep{Scenarios: scs, SimWorkers: *workers}.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiment.FormatScenarioSweep(outcomes))
+		return
+	}
+
+	sc := load(*file, *name)
+	if *n > 0 {
+		sc = sc.Scaled(*n)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *dump {
+		if err := sc.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	factories := map[string]sim.AlgorithmFactory{}
+	switch *algo {
+	case "fast":
+		factories["fast"] = sim.Fast
+	case "normal":
+		factories["normal"] = sim.Normal
+	case "both":
+		factories["fast"] = sim.Fast
+		factories["normal"] = sim.Normal
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown -algo %q (want fast, normal or both)\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Desc)
+	fmt.Printf("  nodes=%d seed=%d events=%d\n\n", sc.Nodes, sc.Seed, len(sc.Events))
+	for _, algoName := range []string{"normal", "fast"} {
+		factory, ok := factories[algoName]
+		if !ok {
+			continue
+		}
+		cfg, err := sc.Config(factory)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Workers = *workers
+		s, err := sim.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			fatal(err)
+		}
+		printResult(algoName, res)
+		if *timings {
+			fmt.Printf("  phase timings (%d workers):\n", s.Workers())
+			for _, t := range s.PhaseTimings() {
+				fmt.Printf("    %-10s %12v\n", t.Name, t.Total)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// load resolves the scenario source: a file, a bundled name, or an error.
+func load(file, name string) *scenario.Scenario {
+	switch {
+	case file != "" && name != "":
+		fmt.Fprintln(os.Stderr, "scenario: -f and -name are mutually exclusive")
+		os.Exit(2)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sc, err := scenario.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		return sc
+	case name != "":
+		sc := scenario.Lookup(name)
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "scenario: unknown scenario %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		return sc
+	}
+	fmt.Fprintln(os.Stderr, "scenario: need -f, -name, -list or -smoke")
+	os.Exit(2)
+	return nil
+}
+
+// printResult renders one run's per-window metric blocks.
+func printResult(algoName string, res *sim.Result) {
+	fmt.Printf("%s: %d measurement window(s)\n", algoName, len(res.Windows))
+	for _, w := range res.Windows {
+		if w.Kind == "switch" {
+			kind := "handoff"
+			if w.Failure {
+				kind = "CRASH"
+			}
+			fmt.Printf("  window %d: %s %d -> %d at t=%d (n=%d cohort=%d)\n",
+				w.Window, kind, w.OldSource, w.NewSource, w.Tick, w.Nodes, w.Cohort)
+			fmt.Printf("    finish S1  avg %6.2f s (max %6.2f, unfinished %d)\n",
+				w.AvgFinishS1(), w.MaxFinishS1(), w.UnfinishedS1)
+			fmt.Printf("    prepare S2 avg %6.2f s (max %6.2f, unprepared %d)\n",
+				w.AvgPrepareS2(), w.MaxPrepareS2(), w.UnpreparedS2)
+		} else {
+			fmt.Printf("  window %d: measure at t=%d for %d ticks (n=%d cohort=%d)\n",
+				w.Window, w.Tick, w.MeasuredTicks, w.Nodes, w.Cohort)
+		}
+		fmt.Printf("    continuity %.4f  overhead %.4f  measured %d ticks%s%s\n",
+			w.Continuity(), w.Overhead(), w.MeasuredTicks,
+			flagStr(w.HitHorizon, "  [hit horizon]"), flagStr(w.Interrupted, "  [interrupted]"))
+	}
+}
+
+func flagStr(b bool, s string) string {
+	if b {
+		return s
+	}
+	return ""
+}
+
+// runSmoke executes every bundled scenario at small scale and fails loudly
+// when a window comes back empty — the CI guard against scenario rot.
+func runSmoke() {
+	failed := false
+	for _, sc := range scenario.Library() {
+		small := sc.Scaled(120)
+		res, err := small.Run(sim.Fast)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario smoke: %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		bad := len(res.Windows) == 0
+		for _, w := range res.Windows {
+			if w.Cohort == 0 || w.MeasuredTicks == 0 || w.PlayedSegments == 0 ||
+				(w.Kind == "switch" && len(w.PrepareS2Times) == 0) {
+				bad = true
+			}
+		}
+		status := "ok"
+		if bad {
+			status = "EMPTY METRICS"
+			failed = true
+		}
+		fmt.Printf("%-22s %-14s windows=%d\n", sc.Name, status, len(res.Windows))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+	os.Exit(1)
+}

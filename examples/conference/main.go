@@ -2,9 +2,12 @@
 // "every member can become the streaming source but there is usually only
 // one source (that is the speaker) at a time" (Section 1).
 //
-// Five speakers take the floor in turn; each hand-off is a measured source
-// switch. The example reports per-hand-off switch times for the fast and
-// normal algorithms, plus the parallel-source rate split (the paper's
+// Five speakers take the floor in turn — a single scenario with four
+// serial hand-off events in ONE live mesh (the scenario engine's whole
+// point: before it, each hand-off had to be faked as a separate
+// simulation). Every hand-off is a measured source switch with its own
+// metrics block; the example compares the fast and normal algorithms
+// hand-off by hand-off, plus the parallel-source rate split (the paper's
 // future-work extension) for a panel segment where two speakers overlap.
 //
 //	go run ./examples/conference
@@ -13,12 +16,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"gossipstream/internal/core"
-	"gossipstream/internal/overlay"
+	"gossipstream/internal/scenario"
 	"gossipstream/internal/sim"
-	"gossipstream/internal/trace"
+	"gossipstream/internal/stats"
 )
 
 const members = 400
@@ -26,20 +28,38 @@ const members = 400
 func main() {
 	fmt.Printf("conference with %d members, 5 speakers in turn\n\n", members)
 
-	speakers := []overlay.NodeID{3, 41, 97, 155, 289}
+	sc := &scenario.Scenario{
+		Name:    "conference",
+		Desc:    "five speakers take the floor in turn",
+		Nodes:   members,
+		M:       5,
+		Seed:    3,
+		First:   3, // speaker 3 opens the conference
+		Spread:  25,
+		Horizon: 110,
+		Events: []sim.Event{
+			// The floor then passes four times.
+			sim.SwitchAt(40, 41),
+			sim.SwitchAt(150, 97),
+			sim.SwitchAt(260, 155),
+			sim.SwitchAt(370, 289),
+		},
+	}
+	fast := run(sc, sim.Fast)
+	normal := run(sc, sim.Normal)
+
 	fmt.Println("hand-off            fast(s)  normal(s)  reduction")
 	var fastTotal, normalTotal float64
-	for i := 0; i+1 < len(speakers); i++ {
-		fast := handoff(speakers[i], speakers[i+1], int64(i), sim.Fast)
-		normal := handoff(speakers[i], speakers[i+1], int64(i), sim.Normal)
-		red := (normal - fast) / normal
+	for i, fw := range fast.Windows {
+		nw := normal.Windows[i]
+		fp, np := fw.AvgPrepareS2(), nw.AvgPrepareS2()
 		fmt.Printf("speaker %3d -> %3d  %7.2f  %9.2f  %8.1f%%\n",
-			speakers[i], speakers[i+1], fast, normal, red*100)
-		fastTotal += fast
-		normalTotal += normal
+			fw.OldSource, fw.NewSource, fp, np, stats.ReductionRatio(np, fp)*100)
+		fastTotal += fp
+		normalTotal += np
 	}
 	fmt.Printf("total switching     %7.2f  %9.2f  %8.1f%%\n\n",
-		fastTotal, normalTotal, (normalTotal-fastTotal)/normalTotal*100)
+		fastTotal, normalTotal, stats.ReductionRatio(normalTotal, fastTotal)*100)
 
 	// Panel segment: two speakers live at once. The serial switch model no
 	// longer applies; the parallel extension splits a listener's inbound
@@ -60,31 +80,14 @@ func main() {
 	fmt.Printf("  worst lateness: %.2f s\n", core.ParallelLateness(rates, demands))
 }
 
-// handoff simulates one speaker change and returns the average preparing
-// time of the new speaker's stream.
-func handoff(from, to overlay.NodeID, seed int64, factory sim.AlgorithmFactory) float64 {
-	tr := trace.Synthesize("conference", members, 1, 1000+seed)
-	g, err := tr.Graph()
+// run executes the conference scenario under one scheduler.
+func run(sc *scenario.Scenario, factory sim.AlgorithmFactory) *sim.Result {
+	res, err := sc.Run(factory)
 	if err != nil {
 		log.Fatal(err)
 	}
-	overlay.AugmentMinDegree(g, 5, rand.New(rand.NewSource(seed)))
-	s, err := sim.New(sim.Config{
-		Graph:           g,
-		Seed:            seed,
-		NewAlgorithm:    factory,
-		FirstSource:     from,
-		NewSource:       to,
-		SharedOutbound:  true,
-		WarmupTicks:     40,
-		JoinSpreadTicks: 25,
-	})
-	if err != nil {
-		log.Fatal(err)
+	if len(res.Windows) != len(sc.Events) {
+		log.Fatalf("expected %d hand-off windows, got %d", len(sc.Events), len(res.Windows))
 	}
-	res, err := s.Run()
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res.AvgPrepareS2()
+	return res
 }

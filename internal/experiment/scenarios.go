@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+	"gossipstream/internal/sim/engine"
+	"gossipstream/internal/stats"
+)
+
+// The scenario sweep: the experiment layer's fan-out generalized from
+// overlay sizes to whole scenarios. Every (scenario, algorithm) trial is
+// an independent deterministic run, so the sweep fans out on the engine
+// pool exactly like Workload.Sweep, and each scenario contributes one
+// comparison row per measurement window — a handoff chain is compared
+// handoff by handoff.
+
+// ScenarioSweep compares the two schedulers over a set of scenarios.
+type ScenarioSweep struct {
+	// Scenarios to run; typically scenario.Library() or a parsed file.
+	Scenarios []*scenario.Scenario
+	// Workers bounds the trial fan-out pool (0 = GOMAXPROCS); SimWorkers
+	// sets the engine concurrency inside each run (results are identical
+	// at any setting).
+	Workers    int
+	SimWorkers int
+	// Fast and Normal build the compared schedulers (nil = the paper's
+	// pair).
+	Fast, Normal sim.AlgorithmFactory
+}
+
+// ScenarioOutcome pairs one scenario's runs under both schedulers.
+type ScenarioOutcome struct {
+	Scenario *scenario.Scenario
+	Fast     *sim.Result
+	Normal   *sim.Result
+}
+
+// Run executes every (scenario, algorithm) trial on the engine pool.
+func (sw ScenarioSweep) Run() ([]ScenarioOutcome, error) {
+	fast, normal := sw.Fast, sw.Normal
+	if fast == nil {
+		fast = sim.Fast
+	}
+	if normal == nil {
+		normal = sim.Normal
+	}
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	outcomes := make([]outcome, len(sw.Scenarios)*2)
+	engine.NewPool(sw.Workers).Run(len(outcomes), func(_, i int) {
+		sc := sw.Scenarios[i/2]
+		factory := fast
+		if i%2 == 1 {
+			factory = normal
+		}
+		cfg, err := sc.Config(factory)
+		if err != nil {
+			outcomes[i] = outcome{err: err}
+			return
+		}
+		cfg.Workers = sw.SimWorkers
+		s, err := sim.New(cfg)
+		if err != nil {
+			outcomes[i] = outcome{err: err}
+			return
+		}
+		res, err := s.Run()
+		outcomes[i] = outcome{res: res, err: err}
+	})
+
+	out := make([]ScenarioOutcome, 0, len(sw.Scenarios))
+	for i, sc := range sw.Scenarios {
+		f, n := outcomes[2*i], outcomes[2*i+1]
+		if f.err != nil {
+			return nil, fmt.Errorf("experiment: scenario %s: %w", sc.Name, f.err)
+		}
+		if n.err != nil {
+			return nil, fmt.Errorf("experiment: scenario %s: %w", sc.Name, n.err)
+		}
+		out = append(out, ScenarioOutcome{Scenario: sc, Fast: f.res, Normal: n.res})
+	}
+	return out, nil
+}
+
+// FormatScenarioSweep renders the per-window comparison table: one row
+// per measurement window of each scenario, with the fast-vs-normal
+// switch-time reduction for switch windows.
+func FormatScenarioSweep(outcomes []ScenarioOutcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-14s %12s %12s %12s\n",
+		"scenario", "window", "fast prep(s)", "norm prep(s)", "reduction")
+	for _, o := range outcomes {
+		for wi, fw := range o.Fast.Windows {
+			label := fmt.Sprintf("%d %s@t=%d", wi, fw.Kind, fw.Tick)
+			if fw.Kind != "switch" {
+				fmt.Fprintf(&b, "%-24s %-14s %12s %12s %12s\n",
+					o.Scenario.Name, label, "-", "-", "-")
+				continue
+			}
+			var np float64
+			if wi < len(o.Normal.Windows) {
+				np = o.Normal.Windows[wi].AvgPrepareS2()
+			}
+			fp := fw.AvgPrepareS2()
+			fmt.Fprintf(&b, "%-24s %-14s %12.2f %12.2f %11.1f%%\n",
+				o.Scenario.Name, label, fp, np, stats.ReductionRatio(np, fp)*100)
+		}
+	}
+	return b.String()
+}

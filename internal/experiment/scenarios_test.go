@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gossipstream/internal/scenario"
+)
+
+func TestScenarioSweep(t *testing.T) {
+	scs := []*scenario.Scenario{
+		scenario.PaperSingleSwitch().Scaled(100),
+		scenario.SerialHandoffChain().Scaled(100),
+	}
+	sw := ScenarioSweep{Scenarios: scs, Workers: 2}
+	outcomes, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outcomes))
+	}
+	if n := len(outcomes[1].Fast.Windows); n != 3 {
+		t.Errorf("handoff chain fast windows = %d, want 3", n)
+	}
+	if n := len(outcomes[1].Normal.Windows); n != 3 {
+		t.Errorf("handoff chain normal windows = %d, want 3", n)
+	}
+	for _, o := range outcomes {
+		if o.Fast.Algorithm != "fast" || o.Normal.Algorithm != "normal" {
+			t.Errorf("%s: mislabeled results %q/%q", o.Scenario.Name, o.Fast.Algorithm, o.Normal.Algorithm)
+		}
+	}
+	table := FormatScenarioSweep(outcomes)
+	for _, want := range []string{"paper-single-switch", "serial-handoff-chain", "switch@t=40", "%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Reproducible: a second sweep returns identical headline numbers.
+	again, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outcomes {
+		a := outcomes[i].Fast.Windows
+		b := again[i].Fast.Windows
+		for w := range a {
+			if a[w].AvgPrepareS2() != b[w].AvgPrepareS2() {
+				t.Errorf("scenario sweep not reproducible (window %d)", w)
+			}
+		}
+	}
+}

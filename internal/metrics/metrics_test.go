@@ -10,13 +10,15 @@ import (
 
 func fakeResult(alg string, finish, prepare float64, control, data int64) *sim.Result {
 	return &sim.Result{
-		Algorithm:      alg,
-		Nodes:          100,
-		Cohort:         98,
-		FinishS1Times:  []float64{finish - 1, finish, finish + 1},
-		PrepareS2Times: []float64{prepare - 2, prepare, prepare + 2},
-		ControlBits:    control,
-		DataBits:       data,
+		Algorithm: alg,
+		SwitchMetrics: sim.SwitchMetrics{
+			Nodes:          100,
+			Cohort:         98,
+			FinishS1Times:  []float64{finish - 1, finish, finish + 1},
+			PrepareS2Times: []float64{prepare - 2, prepare, prepare + 2},
+			ControlBits:    control,
+			DataBits:       data,
+		},
 	}
 }
 

@@ -1,0 +1,324 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim"
+)
+
+// Parse reads the plain-text scenario format. The format is line
+// oriented; '#' starts a comment, blank lines are ignored. Header
+// directives set the base environment, `at` lines schedule events:
+//
+//	scenario serial-handoff-chain
+//	desc The floor passes along four speakers.
+//	nodes 400
+//	m 5
+//	seed 7
+//	first 3              # pin the initial source (default: auto-pick)
+//	spread 25            # arrival stagger, ticks
+//	horizon 120          # default per-switch measurement horizon
+//	duration 0           # 0 = derive from the timeline
+//	churn 0.02 0.02      # baseline leave/join fractions (join defaults to leave)
+//	perlink              # per-link capacity model (default: shared outbound)
+//	qs 50
+//
+//	at 40  switch to=41            # planned handoff to a pinned speaker
+//	at 110 switch                  # planned handoff, random successor
+//	at 150 switch failure          # the speaker crashes; random successor
+//	at 60  switch to=3 horizon=90  # per-window horizon override
+//	at 35  crowd count=150 backlog=200
+//	at 45  churnburst for=30 leave=0.10 join=0.05
+//	at 85  bandwidth factor=0.7
+//	at 160 measure for=25
+//
+// Parse and Write round-trip: Write emits the canonical form of exactly
+// this grammar.
+func Parse(r io.Reader) (*Scenario, error) {
+	sc := &Scenario{}
+	scan := bufio.NewScanner(r)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := scan.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := sc.parseLine(fields); err != nil {
+			return nil, fmt.Errorf("scenario: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func (sc *Scenario) parseLine(fields []string) error {
+	key, args := fields[0], fields[1:]
+	needOne := func() (string, error) {
+		if len(args) != 1 {
+			return "", fmt.Errorf("%s takes one argument, got %d", key, len(args))
+		}
+		return args[0], nil
+	}
+	intArg := func() (int, error) {
+		a, err := needOne()
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", key, err)
+		}
+		return v, nil
+	}
+	var err error
+	switch key {
+	case "scenario":
+		sc.Name, err = needOne()
+		return err
+	case "desc":
+		sc.Desc = strings.Join(args, " ")
+		return nil
+	case "nodes":
+		sc.Nodes, err = intArg()
+		return err
+	case "m":
+		sc.M, err = intArg()
+		return err
+	case "seed":
+		a, err := needOne()
+		if err != nil {
+			return err
+		}
+		sc.Seed, err = strconv.ParseInt(a, 10, 64)
+		return err
+	case "first":
+		v, err := intArg()
+		sc.First = overlay.NodeID(v)
+		return err
+	case "spread":
+		sc.Spread, err = intArg()
+		return err
+	case "horizon":
+		sc.Horizon, err = intArg()
+		return err
+	case "duration":
+		sc.Duration, err = intArg()
+		return err
+	case "qs":
+		sc.Qs, err = intArg()
+		return err
+	case "perlink":
+		if len(args) != 0 {
+			return fmt.Errorf("perlink takes no arguments")
+		}
+		sc.PerLink = true
+		return nil
+	case "churn":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("churn takes 1 or 2 fractions")
+		}
+		if sc.ChurnLeave, err = strconv.ParseFloat(args[0], 64); err != nil {
+			return err
+		}
+		sc.ChurnJoin = sc.ChurnLeave
+		if len(args) == 2 {
+			sc.ChurnJoin, err = strconv.ParseFloat(args[1], 64)
+		}
+		return err
+	case "at":
+		return sc.parseEvent(args)
+	}
+	return fmt.Errorf("unknown directive %q", key)
+}
+
+func (sc *Scenario) parseEvent(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("at takes a tick and a verb")
+	}
+	tick, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("at: bad tick %q", args[0])
+	}
+	verb := args[1]
+	// Parse k=v options and bare flags.
+	opts := map[string]string{}
+	for _, a := range args[2:] {
+		k, v, found := strings.Cut(a, "=")
+		if !found {
+			v = "" // bare flag (failure)
+		}
+		if _, dup := opts[k]; dup {
+			return fmt.Errorf("%s: duplicate option %q", verb, k)
+		}
+		opts[k] = v
+	}
+	take := func(k string) (string, bool) {
+		v, ok := opts[k]
+		delete(opts, k)
+		return v, ok
+	}
+	takeInt := func(k string, def int) (int, error) {
+		v, ok := take(k)
+		if !ok {
+			return def, nil
+		}
+		return strconv.Atoi(v)
+	}
+	takeFloat := func(k string, def float64) (float64, error) {
+		v, ok := take(k)
+		if !ok {
+			return def, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+
+	var ev sim.Event
+	switch verb {
+	case "switch":
+		to, err := takeInt("to", -1)
+		if err != nil {
+			return err
+		}
+		horizon, err := takeInt("horizon", 0)
+		if err != nil {
+			return err
+		}
+		_, failure := take("failure")
+		ev = sim.SwitchAt(tick, overlay.NodeID(to))
+		ev.Failure = failure
+		ev.Horizon = horizon
+	case "crowd":
+		count, err := takeInt("count", 0)
+		if err != nil {
+			return err
+		}
+		backlog, err := takeInt("backlog", 0)
+		if err != nil {
+			return err
+		}
+		ev = sim.FlashCrowdAt(tick, count, backlog)
+	case "churnburst":
+		ticks, err := takeInt("for", 0)
+		if err != nil {
+			return err
+		}
+		leave, err := takeFloat("leave", 0)
+		if err != nil {
+			return err
+		}
+		join, err := takeFloat("join", leave)
+		if err != nil {
+			return err
+		}
+		ev = sim.ChurnBurstAt(tick, ticks, leave, join)
+	case "bandwidth":
+		factor, err := takeFloat("factor", 0)
+		if err != nil {
+			return err
+		}
+		ev = sim.BandwidthShiftAt(tick, factor)
+	case "measure":
+		ticks, err := takeInt("for", 0)
+		if err != nil {
+			return err
+		}
+		ev = sim.MeasureAt(tick, ticks)
+	default:
+		return fmt.Errorf("unknown event verb %q", verb)
+	}
+	for k := range opts {
+		return fmt.Errorf("%s: unknown option %q", verb, k)
+	}
+	sc.Events = append(sc.Events, ev)
+	return nil
+}
+
+// Write emits the scenario in canonical text form; Parse reads it back
+// to an identical Scenario (the round-trip regression in format_test.go
+// is the format's compatibility contract).
+func (sc *Scenario) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "scenario %s\n", sc.Name)
+	if sc.Desc != "" {
+		fmt.Fprintf(bw, "desc %s\n", sc.Desc)
+	}
+	fmt.Fprintf(bw, "nodes %d\n", sc.Nodes)
+	if sc.M != 0 {
+		fmt.Fprintf(bw, "m %d\n", sc.M)
+	}
+	fmt.Fprintf(bw, "seed %d\n", sc.Seed)
+	if sc.First != 0 {
+		fmt.Fprintf(bw, "first %d\n", sc.First)
+	}
+	if sc.Spread != 0 {
+		fmt.Fprintf(bw, "spread %d\n", sc.Spread)
+	}
+	if sc.Horizon != 0 {
+		fmt.Fprintf(bw, "horizon %d\n", sc.Horizon)
+	}
+	if sc.Duration != 0 {
+		fmt.Fprintf(bw, "duration %d\n", sc.Duration)
+	}
+	if sc.ChurnLeave != 0 || sc.ChurnJoin != 0 {
+		fmt.Fprintf(bw, "churn %s %s\n", ftoa(sc.ChurnLeave), ftoa(sc.ChurnJoin))
+	}
+	if sc.PerLink {
+		fmt.Fprintln(bw, "perlink")
+	}
+	if sc.Qs != 0 {
+		fmt.Fprintf(bw, "qs %d\n", sc.Qs)
+	}
+	if len(sc.Events) > 0 {
+		fmt.Fprintln(bw)
+	}
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case sim.EvSwitchSource:
+			fmt.Fprintf(bw, "at %d switch", ev.Tick)
+			if ev.To >= 0 {
+				fmt.Fprintf(bw, " to=%d", ev.To)
+			}
+			if ev.Failure {
+				fmt.Fprint(bw, " failure")
+			}
+			if ev.Horizon != 0 {
+				fmt.Fprintf(bw, " horizon=%d", ev.Horizon)
+			}
+			fmt.Fprintln(bw)
+		case sim.EvFlashCrowd:
+			fmt.Fprintf(bw, "at %d crowd count=%d", ev.Tick, ev.Count)
+			if ev.Backlog != 0 {
+				fmt.Fprintf(bw, " backlog=%d", ev.Backlog)
+			}
+			fmt.Fprintln(bw)
+		case sim.EvChurnBurst:
+			fmt.Fprintf(bw, "at %d churnburst for=%d leave=%s join=%s\n",
+				ev.Tick, ev.Ticks, ftoa(ev.Leave), ftoa(ev.Join))
+		case sim.EvBandwidthShift:
+			fmt.Fprintf(bw, "at %d bandwidth factor=%s\n", ev.Tick, ftoa(ev.Factor))
+		case sim.EvMeasureWindow:
+			fmt.Fprintf(bw, "at %d measure for=%d\n", ev.Tick, ev.Ticks)
+		default:
+			return fmt.Errorf("scenario: cannot serialize event kind %v", ev.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// ftoa formats a float so ParseFloat reads back the identical value.
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

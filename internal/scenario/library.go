@@ -1,0 +1,130 @@
+package scenario
+
+import "gossipstream/internal/sim"
+
+// The bundled scenario library: one named Scenario per dynamic the north
+// star calls for. Each is a plain value — Scaled(n) shrinks any of them
+// for tests and smoke runs — and each round-trips through the text
+// format (cmd/scenario -dump prints the canonical file).
+
+// PaperSingleSwitch is the paper's evaluation shape as a scenario: the
+// session assembles over 25 ticks, warms up to 40, then one planned
+// switch to a random successor, measured to the horizon. Compiling and
+// running it reproduces the classic sim.Config single-switch path bit
+// for bit (the equivalence regression in scenario_test.go).
+func PaperSingleSwitch() *Scenario {
+	return &Scenario{
+		Name:    "paper-single-switch",
+		Desc:    "Section 5.1 baseline: warm-up, one planned handoff, one measured window",
+		Nodes:   1000,
+		M:       5,
+		Seed:    7,
+		Spread:  25,
+		Horizon: 300,
+		Events: []sim.Event{
+			sim.SwitchAt(40, -1),
+		},
+	}
+}
+
+// SerialHandoffChain is the conference floor passing along four speakers:
+// three serial measured handoffs in one live mesh (the multi-switch
+// acceptance scenario — three switch-metrics blocks per run).
+func SerialHandoffChain() *Scenario {
+	return &Scenario{
+		Name:    "serial-handoff-chain",
+		Desc:    "conference: the floor passes 3 times through one live mesh",
+		Nodes:   400,
+		M:       5,
+		Seed:    7,
+		Spread:  25,
+		Horizon: 120,
+		Events: []sim.Event{
+			sim.SwitchAt(40, 41),
+			sim.SwitchAt(160, 97),
+			sim.SwitchAt(280, 155),
+		},
+	}
+}
+
+// FlashCrowdJoin is the live-entertainment arrival burst: half the
+// audience floods in at once with a catch-up backlog, a measurement
+// window quantifies the disruption, then the source hands off under the
+// crowd's load.
+func FlashCrowdJoin() *Scenario {
+	return &Scenario{
+		Name:    "flash-crowd-join",
+		Desc:    "batch arrival of half the audience, then a handoff under load",
+		Nodes:   300,
+		M:       5,
+		Seed:    11,
+		Spread:  20,
+		Horizon: 200,
+		Events: []sim.Event{
+			sim.FlashCrowdAt(35, 150, 200),
+			sim.MeasureAt(36, 40),
+			sim.SwitchAt(90, -1),
+		},
+	}
+}
+
+// ChurnStorm is Section 5.4 pushed harder: baseline churn, then a storm
+// at double the paper's rate breaking over the switch itself.
+func ChurnStorm() *Scenario {
+	return &Scenario{
+		Name:       "churn-storm",
+		Desc:       "baseline churn with a 10% storm breaking over the handoff",
+		Nodes:      300,
+		M:          5,
+		Seed:       13,
+		Spread:     25,
+		Horizon:    200,
+		ChurnLeave: 0.02,
+		ChurnJoin:  0.02,
+		Events: []sim.Event{
+			sim.ChurnBurstAt(35, 30, 0.10, 0.10),
+			sim.SwitchAt(50, -1),
+		},
+	}
+}
+
+// SourceCrash contrasts a planned handoff with an abrupt source failure
+// in the same run: the second speaker crashes mid-stream, segments that
+// never left their machine are lost, and the mesh must still converge on
+// the successor's stream.
+func SourceCrash() *Scenario {
+	return &Scenario{
+		Name:    "source-crash",
+		Desc:    "planned handoff, then the second speaker crashes mid-stream",
+		Nodes:   300,
+		M:       5,
+		Seed:    17,
+		Spread:  25,
+		Horizon: 150,
+		Events: []sim.Event{
+			sim.SwitchAt(40, -1),
+			sim.CrashAt(110, -1),
+		},
+	}
+}
+
+// Library returns the bundled scenarios, in documentation order.
+func Library() []*Scenario {
+	return []*Scenario{
+		PaperSingleSwitch(),
+		SerialHandoffChain(),
+		FlashCrowdJoin(),
+		ChurnStorm(),
+		SourceCrash(),
+	}
+}
+
+// Lookup returns the bundled scenario with the given name, or nil.
+func Lookup(name string) *Scenario {
+	for _, sc := range Library() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}

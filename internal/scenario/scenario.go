@@ -1,0 +1,214 @@
+// Package scenario is the declarative layer over the simulator's event
+// engine: a Scenario names a topology, a base environment, and a
+// tick-scheduled event timeline (source handoffs and crashes, churn
+// bursts, flash crowds, bandwidth shifts, measurement windows), and
+// compiles into a sim.Config whose Script drives the run. The paper's
+// entire evaluation shape — warm up, one switch, one measurement window —
+// is just one scenario (paper-single-switch); everything else the north
+// star asks for (serial handoff chains, churn storms, flash crowds,
+// source failures) is a different file, not a different main.go.
+//
+// Scenarios are deterministic: the run is a pure function of the
+// scenario (topology seed + run seed + events), bit-identical at any
+// sim worker count, per the engine's shard/merge determinism contract.
+//
+// Scenarios round-trip through a plain-text file format (Parse/Write;
+// see the format documentation on Parse) and a bundled library of named
+// scenarios ships in library.go.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim"
+	"gossipstream/internal/trace"
+)
+
+// Scenario is one named, self-contained experiment: topology parameters,
+// base environment, and the event timeline.
+type Scenario struct {
+	// Name identifies the scenario (kebab-case; it also seeds the
+	// synthesized topology's trace label).
+	Name string
+	// Desc is a one-line human description.
+	Desc string
+
+	// Nodes is the overlay size; M the per-node neighbor target after
+	// random-edge augmentation (0 → 5, the paper's choice).
+	Nodes int
+	M     int
+	// Seed drives the topology synthesis and every random decision of
+	// the run.
+	Seed int64
+
+	// First pins the initial streaming source when positive; 0 (the
+	// default) auto-picks the lowest-id minimum-degree node, the paper's
+	// "source holding M connected neighbors".
+	First overlay.NodeID
+
+	// Spread staggers initial arrivals over the first Spread ticks
+	// (members assembling while the first source streams); 0 starts
+	// everyone at once.
+	Spread int
+	// Horizon is the default measurement horizon of each switch window,
+	// in ticks (0 → the simulator's default, 150).
+	Horizon int
+	// Duration caps the run length in ticks; 0 derives it from the
+	// timeline (every window gets room to reach its horizon).
+	Duration int
+
+	// ChurnLeave/ChurnJoin enable baseline churn (fractions per tick).
+	ChurnLeave float64
+	ChurnJoin  float64
+
+	// PerLink selects the paper's per-link capacity model instead of the
+	// shared-outbound substrate.
+	PerLink bool
+	// Qs overrides the new-stream startup threshold (0 → 50).
+	Qs int
+
+	// Events is the timeline, in firing order.
+	Events []sim.Event
+}
+
+var nameRe = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Validate reports scenario errors.
+func (sc *Scenario) Validate() error {
+	if !nameRe.MatchString(sc.Name) {
+		return fmt.Errorf("scenario: invalid name %q (want kebab-case)", sc.Name)
+	}
+	if sc.Nodes < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 nodes, have %d", sc.Name, sc.Nodes)
+	}
+	if sc.M < 0 || sc.Spread < 0 || sc.Horizon < 0 || sc.Duration < 0 || sc.Qs < 0 {
+		return fmt.Errorf("scenario %s: negative parameter", sc.Name)
+	}
+	if sc.ChurnLeave < 0 || sc.ChurnLeave >= 1 || sc.ChurnJoin < 0 || sc.ChurnJoin >= 1 {
+		return fmt.Errorf("scenario %s: churn fractions (%v, %v) out of [0,1)", sc.Name, sc.ChurnLeave, sc.ChurnJoin)
+	}
+	script := sim.Script{Events: sc.Events, Duration: sc.Duration}
+	if err := script.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if int(sc.First) >= sc.Nodes {
+		return fmt.Errorf("scenario %s: first source %d out of %d nodes", sc.Name, sc.First, sc.Nodes)
+	}
+	switches := 0
+	for i, ev := range sc.Events {
+		if ev.Kind != sim.EvSwitchSource {
+			continue
+		}
+		switches++
+		if int(ev.To) >= sc.Nodes {
+			return fmt.Errorf("scenario %s: event %d targets node %d of %d", sc.Name, i, ev.To, sc.Nodes)
+		}
+	}
+	// Every switch consumes one never-source node (ex-speakers cannot
+	// retake the floor), plus one for the initial source. Churn joins can
+	// relax this at run time, so it is a static sanity bound, not the
+	// final word — the simulator reports exhaustion as a run error.
+	if switches >= sc.Nodes {
+		return fmt.Errorf("scenario %s: %d switches cannot be served by %d nodes", sc.Name, switches, sc.Nodes)
+	}
+	return nil
+}
+
+// Scaled returns a copy sized to n nodes, with flash-crowd batch sizes
+// rescaled proportionally and pinned switch targets clamped into range
+// (dropped to the random pick when out of range). Used by tests, the CI
+// smoke run and the -n CLI override to run big scenarios small.
+func (sc *Scenario) Scaled(n int) *Scenario {
+	out := *sc
+	out.Events = make([]sim.Event, len(sc.Events))
+	copy(out.Events, sc.Events)
+	if n <= 0 || n == sc.Nodes {
+		return &out
+	}
+	for i := range out.Events {
+		ev := &out.Events[i]
+		switch ev.Kind {
+		case sim.EvFlashCrowd:
+			if sc.Nodes > 0 {
+				ev.Count = ev.Count * n / sc.Nodes
+			}
+			if ev.Count < 1 {
+				ev.Count = 1
+			}
+		case sim.EvSwitchSource:
+			if int(ev.To) >= n {
+				ev.To = -1
+			}
+		}
+	}
+	if int(out.First) >= n {
+		out.First = 0 // auto-pick
+	}
+	out.Nodes = n
+	return &out
+}
+
+// Config validates the scenario, synthesizes its overlay (a Gnutella-like
+// crawl trace augmented to min-degree M, the Section 5.1 preparation) and
+// assembles the sim.Config. Callers typically set Workers or TrackRatios
+// on the returned config before sim.New.
+func (sc *Scenario) Config(factory sim.AlgorithmFactory) (sim.Config, error) {
+	if err := sc.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	m := sc.M
+	if m <= 0 {
+		m = 5
+	}
+	tr := trace.Synthesize(sc.Name, sc.Nodes, 1, sc.Seed)
+	g, err := tr.Graph()
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	overlay.AugmentMinDegree(g, m, rand.New(rand.NewSource(sc.Seed^0xa06)))
+
+	first := overlay.NodeID(-1)
+	if sc.First > 0 {
+		first = sc.First
+	}
+	cfg := sim.Config{
+		Graph:           g,
+		Seed:            sc.Seed,
+		NewAlgorithm:    factory,
+		FirstSource:     first,
+		NewSource:       -1,
+		SharedOutbound:  !sc.PerLink,
+		Qs:              sc.Qs,
+		HorizonTicks:    sc.Horizon,
+		JoinSpreadTicks: sc.Spread,
+		Script: &sim.Script{
+			Events:   append([]sim.Event(nil), sc.Events...),
+			Duration: sc.Duration,
+		},
+	}
+	if sc.Spread <= 0 {
+		cfg.JoinSpreadTicks = -1 // simultaneous start (0 would mean "default")
+	}
+	if sc.ChurnLeave > 0 || sc.ChurnJoin > 0 {
+		cfg.Churn = &sim.ChurnConfig{LeaveFraction: sc.ChurnLeave, JoinFraction: sc.ChurnJoin}
+	}
+	return cfg, nil
+}
+
+// Run compiles and executes the scenario with the given scheduler on the
+// serial engine. For worker control or ratio tracking, use Config and
+// drive sim.New directly.
+func (sc *Scenario) Run(factory sim.AlgorithmFactory) (*sim.Result, error) {
+	cfg, err := sc.Config(factory)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

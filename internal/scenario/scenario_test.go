@@ -1,0 +1,253 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gossipstream/internal/sim"
+)
+
+// TestFormatRoundTrip is the text format's compatibility contract: every
+// library scenario survives Write → Parse unchanged.
+func TestFormatRoundTrip(t *testing.T) {
+	for _, sc := range Library() {
+		t.Run(sc.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := sc.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("parse back:\n%s\n%v", buf.String(), err)
+			}
+			if !reflect.DeepEqual(sc, back) {
+				t.Errorf("round trip diverged:\n%+v\nvs\n%+v\ntext:\n%s", sc, back, buf.String())
+			}
+		})
+	}
+}
+
+// TestParseFull exercises every directive and event verb of the grammar,
+// including comments, blank lines and flag options.
+func TestParseFull(t *testing.T) {
+	text := `
+# a kitchen-sink scenario
+scenario kitchen-sink
+desc every directive once
+nodes 200
+m 6
+seed 42
+first 9
+spread 10     # trailing comment
+horizon 80
+duration 500
+churn 0.01 0.02
+perlink
+qs 25
+
+at 20 switch to=3 horizon=90
+at 60 switch
+at 100 switch failure
+at 30 crowd count=50 backlog=120
+at 45 churnburst for=15 leave=0.1 join=0.05
+at 70 bandwidth factor=0.5
+at 120 measure for=25
+`
+	sc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "kitchen-sink" || sc.Nodes != 200 || sc.M != 6 || sc.Seed != 42 ||
+		sc.First != 9 || sc.Spread != 10 || sc.Horizon != 80 || sc.Duration != 500 ||
+		sc.ChurnLeave != 0.01 || sc.ChurnJoin != 0.02 || !sc.PerLink || sc.Qs != 25 {
+		t.Errorf("header misparsed: %+v", sc)
+	}
+	want := []sim.Event{
+		{Tick: 20, Kind: sim.EvSwitchSource, To: 3, Horizon: 90},
+		{Tick: 60, Kind: sim.EvSwitchSource, To: -1},
+		{Tick: 100, Kind: sim.EvSwitchSource, To: -1, Failure: true},
+		sim.FlashCrowdAt(30, 50, 120),
+		sim.ChurnBurstAt(45, 15, 0.1, 0.05),
+		sim.BandwidthShiftAt(70, 0.5),
+		sim.MeasureAt(120, 25),
+	}
+	if !reflect.DeepEqual(sc.Events, want) {
+		t.Errorf("events misparsed:\n%+v\nwant\n%+v", sc.Events, want)
+	}
+	// And it round-trips.
+	var buf bytes.Buffer
+	if err := sc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Error("kitchen-sink round trip diverged")
+	}
+}
+
+// TestParseErrors rejects malformed input with the offending line.
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"scenario ok\nnodes 100\nseed 1\nbogus 3\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nat x switch",
+		"scenario ok\nnodes 100\nseed 1\nat 10 explode",
+		"scenario ok\nnodes 100\nseed 1\nat 10 switch to=abc",
+		"scenario ok\nnodes 100\nseed 1\nat 10 crowd count=0",
+		"scenario ok\nnodes 100\nseed 1\nat 10 switch to=3 to=4",
+		"scenario ok\nnodes 100\nseed 1\nat 10 switch speed=9",
+		"scenario Bad_Name\nnodes 100\nseed 1\nat 10 switch",
+		"scenario ok\nnodes 1\nseed 1\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nat 10 churnburst for=10 leave=1.5",
+		"scenario ok\nnodes 100\nseed 1", // no events, no duration
+	}
+	for _, text := range bad {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("accepted malformed scenario:\n%s", text)
+		}
+	}
+}
+
+// TestPaperSingleSwitchMatchesLegacy is the acceptance anchor: compiling
+// and running paper-single-switch reproduces the classic sim.Config
+// single-switch path bit for bit.
+func TestPaperSingleSwitchMatchesLegacy(t *testing.T) {
+	sc := PaperSingleSwitch().Scaled(200)
+
+	cfg, err := sc.Config(sim.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripted := mustRun(t, cfg)
+
+	// The same run, hand-assembled the pre-scenario way: no Script, the
+	// switch at WarmupTicks, measured for HorizonTicks.
+	legacy, err := sc.Config(sim.Fast) // fresh graph: runs mutate topologies
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Script = nil
+	legacy.WarmupTicks = 40
+	legacyRes := mustRun(t, legacy)
+
+	if !reflect.DeepEqual(scripted.SwitchMetrics, legacyRes.SwitchMetrics) {
+		t.Errorf("flat metrics diverged:\n%+v\nvs\n%+v", scripted.SwitchMetrics, legacyRes.SwitchMetrics)
+	}
+	if !reflect.DeepEqual(scripted.Windows, legacyRes.Windows) {
+		t.Errorf("windows diverged")
+	}
+}
+
+// TestSerialHandoffDeterminism is the multi-switch acceptance criterion:
+// three serial switches produce three switch-metrics blocks, and the same
+// seed yields a bit-identical Result at Workers ∈ {0, 1, 8}.
+func TestSerialHandoffDeterminism(t *testing.T) {
+	run := func(workers int) *sim.Result {
+		cfg, err := SerialHandoffChain().Scaled(180).Config(sim.Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.TrackRatios = true
+		cfg.Workers = workers
+		return mustRun(t, cfg)
+	}
+	serial := run(0)
+	if len(serial.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3 (one per handoff)", len(serial.Windows))
+	}
+	for i, w := range serial.Windows {
+		if w.Kind != "switch" || len(w.PrepareS2Times) == 0 {
+			t.Errorf("window %d unusable: %+v", i, w)
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		if got := run(workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d diverged from the serial engine", workers)
+		}
+	}
+}
+
+// TestLibrarySmoke runs every bundled scenario at small scale: parse its
+// canonical text, compile, run, and demand non-empty per-window metrics.
+// This is the CI rot guard for the scenario files (cmd/scenario -smoke
+// wraps the same check for the workflow).
+func TestLibrarySmoke(t *testing.T) {
+	for _, sc := range Library() {
+		t.Run(sc.Name, func(t *testing.T) {
+			small := sc.Scaled(120)
+			// Through the text format, so the bundled definitions and the
+			// parser cannot drift apart.
+			var buf bytes.Buffer
+			if err := small.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Parse(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := parsed.Run(sim.Fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Windows) == 0 {
+				t.Fatal("no measurement windows")
+			}
+			for i, w := range res.Windows {
+				if w.Cohort == 0 {
+					t.Errorf("window %d: empty cohort", i)
+				}
+				if w.MeasuredTicks == 0 {
+					t.Errorf("window %d: zero-length window", i)
+				}
+				if w.Kind == "switch" && len(w.PrepareS2Times) == 0 {
+					t.Errorf("window %d: nobody prepared the new stream", i)
+				}
+				if w.PlayedSegments == 0 {
+					t.Errorf("window %d: no playback recorded", i)
+				}
+			}
+		})
+	}
+}
+
+// TestScaled rescales flash crowds and clamps out-of-range pins.
+func TestScaled(t *testing.T) {
+	sc := FlashCrowdJoin() // 300 nodes, crowd of 150
+	small := sc.Scaled(100)
+	if small.Nodes != 100 {
+		t.Fatalf("nodes = %d", small.Nodes)
+	}
+	for _, ev := range small.Events {
+		if ev.Kind == sim.EvFlashCrowd && ev.Count != 50 {
+			t.Errorf("crowd not rescaled: %d", ev.Count)
+		}
+	}
+	chain := SerialHandoffChain().Scaled(100) // pins 41, 97, 155
+	if chain.Events[2].To != -1 {
+		t.Errorf("out-of-range pin not dropped: %d", chain.Events[2].To)
+	}
+	if chain.Events[0].To != 41 {
+		t.Errorf("in-range pin lost: %d", chain.Events[0].To)
+	}
+	// The original is untouched.
+	if sc.Events[0].Count != 150 {
+		t.Error("Scaled mutated its receiver")
+	}
+}
+
+func mustRun(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -128,9 +128,24 @@ type Config struct {
 	// minimum (a source "holding M connected neighbors", like every other
 	// node). Default: node 0.
 	FirstSource overlay.NodeID
-	// NewSource, when >= 0, pins the node promoted to S2 at the switch;
-	// otherwise a random alive non-source node is chosen.
+	// NewSource, when positive (or zero with PinNewSource set), pins the
+	// node promoted to S2 at the implicit single switch; otherwise a
+	// random alive non-source node is chosen. Ignored when Script is set
+	// (scenario events carry their own targets). Because the zero value
+	// must mean "unset", pinning node 0 requires PinNewSource.
 	NewSource overlay.NodeID
+	// PinNewSource disambiguates NewSource's zero value: when true,
+	// NewSource=0 pins node 0 instead of selecting a random new source.
+	PinNewSource bool
+
+	// Script, when set, replaces the implicit single-switch run with a
+	// scenario event timeline: tick-scheduled source switches (planned or
+	// crash), churn bursts, flash crowds, bandwidth shifts and extra
+	// measurement windows, each switch reporting its own metrics block in
+	// Result.Windows. When nil, the run executes the classic paper shape:
+	// WarmupTicks of warm-up, one planned switch (to NewSource), measured
+	// for HorizonTicks. See Script and the internal/scenario package.
+	Script *Script
 
 	// Churn enables the dynamic environment; nil means static.
 	Churn *ChurnConfig
@@ -190,7 +205,9 @@ func (c Config) Defaulted() Config {
 	if c.HorizonTicks <= 0 {
 		c.HorizonTicks = 150
 	}
-	if c.NewSource == 0 && c.FirstSource == 0 {
+	if c.NewSource == 0 && !c.PinNewSource {
+		// The zero value means "unset" (random pick): pinning node 0
+		// requires the explicit PinNewSource flag.
 		c.NewSource = -1
 	}
 	return c
@@ -219,6 +236,11 @@ func (c Config) Validate() error {
 		}
 		if c.Churn.JoinFraction < 0 || c.Churn.JoinFraction >= 1 {
 			return fmt.Errorf("sim: JoinFraction %v out of [0,1)", c.Churn.JoinFraction)
+		}
+	}
+	if c.Script != nil {
+		if err := c.Script.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -45,6 +45,15 @@ func resultsEqual(t *testing.T, label string, a, b *Result) {
 	}
 	seriesEqual("undeliveredS1", a.UndeliveredS1, b.UndeliveredS1)
 	seriesEqual("deliveredS2", a.DeliveredS2, b.DeliveredS2)
+	if len(a.Windows) != len(b.Windows) {
+		t.Errorf("%s: window counts diverged: %d vs %d", label, len(a.Windows), len(b.Windows))
+		return
+	}
+	for i := range a.Windows {
+		if !reflect.DeepEqual(a.Windows[i], b.Windows[i]) {
+			t.Errorf("%s: window %d diverged:\n%+v\nvs\n%+v", label, i, a.Windows[i], b.Windows[i])
+		}
+	}
 }
 
 // TestEngineWorkerCountInvariance is the determinism regression test of
@@ -65,6 +74,23 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 		{"perlink-normal-algo", func(c *Config) {
 			c.SharedOutbound = false
 			c.NewAlgorithm = Normal
+		}},
+		// The scenario engine's events phase under the full event alphabet:
+		// a serial handoff chain with a churn burst, a flash crowd, a
+		// bandwidth shift and a plain measurement window, on top of
+		// baseline churn. Every event must be worker-count invariant.
+		{"scripted-chain", func(c *Config) {
+			c.SharedOutbound = true
+			c.Churn = &ChurnConfig{LeaveFraction: 0.02, JoinFraction: 0.02}
+			c.Script = &Script{Events: []Event{
+				SwitchAt(25, -1),
+				FlashCrowdAt(35, 40, 120),
+				ChurnBurstAt(45, 15, 0.08, 0.05),
+				SwitchAt(70, -1),
+				BandwidthShiftAt(85, 0.7),
+				SwitchAt(110, 5),
+				MeasureAt(160, 25),
+			}, Duration: 200}
 		}},
 	}
 	for _, sc := range scenarios {

@@ -20,6 +20,9 @@ type nodeState struct {
 	id      overlay.NodeID
 	buf     *buffer.Buffer
 	profile bandwidth.Profile
+	// base is the node's unshifted capacity profile: the anchor
+	// BandwidthShift events rescale from (profile = base × factor).
+	base    bandwidth.Profile
 	in, out *bandwidth.Budget
 
 	alive    bool
@@ -129,6 +132,7 @@ func newNodeState(id overlay.NodeID, prof bandwidth.Profile, bufCap, joinTick in
 		id:            id,
 		buf:           buffer.New(bufCap),
 		profile:       prof,
+		base:          prof,
 		in:            bandwidth.NewBudget(prof.In),
 		out:           bandwidth.NewBudget(prof.Out),
 		alive:         true,

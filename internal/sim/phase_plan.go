@@ -63,7 +63,7 @@ func (s *Sim) planRound() {
 				continue
 			}
 			// Map exchange cost: nd receives its alive neighbors' maps.
-			if s.measuring && round == 0 {
+			if s.win.active && round == 0 {
 				for _, v := range s.g.Neighbors(nd.id) {
 					if s.nodes[v].alive {
 						sh.controlBits += wire

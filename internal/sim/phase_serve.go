@@ -86,7 +86,7 @@ func (s *Sim) serveRound() {
 			req.markGranted(p.seg)
 			granted = true
 			s.delivered = append(s.delivered, delivery{to: p.from, seg: p.seg})
-			if s.measuring {
+			if s.win.active {
 				s.dataBits += bandwidth.BitsForSegments(1)
 			}
 		}

@@ -100,7 +100,7 @@ func (s *Sim) phasePlayback() {
 				continue
 			}
 			s.advancePlayback(nd, sessions, perTick)
-			if s.measuring && nd.inCohort && nd.prepareS2Tick == unset && nd.known > s.newSessionIdx {
+			if s.win.active && s.win.isSwitch && nd.inCohort && nd.prepareS2Tick == unset && nd.known > s.newSessionIdx {
 				if nd.undeliveredIn(s.s2Begin, s.s2Begin+segment.ID(s.cfg.Qs)-1) == 0 {
 					nd.prepareS2Tick = s.tick
 				}
@@ -126,13 +126,13 @@ func (s *Sim) advancePlayback(n *nodeState, sessions []segment.Session, perTick 
 		if !n.buf.Has(n.playhead) {
 			// Stall: hole at the playhead. The remaining playback slots of
 			// this period are lost (continuity accounting).
-			if s.measuring && n.inCohort {
+			if s.win.active && n.inCohort {
 				n.stalled += perTick - consumed
 			}
 			return
 		}
 		n.playhead++
-		if s.measuring && n.inCohort {
+		if s.win.active && n.inCohort {
 			n.played++
 		}
 	}
@@ -161,7 +161,7 @@ func (s *Sim) tryStart(n *nodeState, sessions []segment.Session, cur segment.Ses
 	}
 	n.playActive = true
 	n.playhead = n.anchor
-	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx && n.startS2Tick == unset {
+	if s.win.active && s.win.isSwitch && n.inCohort && n.sessionIdx == s.newSessionIdx && n.startS2Tick == unset {
 		n.startS2Tick = s.tick
 	}
 	return true
@@ -169,7 +169,7 @@ func (s *Sim) tryStart(n *nodeState, sessions []segment.Session, cur segment.Ses
 
 // finishSession transitions a node that played its session to the end.
 func (s *Sim) finishSession(n *nodeState, cur segment.Session) {
-	if s.measuring && n.inCohort && n.sessionIdx == s.newSessionIdx-1 && n.finishS1Tick == unset {
+	if s.win.active && s.win.isSwitch && n.inCohort && n.sessionIdx == s.newSessionIdx-1 && n.finishS1Tick == unset {
 		n.finishS1Tick = s.tick
 	}
 	n.playActive = false
@@ -181,13 +181,22 @@ func (s *Sim) finishSession(n *nodeState, cur segment.Session) {
 // phaseChurn removes LeaveFraction of the alive non-source nodes and adds
 // JoinFraction fresh nodes, wired through the membership directory.
 // Running at tick end, after playback: departures and joins take effect
-// for the next period's refill and planning.
+// for the next period's refill and planning. A ChurnBurst event overrides
+// the baseline fractions for its duration.
 func (s *Sim) phaseChurn() {
-	if s.cfg.Churn == nil {
+	cc := s.cfg.Churn
+	if s.burst != nil {
+		if s.tick < s.burstUntil {
+			cc = s.burst
+		} else {
+			s.burst = nil
+		}
+	}
+	if cc == nil {
 		return
 	}
 	alive := s.dir.AliveCount()
-	leaves := int(s.cfg.Churn.LeaveFraction * float64(alive))
+	leaves := int(cc.LeaveFraction * float64(alive))
 	for i := 0; i < leaves; i++ {
 		victim := s.dir.RandomAlive(s.oldSource, s.newSource)
 		if victim < 0 {
@@ -199,11 +208,12 @@ func (s *Sim) phaseChurn() {
 		s.nodes[victim].alive = false
 		s.dir.Leave(victim)
 	}
-	joins := int(s.cfg.Churn.JoinFraction * float64(alive))
+	joins := int(cc.JoinFraction * float64(alive))
 	for i := 0; i < joins; i++ {
 		id, neighbors := s.dir.Join()
 		prof := bandwidth.Profile{In: bandwidth.DrawRate(s.churnRNG), Out: bandwidth.DrawRate(s.churnRNG)}
 		n := newNodeState(id, prof, s.cfg.BufferCap, s.tick)
+		s.applyShift(n)
 		// "A new joining node ... starts its media playback by following
 		// its neighbors' current steps" (Section 5.4).
 		anchor := segment.ID(0)

@@ -3,88 +3,138 @@ package sim
 import (
 	"fmt"
 
+	"gossipstream/internal/overlay"
 	"gossipstream/internal/stats"
 )
 
-// Result is everything one simulation run measured about its source
-// switch. Times are seconds relative to the switch instant ("simulation
-// time 0" in the paper's figures).
-type Result struct {
-	Algorithm string
-	Nodes     int // alive nodes at the switch
-	Cohort    int // nodes eligible for switch metrics
+// SwitchMetrics is everything one measurement window recorded. A run
+// produces one window per SwitchSource or MeasureWindow event of its
+// script (the implicit paper script has exactly one), so a three-handoff
+// conference reports three switch-metrics blocks. Times are seconds
+// relative to the window's opening instant ("simulation time 0" in the
+// paper's figures — the switch instant for switch windows).
+type SwitchMetrics struct {
+	Window int    // position in the run's window sequence
+	Kind   string // "switch" (a SwitchSource event) or "measure"
+	Tick   int    // absolute tick the window opened (the switch instant)
 
-	// Per-node completion times (only nodes that completed in-horizon).
-	FinishS1Times  []float64 // finished the whole playback of S1
-	PrepareS2Times []float64 // gathered the first Qs segments of S2
-	StartS2Times   []float64 // actually started playing S2
+	// Switch windows only: the handoff endpoints.
+	OldSource overlay.NodeID // the source that stopped streaming
+	NewSource overlay.NodeID // the promoted source
+	Failure   bool           // the old source crashed instead of handing off
 
-	// Incomplete counts at measurement end.
+	Nodes  int // alive nodes when the window opened
+	Cohort int // nodes eligible for the window's metrics
+
+	// Per-node completion times (only nodes that completed in-window).
+	FinishS1Times  []float64 // finished the whole playback of the ended stream
+	PrepareS2Times []float64 // gathered the first Qs segments of the new stream
+	StartS2Times   []float64 // actually started playing the new stream
+
+	// Incomplete counts at window end.
 	UnfinishedS1 int
 	UnpreparedS2 int
 
-	// Ratio tracks (Figures 5/9); nil unless Config.TrackRatios.
+	// Ratio tracks (Figures 5/9); nil unless Config.TrackRatios (switch
+	// windows only).
 	UndeliveredS1 *stats.Series // Σ Q1(t) / Σ Q0 over the surviving cohort
 	DeliveredS2   *stats.Series // Σ (Qs−Q2(t)) / Σ Qs over the surviving cohort
 
-	// Communication accounting over the measurement window.
+	// Communication accounting over the window.
 	ControlBits int64
 	DataBits    int64
 
-	// Playback continuity accounting over the measurement window, summed
-	// across the cohort: segments actually played, and playback slots
-	// lost to a stall (a hole at the playhead while mid-stream).
+	// Playback continuity accounting over the window, summed across the
+	// cohort: segments actually played, and playback slots lost to a
+	// stall (a hole at the playhead while mid-stream).
 	PlayedSegments int64
 	StalledSlots   int64
 
-	// MeasuredTicks is the length of the measurement window.
+	// MeasuredTicks is the length of the window.
 	MeasuredTicks int
-	// Horizon reports whether measurement stopped at the horizon rather
+	// HitHorizon reports whether the window stopped at its horizon rather
 	// than at cohort completion.
 	HitHorizon bool
+	// Interrupted reports whether a later event cut the window short
+	// (e.g. the next handoff of a chain fired before the cohort
+	// completed).
+	Interrupted bool
 }
 
-// Continuity returns the cohort's playback continuity during the switch
-// window: played / (played + stalled). The paper argues the fast switch
+// Continuity returns the cohort's playback continuity during the window:
+// played / (played + stalled). The paper argues the fast switch
 // "indirectly increases the playback continuity"; this makes the claim
 // measurable. Returns 1 when nothing was played (no slots lost).
-func (r *Result) Continuity() float64 {
-	total := r.PlayedSegments + r.StalledSlots
+func (m *SwitchMetrics) Continuity() float64 {
+	total := m.PlayedSegments + m.StalledSlots
 	if total == 0 {
 		return 1
 	}
-	return float64(r.PlayedSegments) / float64(total)
+	return float64(m.PlayedSegments) / float64(total)
 }
 
-// AvgFinishS1 returns the average finishing time of S1 (paper metric).
-func (r *Result) AvgFinishS1() float64 { return stats.Mean(r.FinishS1Times) }
+// AvgFinishS1 returns the average finishing time of the ended stream
+// (paper metric).
+func (m *SwitchMetrics) AvgFinishS1() float64 { return stats.Mean(m.FinishS1Times) }
 
-// AvgPrepareS2 returns the average preparing time of S2 — the paper's
-// "average switch time".
-func (r *Result) AvgPrepareS2() float64 { return stats.Mean(r.PrepareS2Times) }
+// AvgPrepareS2 returns the average preparing time of the new stream —
+// the paper's "average switch time".
+func (m *SwitchMetrics) AvgPrepareS2() float64 { return stats.Mean(m.PrepareS2Times) }
 
-// AvgStartS2 returns the average actual S2 playback start time
-// (max of the two start conditions per node).
-func (r *Result) AvgStartS2() float64 { return stats.Mean(r.StartS2Times) }
+// AvgStartS2 returns the average actual playback start time of the new
+// stream (max of the two start conditions per node).
+func (m *SwitchMetrics) AvgStartS2() float64 { return stats.Mean(m.StartS2Times) }
 
-// MaxFinishS1 returns the last node's S1 finishing time.
-func (r *Result) MaxFinishS1() float64 { return stats.Max(r.FinishS1Times) }
+// MaxFinishS1 returns the last node's finishing time.
+func (m *SwitchMetrics) MaxFinishS1() float64 { return stats.Max(m.FinishS1Times) }
 
-// MaxPrepareS2 returns the last node's S2 preparing time.
-func (r *Result) MaxPrepareS2() float64 { return stats.Max(r.PrepareS2Times) }
+// MaxPrepareS2 returns the last node's preparing time.
+func (m *SwitchMetrics) MaxPrepareS2() float64 { return stats.Max(m.PrepareS2Times) }
 
 // Overhead returns the communication overhead: buffer-map control bits
-// over data payload bits in the measurement window (Section 5.2 metric 3).
-func (r *Result) Overhead() float64 {
-	if r.DataBits == 0 {
+// over data payload bits in the window (Section 5.2 metric 3).
+func (m *SwitchMetrics) Overhead() float64 {
+	if m.DataBits == 0 {
 		return 0
 	}
-	return float64(r.ControlBits) / float64(r.DataBits)
+	return float64(m.ControlBits) / float64(m.DataBits)
+}
+
+// String implements fmt.Stringer with the window's headline numbers.
+func (m *SwitchMetrics) String() string {
+	if m.Kind == "measure" {
+		return fmt.Sprintf("window %d (measure, t=%d): cohort=%d continuity=%.4f overhead=%.4f",
+			m.Window, m.Tick, m.Cohort, m.Continuity(), m.Overhead())
+	}
+	return fmt.Sprintf("window %d (switch %d->%d, t=%d): cohort=%d finishS1=%.2fs prepareS2=%.2fs (unfinished=%d unprepared=%d)",
+		m.Window, m.OldSource, m.NewSource, m.Tick, m.Cohort,
+		m.AvgFinishS1(), m.AvgPrepareS2(), m.UnfinishedS1, m.UnpreparedS2)
+}
+
+// Result is everything one simulation run measured. The embedded
+// SwitchMetrics mirrors the run's first switch window, so single-switch
+// callers read the paper's metrics (and call the metric methods) off the
+// Result directly, exactly as before the scenario engine; Windows holds
+// every measurement window of the run in order.
+type Result struct {
+	Algorithm string
+
+	// SwitchMetrics mirrors Windows' first switch window (or the first
+	// window of any kind, when the script never switched).
+	SwitchMetrics
+
+	// Windows are the run's measurement windows in opening order: one per
+	// SwitchSource and MeasureWindow event that fired.
+	Windows []*SwitchMetrics
 }
 
 // String implements fmt.Stringer with the headline numbers.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s: n=%d cohort=%d finishS1=%.2fs prepareS2=%.2fs overhead=%.4f (unfinished=%d unprepared=%d)",
+	s := fmt.Sprintf("%s: n=%d cohort=%d finishS1=%.2fs prepareS2=%.2fs overhead=%.4f (unfinished=%d unprepared=%d)",
 		r.Algorithm, r.Nodes, r.Cohort, r.AvgFinishS1(), r.AvgPrepareS2(), r.Overhead(),
 		r.UnfinishedS1, r.UnpreparedS2)
+	if len(r.Windows) > 1 {
+		s += fmt.Sprintf(" [%d windows]", len(r.Windows))
+	}
+	return s
 }

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"gossipstream/internal/overlay"
+)
+
+// An Event is one tick-scheduled change of the simulated world: the
+// currency of the scenario engine. A run executes a Script — an ordered
+// timeline of events — through the `events` pipeline phase, which fires
+// at the start of each tick, before arrivals. Events are serial (they
+// mutate global structure: the timeline, the membership directory, node
+// rates), so the engine's shard/merge determinism contract holds
+// trivially; any randomness an event draws comes from a fresh per-event
+// stream derived via engine.SeedFor with the rngEvents tag, never from a
+// worker-dependent source.
+//
+// Construct events with the XxxAt helpers: the zero value of To pins
+// node 0, so building Event literals by hand risks the same zero-value
+// ambiguity Config.NewSource used to have.
+type Event struct {
+	// Tick schedules the event: it fires at the start of that tick.
+	Tick int
+	// Kind selects the event type and which parameter fields apply.
+	Kind EventKind
+
+	// To pins the node promoted to source by an EvSwitchSource (node 0 is
+	// a valid target); negative picks a uniformly random alive non-source
+	// node. A pinned target that is dead, out of range, or already a
+	// source falls back to the random pick.
+	To overlay.NodeID
+	// Failure makes the switch an abrupt source crash instead of a
+	// planned handoff: the old source leaves the overlay (membership
+	// repairs around it) and the stream is truncated at the last segment
+	// id any other alive node holds — segments that never left the
+	// crashed speaker's machine are lost.
+	Failure bool
+	// Horizon bounds the switch measurement window in ticks
+	// (0 → Config.HorizonTicks).
+	Horizon int
+
+	// Ticks is the duration of an EvMeasureWindow or EvChurnBurst.
+	Ticks int
+
+	// Leave and Join are the per-tick churn fractions of an EvChurnBurst,
+	// overriding Config.Churn for the burst's duration.
+	Leave, Join float64
+
+	// Count is the batch size of an EvFlashCrowd.
+	Count int
+	// Backlog bounds a flash-crowd joiner's catch-up backlog in segments:
+	// joiners anchor at most Backlog segments behind the stream head.
+	// 0 anchors at the current session's beginning (full catch-up, the
+	// conference-latecomer semantics).
+	Backlog int
+
+	// Factor is the EvBandwidthShift rate multiplier, applied to every
+	// non-source node's base profile (1.0 restores the baseline).
+	Factor float64
+}
+
+// EventKind enumerates the scenario event types.
+type EventKind uint8
+
+const (
+	// EvSwitchSource ends the current source's session and promotes a new
+	// source — a planned handoff, or an abrupt crash when Failure is set.
+	// Opens a switch measurement window (one switch-metrics block per
+	// event in Result.Windows).
+	EvSwitchSource EventKind = iota + 1
+	// EvMeasureWindow opens a plain measurement window for Ticks ticks:
+	// playback continuity and communication bits, without switch
+	// semantics. Used to quantify disruption from churn bursts or flash
+	// crowds in scenarios that do not switch.
+	EvMeasureWindow
+	// EvChurnBurst overrides the baseline churn with Leave/Join fractions
+	// for Ticks ticks (a churn storm).
+	EvChurnBurst
+	// EvFlashCrowd joins Count fresh nodes at once through the membership
+	// protocol; unlike churn joiners (who adopt their neighbors' playback
+	// position) they play the current stream from its beginning — the
+	// catch-up backlog of a crowd arriving late to a live event.
+	EvFlashCrowd
+	// EvBandwidthShift scales every non-source node's rates by Factor.
+	EvBandwidthShift
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvSwitchSource:
+		return "switch"
+	case EvMeasureWindow:
+		return "measure"
+	case EvChurnBurst:
+		return "churnburst"
+	case EvFlashCrowd:
+		return "crowd"
+	case EvBandwidthShift:
+		return "bandwidth"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// SwitchAt schedules a planned source handoff (to < 0: random successor).
+func SwitchAt(tick int, to overlay.NodeID) Event {
+	return Event{Tick: tick, Kind: EvSwitchSource, To: to}
+}
+
+// CrashAt schedules an abrupt source failure with successor to
+// (to < 0: random successor).
+func CrashAt(tick int, to overlay.NodeID) Event {
+	return Event{Tick: tick, Kind: EvSwitchSource, To: to, Failure: true}
+}
+
+// MeasureAt schedules a plain measurement window of the given length.
+func MeasureAt(tick, ticks int) Event {
+	return Event{Tick: tick, Kind: EvMeasureWindow, Ticks: ticks}
+}
+
+// ChurnBurstAt schedules a churn burst of the given length and fractions.
+func ChurnBurstAt(tick, ticks int, leave, join float64) Event {
+	return Event{Tick: tick, Kind: EvChurnBurst, Ticks: ticks, Leave: leave, Join: join}
+}
+
+// FlashCrowdAt schedules a batch arrival of count nodes; backlog bounds
+// their catch-up backlog in segments (0: the whole current session).
+func FlashCrowdAt(tick, count, backlog int) Event {
+	return Event{Tick: tick, Kind: EvFlashCrowd, Count: count, Backlog: backlog}
+}
+
+// BandwidthShiftAt schedules a rate shift of every non-source node.
+func BandwidthShiftAt(tick int, factor float64) Event {
+	return Event{Tick: tick, Kind: EvBandwidthShift, Factor: factor}
+}
+
+// Script is a declarative event timeline driving one run. A nil
+// Config.Script selects the implicit paper script — a single planned
+// switch at WarmupTicks measured for HorizonTicks — so the scenario
+// engine and the classic single-switch path are one code path.
+type Script struct {
+	// Events fire in Tick order; same-tick events fire in slice order.
+	Events []Event
+	// Duration caps the run length in ticks. 0 derives it from the
+	// timeline — every window gets room to reach its horizon, and the run
+	// ends early once all events have fired and every window has closed.
+	// A positive Duration is honored exactly: the run executes that many
+	// ticks (a window still open at the cap closes as Interrupted).
+	Duration int
+}
+
+// Validate reports script errors.
+func (sc *Script) Validate() error {
+	if len(sc.Events) == 0 && sc.Duration <= 0 {
+		return fmt.Errorf("sim: empty script needs a positive Duration")
+	}
+	if sc.Duration < 0 {
+		return fmt.Errorf("sim: negative script Duration %d", sc.Duration)
+	}
+	for i, ev := range sc.Events {
+		if ev.Tick < 0 {
+			return fmt.Errorf("sim: event %d at negative tick %d", i, ev.Tick)
+		}
+		switch ev.Kind {
+		case EvSwitchSource:
+			if ev.Horizon < 0 {
+				return fmt.Errorf("sim: event %d: negative horizon %d", i, ev.Horizon)
+			}
+		case EvMeasureWindow:
+			if ev.Ticks <= 0 {
+				return fmt.Errorf("sim: event %d: measure window needs positive Ticks", i)
+			}
+		case EvChurnBurst:
+			if ev.Ticks <= 0 {
+				return fmt.Errorf("sim: event %d: churn burst needs positive Ticks", i)
+			}
+			if ev.Leave < 0 || ev.Leave >= 1 || ev.Join < 0 || ev.Join >= 1 {
+				return fmt.Errorf("sim: event %d: churn fractions (%v, %v) out of [0,1)", i, ev.Leave, ev.Join)
+			}
+		case EvFlashCrowd:
+			if ev.Count <= 0 {
+				return fmt.Errorf("sim: event %d: flash crowd needs positive Count", i)
+			}
+			if ev.Backlog < 0 {
+				return fmt.Errorf("sim: event %d: negative backlog %d", i, ev.Backlog)
+			}
+		case EvBandwidthShift:
+			if ev.Factor <= 0 {
+				return fmt.Errorf("sim: event %d: bandwidth factor %v must be positive", i, ev.Factor)
+			}
+		default:
+			return fmt.Errorf("sim: event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by tick (stable, so same-tick events
+// keep their authored order).
+func (sc *Script) sorted() []Event {
+	out := make([]Event, len(sc.Events))
+	copy(out, sc.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tick < out[j].Tick })
+	return out
+}

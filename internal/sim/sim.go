@@ -15,10 +15,13 @@ import (
 
 // Sim is one streaming system instance. Create with New, execute with Run.
 // A Sim is not reusable after Run. Each tick executes the phase pipeline
-// (arrivals → generate → refill → plan/serve rounds → deliver → playback →
-// churn → record); the plan, serve, refill and playback phases shard
-// per-node work across the engine worker pool, under the engine package's
-// determinism contract — results are bit-identical at any worker count.
+// (events → arrivals → generate → refill → plan/serve rounds → deliver →
+// playback → churn → record); the plan, serve, refill and playback phases
+// shard per-node work across the engine worker pool, under the engine
+// package's determinism contract — results are bit-identical at any
+// worker count. The events phase executes the run's Script (the scenario
+// engine); a nil Config.Script selects the implicit paper script: one
+// planned switch at WarmupTicks, measured for HorizonTicks.
 type Sim struct {
 	cfg Config
 
@@ -38,15 +41,37 @@ type Sim struct {
 	tl      *segment.Timeline
 	nextGen segment.ID // next id the current source will emit
 
+	// Event timeline: the run's Script (or the implicit single switch),
+	// sorted by tick; nextEvent indexes the first unfired event.
+	events    []Event
+	nextEvent int
+	duration  int
+	// earlyExit lets the run end before duration once all events fired
+	// and all windows closed. True unless the script set an explicit
+	// Duration — a user-set cap is honored exactly.
+	earlyExit bool
+	// runErr records an event that could not be applied (e.g. a switch
+	// with no eligible successor); Run surfaces it.
+	runErr error
+
+	// Latest-switch state, updated by each SwitchSource event. The
+	// playback and planning phases read these to classify segments into
+	// the ending stream (S1) and the new stream (S2) of the most recent
+	// switch.
 	oldSource, newSource overlay.NodeID
-	switchTick           int
 	s1End, s2Begin       segment.ID
 	newSessionIdx        int
 
-	tick      int
-	measuring bool
+	// Scenario environment state.
+	burst      *ChurnConfig // churn-burst override, nil outside bursts
+	burstUntil int          // first tick after the burst
+	bwFactor   float64      // current bandwidth shift factor (1 = baseline)
 
-	// measurement state
+	tick int
+	ran  bool
+	win  window // the open measurement window, if any
+
+	// Window-relative measurement state (reset when a window opens).
 	cohort      []overlay.NodeID
 	controlBits int64
 	dataBits    int64
@@ -69,11 +94,23 @@ type Sim struct {
 	diagPlanned    int
 }
 
-// RNG stream tags of the parallel phases (the `phase` input of
-// engine.SeedFor). New parallel phases must claim fresh tags.
+// window is the state of one open measurement window. At most one window
+// is open at a time: a new SwitchSource or MeasureWindow event closes the
+// previous window (marking it Interrupted) before opening its own.
+type window struct {
+	active   bool
+	isSwitch bool
+	openTick int
+	horizon  int
+	metrics  *SwitchMetrics
+}
+
+// RNG stream tags of the phases that draw randomness (the `phase` input
+// of engine.SeedFor). New parallel phases must claim fresh tags.
 const (
 	rngPlan = iota + 1
 	rngServe
+	rngEvents
 )
 
 // New validates the configuration and builds the initial system: all
@@ -90,6 +127,7 @@ func New(cfg Config) (*Sim, error) {
 		profRNG:  rand.New(rand.NewSource(cfg.Seed ^ 0x0ba5_e5)),
 		g:        cfg.Graph,
 		algo:     cfg.NewAlgorithm(),
+		bwFactor: 1,
 	}
 	s.dir = membership.NewDirectory(s.g, neighborTarget(s.g), rand.New(rand.NewSource(cfg.Seed^0x3a11ce)))
 
@@ -120,6 +158,24 @@ func New(cfg Config) (*Sim, error) {
 
 	s.incoming = make([][]pullRequest, len(s.nodes))
 	s.newSessionIdx = -1
+	s.newSource = -1
+
+	script := cfg.Script
+	if script == nil {
+		// The implicit paper script: warm up, then one planned switch
+		// measured for the configured horizon.
+		script = &Script{
+			Events:   []Event{SwitchAt(cfg.WarmupTicks, cfg.NewSource)},
+			Duration: cfg.WarmupTicks + cfg.HorizonTicks,
+		}
+	}
+	s.events = script.sorted()
+	s.earlyExit = cfg.Script == nil || cfg.Script.Duration == 0
+	s.duration = script.Duration
+	if s.duration <= 0 {
+		s.duration = s.autoDuration()
+	}
+	s.res = &Result{Algorithm: s.algo.Name()}
 
 	workers := cfg.Workers
 	if workers == 0 {
@@ -135,6 +191,7 @@ func New(cfg Config) (*Sim, error) {
 		engine.Phase{Name: "serve", Run: s.serveRound},
 	)
 	s.pipeline = engine.NewPipeline(
+		engine.Phase{Name: "events", Run: s.phaseEvents},
 		engine.Phase{Name: "arrivals", Run: s.phaseArrivals},
 		engine.Phase{Name: "generate", Run: s.phaseGenerate},
 		engine.Phase{Name: "refill", Run: s.phaseRefill},
@@ -145,6 +202,28 @@ func New(cfg Config) (*Sim, error) {
 		engine.Phase{Name: "record", Run: s.phaseRecord},
 	)
 	return s, nil
+}
+
+// autoDuration derives the run length from the event timeline: every
+// measurement window gets room to reach its horizon.
+func (s *Sim) autoDuration() int {
+	end := 1
+	for _, ev := range s.events {
+		after := 1
+		switch ev.Kind {
+		case EvSwitchSource:
+			after = ev.Horizon
+			if after <= 0 {
+				after = s.cfg.HorizonTicks
+			}
+		case EvMeasureWindow, EvChurnBurst:
+			after = ev.Ticks
+		}
+		if t := ev.Tick + after; t > end {
+			end = t
+		}
+	}
+	return end
 }
 
 // Workers returns the engine concurrency the simulation runs with (1 for
@@ -188,28 +267,30 @@ func minDegreeNode(g *overlay.Graph) overlay.NodeID {
 	return best
 }
 
-// Run executes warm-up, the measured switch, and the post-switch window,
-// returning the collected Result.
+// Run executes the event timeline and returns the collected Result. The
+// run ends at the script's duration — or earlier, once every event has
+// fired and every measurement window has closed, when the duration was
+// auto-derived rather than set explicitly.
 func (s *Sim) Run() (*Result, error) {
-	if s.res != nil {
+	if s.ran {
 		return nil, fmt.Errorf("sim: Run called twice")
 	}
-	for s.tick = 0; s.tick < s.cfg.WarmupTicks; s.tick++ {
+	s.ran = true
+	for s.tick = 0; s.tick < s.duration; s.tick++ {
 		s.step()
-	}
-	s.performSwitch()
-	s.measuring = true
-	end := s.cfg.WarmupTicks + s.cfg.HorizonTicks
-	hitHorizon := true
-	for ; s.tick < end; s.tick++ {
-		s.step()
-		if s.cohortComplete() {
-			s.tick++
-			hitHorizon = false
+		if s.runErr != nil {
+			return nil, s.runErr
+		}
+		if s.earlyExit && !s.win.active && s.nextEvent >= len(s.events) {
 			break
 		}
 	}
-	s.finalize(hitHorizon)
+	// A window still open here was cut short by the duration cap, not by
+	// its own horizon (phaseRecord closes horizon expiries in the loop).
+	if s.win.active {
+		s.closeWindow(s.duration-s.win.openTick, false, true)
+	}
+	s.finalize()
 	return s.res, nil
 }
 
@@ -226,45 +307,256 @@ func (s *Sim) ensureShards(n int) int {
 	return shards
 }
 
-// performSwitch is simulation time "0": S1 stops streaming, a new source
-// is promoted and starts S2, and the measurement cohort is frozen.
-func (s *Sim) performSwitch() {
-	s.switchTick = s.tick
-	s.s1End = s.nextGen - 1
-	s.tl.Close(s.s1End)
-
-	s.newSource = s.cfg.NewSource
-	if s.newSource < 0 || !s.dir.IsAlive(s.newSource) || s.nodes[s.newSource].isSource {
-		s.newSource = s.dir.RandomAlive(s.oldSource)
+// phaseEvents executes the script: every event scheduled at or before the
+// current tick fires, in timeline order, at the start of the tick. The
+// phase is serial (events mutate global structure), so the shard/merge
+// determinism contract holds trivially; per-event randomness comes from a
+// fresh rngEvents stream keyed by (tick, event index), never from a
+// worker-dependent source.
+func (s *Sim) phaseEvents() {
+	for s.runErr == nil && s.nextEvent < len(s.events) && s.events[s.nextEvent].Tick <= s.tick {
+		ev := s.events[s.nextEvent]
+		idx := s.nextEvent
+		s.nextEvent++
+		s.fire(ev, idx)
 	}
-	ses, err := s.tl.Append(segment.SourceID(s.newSource))
+}
+
+// fire applies one event to the world.
+func (s *Sim) fire(ev Event, idx int) {
+	switch ev.Kind {
+	case EvSwitchSource:
+		s.applySwitch(ev)
+	case EvMeasureWindow:
+		s.closeWindow(s.tick-s.win.openTick, false, true)
+		s.openWindow(false, ev.Ticks, ev)
+	case EvChurnBurst:
+		s.burst = &ChurnConfig{LeaveFraction: ev.Leave, JoinFraction: ev.Join}
+		s.burstUntil = s.tick + ev.Ticks
+	case EvFlashCrowd:
+		rng := rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngEvents, s.tick, idx, 0)))
+		s.flashCrowd(ev, rng)
+	case EvBandwidthShift:
+		s.shiftBandwidth(ev.Factor)
+	}
+}
+
+// applySwitch is a switch event: the current source stops streaming (or
+// crashes), a new source is promoted and starts the next session, and a
+// fresh measurement window opens over the frozen cohort. This is the
+// generalization of the old single-switch performSwitch: the paper's
+// "simulation time 0", once per SwitchSource event.
+func (s *Sim) applySwitch(ev Event) {
+	cur := s.tl.Current()
+	old := overlay.NodeID(cur.Source)
+	oldNode := s.nodes[old]
+
+	// Resolve the successor before mutating anything, so an unservable
+	// switch surfaces as a run error with the world intact. (The pick
+	// draws no randomness on failure paths that matter: RandomAlive is
+	// untouched by the mutations below.)
+	to := ev.To
+	if to >= 0 && (int(to) >= len(s.nodes) || !s.dir.IsAlive(to) || s.nodes[to].isSource) {
+		to = -1
+	}
+	if to < 0 {
+		to = s.pickNewSource(old)
+	}
+	if to < 0 {
+		s.runErr = fmt.Errorf("sim: switch at tick %d: no eligible new source (every alive node is or was a source)", s.tick)
+		return
+	}
+
+	s.closeWindow(s.tick-s.win.openTick, false, true)
+
+	s1End := s.nextGen - 1
+	if ev.Failure {
+		// The speaker crashes mid-stream: segments that never left its
+		// machine are lost, so the session truncates at the last id any
+		// other alive node holds (the dead node's buffer is never
+		// consulted again — every supplier path checks alive — so the
+		// truncated ids are safely reused by the next session).
+		s1End = cur.Begin - 1
+		for _, n := range s.nodes {
+			if n.alive && !n.isSource && n.maxSeen > s1End {
+				s1End = n.maxSeen
+			}
+		}
+		oldNode.alive = false
+		s.dir.Leave(old)
+	}
+	s.s1End = s1End
+	s.tl.Close(s1End)
+
+	ses, err := s.tl.Append(segment.SourceID(to))
 	if err != nil {
 		panic(fmt.Sprintf("sim: timeline append: %v", err)) // unreachable: Close precedes
 	}
 	s.s2Begin = ses.Begin
+	s.nextGen = ses.Begin
 	s.newSessionIdx = len(s.tl.Sessions()) - 1
+	s.oldSource, s.newSource = old, to
 
-	ns := s.nodes[s.newSource]
+	ns := s.nodes[to]
 	ns.becomeSource(s.cfg.SourceOutFactor * s.cfg.P)
 	// The synchronization mechanism the paper assumes: the new source
 	// knows S1's ending segment id and embeds it in its first segments.
 	ns.known = s.newSessionIdx + 1
 
-	// Freeze the cohort and per-node Q0 baselines.
-	s.res = &Result{Algorithm: s.algo.Name(), Nodes: s.dir.AliveCount()}
-	if s.cfg.TrackRatios {
-		s.res.UndeliveredS1 = &stats.Series{Label: "undelivered-S1"}
-		s.res.DeliveredS2 = &stats.Series{Label: "delivered-S2"}
+	horizon := ev.Horizon
+	if horizon <= 0 {
+		horizon = s.cfg.HorizonTicks
 	}
+	s.openWindow(true, horizon, ev)
+}
+
+// pickNewSource draws a uniformly random alive node that never held the
+// source role, excluding old; -1 when none exists. The draw comes from
+// the membership directory's stream — the same stream churn picks from —
+// so a scripted single switch reproduces the classic path bit-for-bit.
+func (s *Sim) pickNewSource(old overlay.NodeID) overlay.NodeID {
+	for tries := 0; tries < 64; tries++ {
+		cand := s.dir.RandomAlive(old)
+		if cand < 0 {
+			return -1
+		}
+		if !s.nodes[cand].isSource {
+			return cand
+		}
+	}
+	// Dense ex-source corner (long handoff chains on tiny meshes):
+	// linear fallback keeps the pick total.
+	for _, cand := range s.dir.Alive() {
+		if cand != old && !s.nodes[cand].isSource {
+			return cand
+		}
+	}
+	return -1
+}
+
+// openWindow freezes the measurement cohort and per-node baselines for a
+// new window.
+func (s *Sim) openWindow(isSwitch bool, horizon int, ev Event) {
+	m := &SwitchMetrics{
+		Window: len(s.res.Windows),
+		Kind:   "measure",
+		Tick:   s.tick,
+		Nodes:  s.dir.AliveCount(),
+	}
+	if isSwitch {
+		m.Kind = "switch"
+		m.OldSource, m.NewSource, m.Failure = s.oldSource, s.newSource, ev.Failure
+	}
+	s.controlBits, s.dataBits = 0, 0
+	s.cohort = s.cohort[:0]
 	for _, n := range s.nodes {
-		if !n.alive || n.isSource {
+		eligible := n.alive && !n.isSource
+		n.inCohort = eligible
+		if !eligible {
 			continue
 		}
-		n.inCohort = true
-		n.q0 = n.undeliveredIn(s.windowLo(n), s.s1End)
+		n.played, n.stalled = 0, 0
+		if isSwitch {
+			n.finishS1Tick, n.prepareS2Tick, n.startS2Tick = unset, unset, unset
+			n.q0 = n.undeliveredIn(s.windowLo(n), s.s1End)
+		}
 		s.cohort = append(s.cohort, n.id)
 	}
-	s.res.Cohort = len(s.cohort)
+	m.Cohort = len(s.cohort)
+	if s.cfg.TrackRatios && isSwitch {
+		m.UndeliveredS1 = &stats.Series{Label: "undelivered-S1"}
+		m.DeliveredS2 = &stats.Series{Label: "delivered-S2"}
+	}
+	s.win = window{active: true, isSwitch: isSwitch, openTick: s.tick, horizon: horizon, metrics: m}
+}
+
+// closeWindow finalizes the open window (no-op when none is open):
+// per-node event ticks become the window's time samples and the window
+// joins Result.Windows.
+func (s *Sim) closeWindow(measured int, hitHorizon, interrupted bool) {
+	if !s.win.active {
+		return
+	}
+	m := s.win.metrics
+	m.MeasuredTicks = measured
+	m.HitHorizon = hitHorizon
+	m.Interrupted = interrupted
+	m.ControlBits = s.controlBits
+	m.DataBits = s.dataBits
+	for _, id := range s.cohort {
+		n := s.nodes[id]
+		if s.win.isSwitch {
+			if n.finishS1Tick != unset {
+				m.FinishS1Times = append(m.FinishS1Times, s.timeSince(n.finishS1Tick))
+			} else if n.alive {
+				m.UnfinishedS1++
+			}
+			if n.prepareS2Tick != unset {
+				m.PrepareS2Times = append(m.PrepareS2Times, s.timeSince(n.prepareS2Tick))
+			} else if n.alive {
+				m.UnpreparedS2++
+			}
+			if n.startS2Tick != unset {
+				m.StartS2Times = append(m.StartS2Times, s.timeSince(n.startS2Tick))
+			}
+		}
+		m.PlayedSegments += int64(n.played)
+		m.StalledSlots += int64(n.stalled)
+	}
+	s.res.Windows = append(s.res.Windows, m)
+	s.win.active = false
+}
+
+// flashCrowd joins a batch of fresh nodes through the membership
+// protocol. Unlike churn joiners, who adopt their neighbors' playback
+// position, crowd members play the current stream from its beginning
+// (bounded by Backlog) — the catch-up backlog of an audience arriving
+// late to a live event. Profiles are drawn from the event's own RNG
+// stream (the rngEvents tag).
+func (s *Sim) flashCrowd(ev Event, rng *rand.Rand) {
+	sessions := s.tl.Sessions()
+	curIdx := len(sessions) - 1
+	anchor := sessions[curIdx].Begin
+	if ev.Backlog > 0 {
+		if a := s.nextGen - segment.ID(ev.Backlog); a > anchor {
+			anchor = a
+		}
+	}
+	for i := 0; i < ev.Count; i++ {
+		id, _ := s.dir.Join()
+		prof := bandwidth.Profile{In: bandwidth.DrawRate(rng), Out: bandwidth.DrawRate(rng)}
+		n := newNodeState(id, prof, s.cfg.BufferCap, s.tick)
+		n.anchor, n.playhead = anchor, anchor
+		n.sessionIdx = curIdx
+		n.known = curIdx + 1
+		s.applyShift(n)
+		s.nodes = append(s.nodes, n)
+		s.incoming = append(s.incoming, nil)
+	}
+}
+
+// shiftBandwidth rescales every non-source node's rates to factor times
+// its base profile (sources keep their boosted outbound; nodes that have
+// not arrived yet shift too, so they join at the shifted rate).
+func (s *Sim) shiftBandwidth(factor float64) {
+	s.bwFactor = factor
+	for _, n := range s.nodes {
+		if n.isSource {
+			continue
+		}
+		s.applyShift(n)
+	}
+}
+
+// applyShift sets a node's working profile to base × the current shift
+// (factor 1 restores the baseline exactly).
+func (s *Sim) applyShift(n *nodeState) {
+	if n.isSource {
+		return
+	}
+	n.profile = bandwidth.Profile{In: n.base.In * s.bwFactor, Out: n.base.Out * s.bwFactor}
+	n.in.SetRate(n.profile.In)
+	n.out.SetRate(n.profile.Out)
 }
 
 // windowLo is the lowest segment id the node still cares about: its
@@ -318,16 +610,28 @@ func (s *Sim) cohortComplete() bool {
 	return true
 }
 
-// phaseRecord appends the tick's aggregate ratio points (bit counters are
-// updated inline by the other phases).
+// phaseRecord appends the tick's aggregate ratio points (bit counters
+// are updated inline by the other phases) and closes the open window
+// when its cohort completed or its horizon ran out.
 func (s *Sim) phaseRecord() {
-	if s.measuring {
+	if !s.win.active {
+		return
+	}
+	if s.win.isSwitch {
 		s.recordTick()
+	}
+	elapsed := s.tick - s.win.openTick + 1
+	switch {
+	case s.win.isSwitch && s.cohortComplete():
+		s.closeWindow(elapsed, false, false)
+	case elapsed >= s.win.horizon:
+		s.closeWindow(s.win.horizon, true, false)
 	}
 }
 
 func (s *Sim) recordTick() {
-	if !s.cfg.TrackRatios {
+	m := s.win.metrics
+	if m.UndeliveredS1 == nil {
 		return
 	}
 	var q1Sum, q0Sum, d2Sum, qsSum int
@@ -356,45 +660,31 @@ func (s *Sim) recordTick() {
 	}
 	t := s.timeSince(s.tick)
 	if q0Sum > 0 {
-		s.res.UndeliveredS1.Append(t, float64(q1Sum)/float64(q0Sum))
+		m.UndeliveredS1.Append(t, float64(q1Sum)/float64(q0Sum))
 	}
 	if qsSum > 0 {
-		s.res.DeliveredS2.Append(t, float64(d2Sum)/float64(qsSum))
+		m.DeliveredS2.Append(t, float64(d2Sum)/float64(qsSum))
 	}
 }
 
-// timeSince converts an event tick into seconds after the switch: events
-// land at the end of their period.
+// timeSince converts an event tick into seconds after the open window's
+// start (the switch instant for switch windows): events land at the end
+// of their period.
 func (s *Sim) timeSince(tick int) float64 {
-	return float64(tick-s.switchTick+1) * s.cfg.Tau
+	return float64(tick-s.win.openTick+1) * s.cfg.Tau
 }
 
-// finalize assembles the Result from per-node event ticks.
-func (s *Sim) finalize(hitHorizon bool) {
-	r := s.res
-	r.HitHorizon = hitHorizon
-	r.MeasuredTicks = s.tick - s.switchTick
-	r.ControlBits = s.controlBits
-	r.DataBits = s.dataBits
-	var played, stalled int64
-	for _, id := range s.cohort {
-		n := s.nodes[id]
-		if n.finishS1Tick != unset {
-			r.FinishS1Times = append(r.FinishS1Times, s.timeSince(n.finishS1Tick))
-		} else if n.alive {
-			r.UnfinishedS1++
+// finalize mirrors the first switch window (or the first window of any
+// kind) into the Result's embedded flat metrics, preserving the classic
+// single-switch read path.
+func (s *Sim) finalize() {
+	for _, w := range s.res.Windows {
+		if w.Kind == "switch" {
+			s.res.SwitchMetrics = *w
+			return
 		}
-		if n.prepareS2Tick != unset {
-			r.PrepareS2Times = append(r.PrepareS2Times, s.timeSince(n.prepareS2Tick))
-		} else if n.alive {
-			r.UnpreparedS2++
-		}
-		if n.startS2Tick != unset {
-			r.StartS2Times = append(r.StartS2Times, s.timeSince(n.startS2Tick))
-		}
-		played += int64(n.played)
-		stalled += int64(n.stalled)
 	}
-	r.PlayedSegments = played
-	r.StalledSlots = stalled
+	if len(s.res.Windows) > 0 {
+		s.res.SwitchMetrics = *s.res.Windows[0]
+	}
 }

@@ -143,19 +143,21 @@ func TestSeedSensitivity(t *testing.T) {
 }
 
 // invariantSim runs a simulation tick by tick, checking conservation
-// invariants after every step.
+// invariants after every step. The switch fires through the event queue
+// (the events phase at the start of its tick), exactly as Run drives it.
 func TestTickInvariants(t *testing.T) {
 	g := testTopology(t, 120, 5)
-	s, err := New(quickConfig(g, Fast))
+	cfg := quickConfig(g, Fast)
+	total := cfg.WarmupTicks + 40
+	cfg.Script = &Script{
+		Events:   []Event{SwitchAt(cfg.WarmupTicks, -1)},
+		Duration: total,
+	}
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	total := s.cfg.WarmupTicks + 40
 	for s.tick = 0; s.tick < total; s.tick++ {
-		if s.tick == s.cfg.WarmupTicks {
-			s.performSwitch()
-			s.measuring = true
-		}
 		prevPlayheads := make(map[overlay.NodeID]int64)
 		for _, n := range s.nodes {
 			prevPlayheads[n.id] = int64(n.playhead)
