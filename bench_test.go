@@ -289,8 +289,10 @@ func BenchmarkSimulationTick(b *testing.B) {
 // whole multi-window run; the windows' mean switch time is reported so
 // the benchmark doubles as a metrics sanity check.
 func BenchmarkScenario(b *testing.B) {
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	for vi, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		parallel := vi == 1
 		b.Run(fmt.Sprintf("serial-handoff-chain/workers=%d", workers), func(b *testing.B) {
+			skipDegenerateParallel(b, parallel)
 			sc := scenario.SerialHandoffChain().Scaled(200)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -327,11 +329,25 @@ func BenchmarkScenario(b *testing.B) {
 // measurement. BENCH_engine.json snapshots one run.
 func BenchmarkEngineParallel(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for vi, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			parallel := vi == 1
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				skipDegenerateParallel(b, parallel)
 				benchTicks(b, n, workers)
 			})
 		}
+	}
+}
+
+// skipDegenerateParallel skips the workers=GOMAXPROCS variant on a
+// single-CPU runner, where it degenerates to a re-run of the serial
+// engine: the duplicate numbers would read as a measured speedup of 1.0
+// when no parallel execution ever happened (BENCH_engine.json notes that
+// the multi-core capture is still pending).
+func skipDegenerateParallel(b *testing.B, parallelVariant bool) {
+	b.Helper()
+	if parallelVariant && runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("GOMAXPROCS=1: the parallel variant degenerates to the serial engine; run on a multi-core machine to measure speedup")
 	}
 }
 

@@ -177,6 +177,10 @@ func printResult(algoName string, res *sim.Result) {
 		fmt.Printf("    continuity %.4f  overhead %.4f  measured %d ticks%s%s\n",
 			w.Continuity(), w.Overhead(), w.MeasuredTicks,
 			flagStr(w.HitHorizon, "  [hit horizon]"), flagStr(w.Interrupted, "  [interrupted]"))
+		if w.NetDelivered+w.NetLost > 0 {
+			fmt.Printf("    transport: delay %.2f s  loss %.1f%% (%d lost, %d re-requested of %d msgs)\n",
+				w.MeanDeliveryDelay(), w.LossRate()*100, w.NetLost, w.NetReRequests, w.NetDelivered+w.NetLost)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@
 //	tracegen -n 1000 > trace1000.txt      # one trace to stdout
 //	tracegen -family -dir traces/         # the full 30-trace family
 //	tracegen -inspect trace1000.txt       # parse and summarize a trace
+//	tracegen -n 500 -ping-mean 300 -ping-sigma 80 > slow.txt
+//	                                      # a high-latency regime for netmodel sweeps
 package main
 
 import (
@@ -21,13 +23,15 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 1000, "node count for a single trace")
-		attach  = flag.Int("attach", 1, "edges per arriving node")
-		seed    = flag.Int64("seed", 20080917, "synthesis seed")
-		family  = flag.Bool("family", false, "emit the full 30-trace family")
-		dir     = flag.String("dir", ".", "output directory for -family")
-		inspect = flag.String("inspect", "", "parse a trace file and print its summary")
-		augment = flag.Int("augment", 0, "report post-augmentation stats for this M (0 = skip)")
+		n         = flag.Int("n", 1000, "node count for a single trace")
+		attach    = flag.Int("attach", 1, "edges per arriving node")
+		seed      = flag.Int64("seed", 20080917, "synthesis seed")
+		family    = flag.Bool("family", false, "emit the full 30-trace family")
+		dir       = flag.String("dir", ".", "output directory for -family")
+		inspect   = flag.String("inspect", "", "parse a trace file and print its summary")
+		augment   = flag.Int("augment", 0, "report post-augmentation stats for this M (0 = skip)")
+		pingMean  = flag.Float64("ping-mean", 0, "mean of a Gaussian ping-time distribution in ms (0 = the legacy heavy-tailed crawl mix); the netmodel latency-regime knob")
+		pingSigma = flag.Float64("ping-sigma", 0, "sigma of the Gaussian ping-time distribution in ms (with -ping-mean)")
 	)
 	flag.Parse()
 
@@ -45,7 +49,7 @@ func main() {
 		summarize(tr, *augment)
 
 	case *family:
-		for _, tr := range trace.Family(*seed) {
+		for _, tr := range trace.FamilyDist(*seed, *pingMean, *pingSigma) {
 			path := filepath.Join(*dir, tr.Name+".txt")
 			f, err := os.Create(path)
 			if err != nil {
@@ -61,7 +65,7 @@ func main() {
 		}
 
 	default:
-		tr := trace.Synthesize(fmt.Sprintf("clip2-synth-%05d", *n), *n, *attach, *seed)
+		tr := trace.SynthesizeDist(fmt.Sprintf("clip2-synth-%05d", *n), *n, *attach, *seed, *pingMean, *pingSigma)
 		if err := tr.Write(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -73,8 +77,17 @@ func summarize(tr *trace.Trace, augmentM int) {
 	if err != nil {
 		fatal(err)
 	}
+	pingSum, pingMax := 0, 0
+	for _, nd := range tr.Nodes {
+		pingSum += nd.PingMS
+		if nd.PingMS > pingMax {
+			pingMax = nd.PingMS
+		}
+	}
 	fmt.Printf("trace %s: %d nodes, %d edges, avg degree %.2f, min degree %d, connected=%v\n",
 		tr.Name, g.N(), g.M(), g.AvgDegree(), g.MinDegree(), g.Connected())
+	fmt.Printf("ping: avg %.1f ms, max %d ms (the netmodel delay substrate)\n",
+		float64(pingSum)/float64(len(tr.Nodes)), pingMax)
 	if augmentM > 0 {
 		overlay.AugmentMinDegree(g, augmentM, rand.New(rand.NewSource(1)))
 		fmt.Printf("after augmentation to M=%d: %d edges, avg degree %.2f, connected=%v\n",

@@ -89,17 +89,25 @@ func (sw ScenarioSweep) Run() ([]ScenarioOutcome, error) {
 
 // FormatScenarioSweep renders the per-window comparison table: one row
 // per measurement window of each scenario, with the fast-vs-normal
-// switch-time reduction for switch windows.
+// switch-time reduction for switch windows. Scenarios running the
+// netmodel transport additionally report the fast run's mean delivery
+// delay, loss rate and loss-induced re-requests per window.
 func FormatScenarioSweep(outcomes []ScenarioOutcome) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %-14s %12s %12s %12s\n",
-		"scenario", "window", "fast prep(s)", "norm prep(s)", "reduction")
+	fmt.Fprintf(&b, "%-24s %-14s %12s %12s %12s %9s %7s %7s\n",
+		"scenario", "window", "fast prep(s)", "norm prep(s)", "reduction",
+		"delay(s)", "loss", "rereq")
 	for _, o := range outcomes {
 		for wi, fw := range o.Fast.Windows {
 			label := fmt.Sprintf("%d %s@t=%d", wi, fw.Kind, fw.Tick)
+			net := fmt.Sprintf(" %9s %7s %7s", "-", "-", "-")
+			if fw.NetDelivered+fw.NetLost > 0 {
+				net = fmt.Sprintf(" %9.2f %6.1f%% %7d",
+					fw.MeanDeliveryDelay(), fw.LossRate()*100, fw.NetReRequests)
+			}
 			if fw.Kind != "switch" {
-				fmt.Fprintf(&b, "%-24s %-14s %12s %12s %12s\n",
-					o.Scenario.Name, label, "-", "-", "-")
+				fmt.Fprintf(&b, "%-24s %-14s %12s %12s %12s%s\n",
+					o.Scenario.Name, label, "-", "-", "-", net)
 				continue
 			}
 			var np float64
@@ -107,8 +115,8 @@ func FormatScenarioSweep(outcomes []ScenarioOutcome) string {
 				np = o.Normal.Windows[wi].AvgPrepareS2()
 			}
 			fp := fw.AvgPrepareS2()
-			fmt.Fprintf(&b, "%-24s %-14s %12.2f %12.2f %11.1f%%\n",
-				o.Scenario.Name, label, fp, np, stats.ReductionRatio(np, fp)*100)
+			fmt.Fprintf(&b, "%-24s %-14s %12.2f %12.2f %11.1f%%%s\n",
+				o.Scenario.Name, label, fp, np, stats.ReductionRatio(np, fp)*100, net)
 		}
 	}
 	return b.String()

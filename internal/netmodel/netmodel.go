@@ -1,0 +1,307 @@
+// Package netmodel is the simulator's message-level transport model: a
+// deterministic per-link delay model derived from trace ping times, a
+// per-message loss probability, and network partitions. Without it the
+// engine delivers every granted segment instantly and losslessly at the
+// end of its tick; with it, a granted segment becomes a Message that
+// spends DelayTicks in flight (propagation derived from the endpoint
+// ping times, plus caller-supplied jitter), may be lost, and is dropped
+// at the boundary of an active partition.
+//
+// The Model is deliberately RNG-free: jitter values and loss draws are
+// made by the caller from dedicated engine.SeedFor streams (the sim's
+// rngNet/rngNetJit tags), so the model itself is a pure state machine
+// and the engine's shard/merge determinism contract extends to the
+// in-flight message queue. Messages are stored in per-destination-shard
+// binary heaps keyed by (arrival tick, injection sequence): pushes
+// happen in the serial serve commit, pops in the sharded transit phase,
+// and both orders are independent of the worker count.
+package netmodel
+
+import (
+	"fmt"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+	"gossipstream/internal/sim/engine"
+)
+
+// DefaultPingMS is the fallback round-trip ping for nodes without a
+// trace record (churn joiners, flash-crowd members): a middle-of-the-road
+// Clip2 peer.
+const DefaultPingMS = 60
+
+// Config describes the transport model of one run. The zero value of
+// every field selects a sane default via Defaulted; a nil *Config on
+// sim.Config disables the model entirely (instant lossless delivery).
+type Config struct {
+	// PingMS holds per-node round-trip ping times in milliseconds,
+	// indexed by node id — typically the ping column of the run's trace
+	// (the one Clip2-DSS field the paper exploits for heterogeneity).
+	// Nodes beyond the slice (churn joiners, crowd members) use
+	// DefaultPingMS.
+	PingMS []int
+	// DefaultPingMS is the ping of nodes without a PingMS entry
+	// (0 → the package DefaultPingMS constant).
+	DefaultPingMS int
+	// JitterMS is the amplitude of the per-message uniform jitter added
+	// to the propagation delay: each message draws from [0, JitterMS).
+	JitterMS float64
+	// Loss is the baseline per-message loss probability in [0, 1). A
+	// LossBurst event overrides it for a bounded window.
+	Loss float64
+}
+
+// Defaulted returns a copy with zero fields replaced by defaults.
+func (c Config) Defaulted() Config {
+	if c.DefaultPingMS <= 0 {
+		c.DefaultPingMS = DefaultPingMS
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("netmodel: loss probability %v out of [0,1)", c.Loss)
+	}
+	if c.JitterMS < 0 {
+		return fmt.Errorf("netmodel: negative jitter %v", c.JitterMS)
+	}
+	if c.DefaultPingMS < 0 {
+		return fmt.Errorf("netmodel: negative default ping %d", c.DefaultPingMS)
+	}
+	for i, p := range c.PingMS {
+		if p < 0 {
+			return fmt.Errorf("netmodel: node %d has negative ping %d", i, p)
+		}
+	}
+	return nil
+}
+
+// Message is one granted segment in flight from a supplier to a
+// requester.
+type Message struct {
+	From overlay.NodeID
+	To   overlay.NodeID
+	Seg  segment.ID
+	// Sent is the tick the grant was committed; Due the tick whose
+	// transit phase delivers the message (Due == Sent reproduces the
+	// classic end-of-tick delivery timing).
+	Sent, Due int
+	// seq is the global injection sequence number — the heap tiebreak
+	// that makes same-tick pops independent of heap internals.
+	seq uint64
+}
+
+// Model is the runtime transport state of one run: the delay/loss
+// parameters, the current latency factor and partition, and the
+// in-flight message heaps. Methods that mutate it (Send, PopDue,
+// SetLatencyFactor, ...) are called from serial pipeline steps or — for
+// PopDue — from the worker owning the destination shard, so the Model
+// needs no locking.
+type Model struct {
+	cfg Config
+	tau float64
+
+	latFactor float64 // current propagation multiplier (LatencyShift)
+
+	burstLoss  float64 // loss override while a LossBurst is active
+	burstUntil int     // first tick after the burst
+
+	partitioned bool
+	partSeed    uint64
+	partFrac    float64
+
+	seq      uint64
+	heaps    []msgHeap // in-flight messages, per destination shard
+	inFlight int
+}
+
+// New builds the model for one run. cfg is defaulted, not validated —
+// sim.Config.Validate runs Validate before any Model exists.
+func New(cfg Config, tau float64) *Model {
+	return &Model{cfg: cfg.Defaulted(), tau: tau, latFactor: 1}
+}
+
+// Ping returns the configured round-trip ping of a node in milliseconds.
+func (m *Model) Ping(n overlay.NodeID) int {
+	if int(n) < len(m.cfg.PingMS) {
+		return m.cfg.PingMS[n]
+	}
+	return m.cfg.DefaultPingMS
+}
+
+// JitterMS returns the configured jitter amplitude (0 = no jitter, the
+// caller can skip its jitter stream entirely).
+func (m *Model) JitterMS() float64 { return m.cfg.JitterMS }
+
+// DelayTicks converts one message's link delay into whole scheduling
+// periods beyond the sending tick: propagation is the mean of the two
+// endpoints' one-way delays (ping/2 each), scaled by the current latency
+// factor, plus the caller-drawn jitter. The classic substrate's
+// end-of-tick delivery is the zero of this function — a delay below one
+// period adds no extra ticks, so with small pings and no latency storm
+// the model reproduces the paper's timing exactly.
+func (m *Model) DelayTicks(a, b overlay.NodeID, jitterMS float64) int {
+	prop := m.latFactor * (float64(m.Ping(a)) + float64(m.Ping(b))) / 2
+	return int((prop + jitterMS) / (m.tau * 1000))
+}
+
+// Send injects one granted segment into the in-flight queue and returns
+// its arrival tick. jitterMS is the caller's draw from its jitter
+// stream (0 when jitter is disabled).
+func (m *Model) Send(tick int, from, to overlay.NodeID, seg segment.ID, jitterMS float64) int {
+	due := tick + m.DelayTicks(from, to, jitterMS)
+	shard := engine.ShardOf(int(to))
+	for len(m.heaps) <= shard {
+		m.heaps = append(m.heaps, nil)
+	}
+	m.seq++
+	m.heaps[shard].push(Message{From: from, To: to, Seg: seg, Sent: tick, Due: due, seq: m.seq})
+	m.inFlight++
+	return due
+}
+
+// PopDue pops every message of the destination shard whose arrival tick
+// has come, in (Due, injection) order, and hands each to fn. It is the
+// shard-local half of the transit phase: distinct shards touch distinct
+// heaps, so concurrent PopDue calls for different shards are race-free.
+// The inFlight counter is deliberately not maintained here — the serial
+// merge step calls SettleDelivered with the per-shard pop counts.
+func (m *Model) PopDue(shard, tick int, fn func(Message)) int {
+	if shard >= len(m.heaps) {
+		return 0
+	}
+	h := &m.heaps[shard]
+	n := 0
+	for len(*h) > 0 && (*h)[0].Due <= tick {
+		fn(h.pop())
+		n++
+	}
+	return n
+}
+
+// SettleDelivered subtracts the tick's popped message count from the
+// in-flight gauge (called once, serially, after the transit merge).
+func (m *Model) SettleDelivered(n int) { m.inFlight -= n }
+
+// InFlight returns the number of messages currently in transit.
+func (m *Model) InFlight() int { return m.inFlight }
+
+// SetLatencyFactor scales every subsequent message's propagation delay
+// (1 restores the baseline). Messages already in flight keep the delay
+// they were injected with.
+func (m *Model) SetLatencyFactor(f float64) { m.latFactor = f }
+
+// LatencyFactor returns the current propagation multiplier.
+func (m *Model) LatencyFactor() float64 { return m.latFactor }
+
+// SetLossBurst overrides the loss probability with p until (exclusive)
+// tick until.
+func (m *Model) SetLossBurst(p float64, until int) {
+	m.burstLoss, m.burstUntil = p, until
+}
+
+// LossProb returns the per-message loss probability in effect at tick.
+func (m *Model) LossProb(tick int) float64 {
+	if tick < m.burstUntil {
+		return m.burstLoss
+	}
+	return m.cfg.Loss
+}
+
+// Partition splits the overlay in two: every node is hashed onto a side
+// by the partition seed, with frac the expected fraction on side 1, and
+// messages crossing the boundary are dropped at delivery time (in-flight
+// messages included). The side assignment is a pure function of (seed,
+// node id), so nodes that join during the partition land on a
+// deterministic side too.
+func (m *Model) Partition(frac float64, seed int64) {
+	m.partitioned = true
+	m.partFrac = frac
+	m.partSeed = uint64(seed)
+}
+
+// Heal ends the partition: every link carries traffic again.
+func (m *Model) Heal() { m.partitioned = false }
+
+// Partitioned reports whether a partition is active.
+func (m *Model) Partitioned() bool { return m.partitioned }
+
+// Side returns the node's partition side (0 or 1); 0 for everyone when
+// no partition is active.
+func (m *Model) Side(n overlay.NodeID) int {
+	if !m.partitioned {
+		return 0
+	}
+	h := splitmix64(m.partSeed ^ uint64(n))
+	if float64(h>>11)/(1<<53) < m.partFrac {
+		return 1
+	}
+	return 0
+}
+
+// Blocked reports whether the link between two nodes is severed by the
+// active partition. Buffer maps, requests and data all stop crossing a
+// severed link.
+func (m *Model) Blocked(a, b overlay.NodeID) bool {
+	return m.partitioned && m.Side(a) != m.Side(b)
+}
+
+// splitmix64 is the same finalizer the engine's SeedFor uses — a cheap,
+// well-mixed 64-bit permutation for the side assignment hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// msgHeap is a binary min-heap of in-flight messages ordered by
+// (Due, seq): the injection sequence tiebreak makes the pop order of
+// same-tick messages a pure function of the push order.
+type msgHeap []Message
+
+func (h msgHeap) less(i, j int) bool {
+	if h[i].Due != h[j].Due {
+		return h[i].Due < h[j].Due
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *msgHeap) push(m Message) {
+	*h = append(*h, m)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) pop() Message {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < last && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}

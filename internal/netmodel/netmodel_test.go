@@ -1,0 +1,179 @@
+package netmodel
+
+import (
+	"testing"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim/engine"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Loss: 1.0},
+		{Loss: -0.1},
+		{JitterMS: -1},
+		{DefaultPingMS: -5},
+		{PingMS: []int{10, -3}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted invalid config %+v", c)
+		}
+	}
+	if err := (Config{Loss: 0.3, JitterMS: 50, PingMS: []int{10, 20}}).Validate(); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+	if d := (Config{}).Defaulted().DefaultPingMS; d != DefaultPingMS {
+		t.Errorf("DefaultPingMS = %d, want %d", d, DefaultPingMS)
+	}
+}
+
+func TestDelayTicks(t *testing.T) {
+	m := New(Config{PingMS: []int{100, 300}, DefaultPingMS: 60}, 1.0)
+	// Mean one-way propagation (100+300)/2 = 200 ms < 1000 ms: no extra
+	// ticks — the classic end-of-tick delivery.
+	if d := m.DelayTicks(0, 1, 0); d != 0 {
+		t.Errorf("sub-period delay gave %d extra ticks", d)
+	}
+	// Jitter pushes it over one period.
+	if d := m.DelayTicks(0, 1, 900); d != 1 {
+		t.Errorf("200+900 ms = %d ticks, want 1", d)
+	}
+	// A latency storm scales propagation but not jitter.
+	m.SetLatencyFactor(10)
+	if d := m.DelayTicks(0, 1, 0); d != 2 {
+		t.Errorf("10x200 ms = %d ticks, want 2", d)
+	}
+	m.SetLatencyFactor(1)
+	// Nodes beyond the ping table use the default.
+	if d := m.DelayTicks(0, 99, 0); d != 0 {
+		t.Errorf("default-ping delay gave %d extra ticks", d)
+	}
+	if p := m.Ping(99); p != 60 {
+		t.Errorf("Ping(99) = %d, want the default 60", p)
+	}
+}
+
+// TestSendPopOrder pins the heap contract: messages pop in (Due, injection
+// sequence) order regardless of push order, per destination shard.
+func TestSendPopOrder(t *testing.T) {
+	m := New(Config{DefaultPingMS: 10}, 1.0)
+	// Three messages to node 1 (shard 0) with staggered delays via jitter.
+	m.Send(0, 2, 1, 7, 2500) // due 2
+	m.Send(0, 3, 1, 8, 0)    // due 0
+	m.Send(0, 4, 1, 9, 1500) // due 1
+	m.Send(0, 5, 1, 10, 0)   // due 0, injected after seg 8
+	if m.InFlight() != 4 {
+		t.Fatalf("inFlight = %d, want 4", m.InFlight())
+	}
+
+	var got []int
+	popped := m.PopDue(0, 1, func(msg Message) { got = append(got, int(msg.Seg)) })
+	m.SettleDelivered(popped)
+	want := []int{8, 10, 9} // due 0 in injection order, then due 1
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+	if m.InFlight() != 1 {
+		t.Errorf("inFlight = %d after settle, want 1", m.InFlight())
+	}
+	// The straggler pops at its due tick.
+	popped = m.PopDue(0, 2, func(msg Message) {
+		if msg.Seg != 7 {
+			t.Errorf("straggler seg = %d, want 7", msg.Seg)
+		}
+	})
+	m.SettleDelivered(popped)
+	if m.InFlight() != 0 {
+		t.Errorf("inFlight = %d, want 0", m.InFlight())
+	}
+	// An out-of-range shard is an empty heap, not a panic.
+	if n := m.PopDue(50, 100, func(Message) { t.Error("popped from empty shard") }); n != 0 {
+		t.Errorf("empty shard popped %d", n)
+	}
+}
+
+// TestShardRouting pins that messages land in the destination's engine
+// shard.
+func TestShardRouting(t *testing.T) {
+	m := New(Config{DefaultPingMS: 10}, 1.0)
+	far := engine.ShardSize + 3 // node in shard 1
+	m.Send(0, 0, 1, 1, 0)
+	m.Send(0, 0, int32ID(far), 2, 0)
+	seen := map[int]bool{}
+	for shard := 0; shard < 2; shard++ {
+		m.PopDue(shard, 0, func(msg Message) { seen[int(msg.To)] = true })
+	}
+	if !seen[1] || !seen[far] {
+		t.Errorf("messages not routed per shard: %v", seen)
+	}
+}
+
+func TestLossBurst(t *testing.T) {
+	m := New(Config{Loss: 0.05}, 1.0)
+	if p := m.LossProb(10); p != 0.05 {
+		t.Errorf("baseline loss = %v", p)
+	}
+	m.SetLossBurst(0.5, 20)
+	if p := m.LossProb(19); p != 0.5 {
+		t.Errorf("burst loss = %v", p)
+	}
+	if p := m.LossProb(20); p != 0.05 {
+		t.Errorf("post-burst loss = %v", p)
+	}
+}
+
+// TestPartitionSides pins the side assignment: deterministic, two-sided
+// at frac 0.5, stable for ids assigned after the partition started, and
+// all-clear after Heal.
+func TestPartitionSides(t *testing.T) {
+	m := New(Config{}, 1.0)
+	if m.Blocked(1, 2) {
+		t.Error("blocked without a partition")
+	}
+	m.Partition(0.5, 12345)
+	ones, zeros := 0, 0
+	for i := 0; i < 1000; i++ {
+		if m.Side(int32ID(i)) == 1 {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	if ones < 300 || zeros < 300 {
+		t.Errorf("lopsided split: %d vs %d", ones, zeros)
+	}
+	// Determinism: same seed, same sides.
+	m2 := New(Config{}, 1.0)
+	m2.Partition(0.5, 12345)
+	for i := 0; i < 1000; i++ {
+		if m.Side(int32ID(i)) != m2.Side(int32ID(i)) {
+			t.Fatalf("side of node %d not deterministic", i)
+		}
+	}
+	var a, b int = -1, -1
+	for i := 0; i < 1000 && (a < 0 || b < 0); i++ {
+		if m.Side(int32ID(i)) == 0 {
+			a = i
+		} else {
+			b = i
+		}
+	}
+	if !m.Blocked(int32ID(a), int32ID(b)) {
+		t.Error("cross-side link not blocked")
+	}
+	if m.Blocked(int32ID(a), int32ID(a)) {
+		t.Error("same-side link blocked")
+	}
+	m.Heal()
+	if m.Blocked(int32ID(a), int32ID(b)) {
+		t.Error("blocked after heal")
+	}
+}
+
+func int32ID(i int) overlay.NodeID { return overlay.NodeID(i) }

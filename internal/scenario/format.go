@@ -27,6 +27,15 @@ import (
 //	churn 0.02 0.02      # baseline leave/join fractions (join defaults to leave)
 //	perlink              # per-link capacity model (default: shared outbound)
 //	qs 50
+//	net loss=0.05 jitter=200 ping=80   # message-level transport model
+//
+// The net directive enables the netmodel transport: per-link delivery
+// delay derived from the synthesized trace's ping times, per-message
+// loss (`loss`, baseline probability), uniform jitter (`jitter`,
+// milliseconds) and the default ping of nodes without a trace record
+// (`ping`, milliseconds; churn joiners and crowd members). All options
+// are optional — a bare `net` turns on the transport with trace delays
+// only. The latency/lossburst/partition/heal events require it.
 //
 //	at 40  switch to=41            # planned handoff to a pinned speaker
 //	at 110 switch                  # planned handoff, random successor
@@ -36,6 +45,12 @@ import (
 //	at 45  churnburst for=30 leave=0.10 join=0.05
 //	at 85  bandwidth factor=0.7
 //	at 160 measure for=25
+//	at 55  latency factor=20       # latency storm (propagation ×20; 1 restores)
+//	at 65  lossburst for=30 p=0.25 # loss probability override for 30 ticks
+//	at 75  partition frac=0.5      # sever the overlay in two (seeded split)
+//	at 95  heal                    # end the partition
+//	at 130 demote node=3           # ex-source 3 back to listener (omit node:
+//	                               # the most recently retired source)
 //
 // Parse and Write round-trip: Write emits the canonical form of exactly
 // this grammar.
@@ -140,10 +155,38 @@ func (sc *Scenario) parseLine(fields []string) error {
 			sc.ChurnJoin, err = strconv.ParseFloat(args[1], 64)
 		}
 		return err
+	case "net":
+		return sc.parseNet(args)
 	case "at":
 		return sc.parseEvent(args)
 	}
 	return fmt.Errorf("unknown directive %q", key)
+}
+
+// parseNet handles the net directive's k=v options.
+func (sc *Scenario) parseNet(args []string) error {
+	sc.Net = true
+	for _, a := range args {
+		k, v, found := strings.Cut(a, "=")
+		if !found {
+			return fmt.Errorf("net: want key=value, got %q", a)
+		}
+		var err error
+		switch k {
+		case "loss":
+			sc.NetLoss, err = strconv.ParseFloat(v, 64)
+		case "jitter":
+			sc.NetJitterMS, err = strconv.ParseFloat(v, 64)
+		case "ping":
+			sc.NetPingMS, err = strconv.Atoi(v)
+		default:
+			return fmt.Errorf("net: unknown option %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("net: %w", err)
+		}
+	}
+	return nil
 }
 
 func (sc *Scenario) parseEvent(args []string) error {
@@ -238,6 +281,36 @@ func (sc *Scenario) parseEvent(args []string) error {
 			return err
 		}
 		ev = sim.MeasureAt(tick, ticks)
+	case "latency":
+		factor, err := takeFloat("factor", 0)
+		if err != nil {
+			return err
+		}
+		ev = sim.LatencyShiftAt(tick, factor)
+	case "lossburst":
+		ticks, err := takeInt("for", 0)
+		if err != nil {
+			return err
+		}
+		prob, err := takeFloat("p", 0)
+		if err != nil {
+			return err
+		}
+		ev = sim.LossBurstAt(tick, ticks, prob)
+	case "partition":
+		frac, err := takeFloat("frac", 0)
+		if err != nil {
+			return err
+		}
+		ev = sim.PartitionAt(tick, frac)
+	case "heal":
+		ev = sim.HealAt(tick)
+	case "demote":
+		node, err := takeInt("node", -1)
+		if err != nil {
+			return err
+		}
+		ev = sim.DemoteAt(tick, overlay.NodeID(node))
 	default:
 		return fmt.Errorf("unknown event verb %q", verb)
 	}
@@ -283,6 +356,19 @@ func (sc *Scenario) Write(w io.Writer) error {
 	if sc.Qs != 0 {
 		fmt.Fprintf(bw, "qs %d\n", sc.Qs)
 	}
+	if sc.Net {
+		fmt.Fprint(bw, "net")
+		if sc.NetLoss != 0 {
+			fmt.Fprintf(bw, " loss=%s", ftoa(sc.NetLoss))
+		}
+		if sc.NetJitterMS != 0 {
+			fmt.Fprintf(bw, " jitter=%s", ftoa(sc.NetJitterMS))
+		}
+		if sc.NetPingMS != 0 {
+			fmt.Fprintf(bw, " ping=%d", sc.NetPingMS)
+		}
+		fmt.Fprintln(bw)
+	}
 	if len(sc.Events) > 0 {
 		fmt.Fprintln(bw)
 	}
@@ -313,6 +399,20 @@ func (sc *Scenario) Write(w io.Writer) error {
 			fmt.Fprintf(bw, "at %d bandwidth factor=%s\n", ev.Tick, ftoa(ev.Factor))
 		case sim.EvMeasureWindow:
 			fmt.Fprintf(bw, "at %d measure for=%d\n", ev.Tick, ev.Ticks)
+		case sim.EvLatencyShift:
+			fmt.Fprintf(bw, "at %d latency factor=%s\n", ev.Tick, ftoa(ev.Factor))
+		case sim.EvLossBurst:
+			fmt.Fprintf(bw, "at %d lossburst for=%d p=%s\n", ev.Tick, ev.Ticks, ftoa(ev.Prob))
+		case sim.EvPartition:
+			fmt.Fprintf(bw, "at %d partition frac=%s\n", ev.Tick, ftoa(ev.Frac))
+		case sim.EvHeal:
+			fmt.Fprintf(bw, "at %d heal\n", ev.Tick)
+		case sim.EvDemoteSource:
+			fmt.Fprintf(bw, "at %d demote", ev.Tick)
+			if ev.To >= 0 {
+				fmt.Fprintf(bw, " node=%d", ev.To)
+			}
+			fmt.Fprintln(bw)
 		default:
 			return fmt.Errorf("scenario: cannot serialize event kind %v", ev.Kind)
 		}

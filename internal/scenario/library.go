@@ -108,6 +108,79 @@ func SourceCrash() *Scenario {
 	}
 }
 
+// LossyUplink is the netmodel baseline scenario: the whole session runs
+// over a lossy transport (5% baseline, trace-derived delays plus
+// jitter), and a 25% loss burst breaks over the handoff itself — the
+// regime "Adaptive Streaming in P2P Live Video Systems" shows dominates
+// perceived switch quality. Lost grants surface as loss-induced
+// re-requests in the window metrics.
+func LossyUplink() *Scenario {
+	return &Scenario{
+		Name:        "lossy-uplink",
+		Desc:        "5% baseline loss with a 25% burst breaking over the handoff",
+		Nodes:       300,
+		M:           5,
+		Seed:        19,
+		Spread:      25,
+		Horizon:     220,
+		Net:         true,
+		NetLoss:     0.05,
+		NetJitterMS: 150,
+		Events: []sim.Event{
+			sim.LossBurstAt(45, 40, 0.25),
+			sim.SwitchAt(55, -1),
+		},
+	}
+}
+
+// TransatlanticSplit severs the overlay in two mid-session: the switch
+// happens while half the mesh is unreachable (only the source's side
+// converges), the partition heals, and a second measurement window
+// quantifies the far side's catch-up — the CliqueStream link-failure
+// experiment as one scenario file.
+func TransatlanticSplit() *Scenario {
+	return &Scenario{
+		Name:        "transatlantic-split",
+		Desc:        "a 50/50 partition over the handoff, healed after 35 ticks",
+		Nodes:       300,
+		M:           5,
+		Seed:        23,
+		Spread:      25,
+		Horizon:     90,
+		Net:         true,
+		NetJitterMS: 1500, // multi-tick flights: the split severs messages mid-air
+		Events: []sim.Event{
+			sim.PartitionAt(45, 0.5),
+			sim.SwitchAt(50, -1),
+			sim.HealAt(80),
+			sim.MeasureAt(145, 60),
+		},
+	}
+}
+
+// LatencyStorm multiplies every link's propagation delay twentyfold
+// around the handoff (trace pings of tens of milliseconds become
+// seconds, i.e. multi-tick flights), then restores the baseline: the
+// switch must complete while every grant spends periods in transit.
+func LatencyStorm() *Scenario {
+	return &Scenario{
+		Name:        "latency-storm",
+		Desc:        "propagation ×20 around the handoff: every grant flies for ticks",
+		Nodes:       300,
+		M:           5,
+		Seed:        29,
+		Spread:      25,
+		Horizon:     250,
+		Net:         true,
+		NetJitterMS: 300,
+		Events: []sim.Event{
+			sim.LatencyShiftAt(40, 20),
+			sim.SwitchAt(55, -1),
+			sim.LatencyShiftAt(110, 1),
+		},
+	}
+}
+
 // Library returns the bundled scenarios, in documentation order.
 func Library() []*Scenario {
 	return []*Scenario{
@@ -116,6 +189,9 @@ func Library() []*Scenario {
 		FlashCrowdJoin(),
 		ChurnStorm(),
 		SourceCrash(),
+		LossyUplink(),
+		TransatlanticSplit(),
+		LatencyStorm(),
 	}
 }
 

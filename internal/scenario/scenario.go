@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"regexp"
 
+	"gossipstream/internal/netmodel"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/sim"
 	"gossipstream/internal/trace"
@@ -70,6 +71,20 @@ type Scenario struct {
 	// Qs overrides the new-stream startup threshold (0 → 50).
 	Qs int
 
+	// Net enables the message-level transport model (internal/netmodel):
+	// per-link delivery delay derived from the synthesized trace's ping
+	// times, per-message loss, and partition semantics. Required by the
+	// latency/lossburst/partition/heal events.
+	Net bool
+	// NetLoss is the baseline per-message loss probability in [0, 1).
+	NetLoss float64
+	// NetJitterMS is the per-message uniform jitter amplitude in
+	// milliseconds.
+	NetJitterMS float64
+	// NetPingMS is the ping of nodes without a trace record — churn
+	// joiners and crowd members (0 → netmodel's default).
+	NetPingMS int
+
 	// Events is the timeline, in firing order.
 	Events []sim.Event
 }
@@ -90,6 +105,12 @@ func (sc *Scenario) Validate() error {
 	if sc.ChurnLeave < 0 || sc.ChurnLeave >= 1 || sc.ChurnJoin < 0 || sc.ChurnJoin >= 1 {
 		return fmt.Errorf("scenario %s: churn fractions (%v, %v) out of [0,1)", sc.Name, sc.ChurnLeave, sc.ChurnJoin)
 	}
+	if sc.NetLoss < 0 || sc.NetLoss >= 1 {
+		return fmt.Errorf("scenario %s: net loss %v out of [0,1)", sc.Name, sc.NetLoss)
+	}
+	if sc.NetJitterMS < 0 || sc.NetPingMS < 0 {
+		return fmt.Errorf("scenario %s: negative net parameter", sc.Name)
+	}
 	script := sim.Script{Events: sc.Events, Duration: sc.Duration}
 	if err := script.Validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -97,21 +118,30 @@ func (sc *Scenario) Validate() error {
 	if int(sc.First) >= sc.Nodes {
 		return fmt.Errorf("scenario %s: first source %d out of %d nodes", sc.Name, sc.First, sc.Nodes)
 	}
-	switches := 0
+	switches, demotes := 0, 0
 	for i, ev := range sc.Events {
-		if ev.Kind != sim.EvSwitchSource {
-			continue
+		if ev.Kind.NeedsNet() && !sc.Net {
+			return fmt.Errorf("scenario %s: event %d (%s) requires the net directive", sc.Name, i, ev.Kind)
 		}
-		switches++
-		if int(ev.To) >= sc.Nodes {
-			return fmt.Errorf("scenario %s: event %d targets node %d of %d", sc.Name, i, ev.To, sc.Nodes)
+		switch ev.Kind {
+		case sim.EvSwitchSource:
+			switches++
+			if int(ev.To) >= sc.Nodes {
+				return fmt.Errorf("scenario %s: event %d targets node %d of %d", sc.Name, i, ev.To, sc.Nodes)
+			}
+		case sim.EvDemoteSource:
+			demotes++
+			if int(ev.To) >= sc.Nodes {
+				return fmt.Errorf("scenario %s: event %d demotes node %d of %d", sc.Name, i, ev.To, sc.Nodes)
+			}
 		}
 	}
-	// Every switch consumes one never-source node (ex-speakers cannot
-	// retake the floor), plus one for the initial source. Churn joins can
-	// relax this at run time, so it is a static sanity bound, not the
-	// final word — the simulator reports exhaustion as a run error.
-	if switches >= sc.Nodes {
+	// Every switch consumes one never-source node, plus one for the
+	// initial source — but each demotion returns an ex-speaker to the
+	// pool. Churn joins can relax this at run time, so it is a static
+	// sanity bound, not the final word — the simulator reports exhaustion
+	// as a run error.
+	if switches-demotes >= sc.Nodes {
 		return fmt.Errorf("scenario %s: %d switches cannot be served by %d nodes", sc.Name, switches, sc.Nodes)
 	}
 	return nil
@@ -138,7 +168,7 @@ func (sc *Scenario) Scaled(n int) *Scenario {
 			if ev.Count < 1 {
 				ev.Count = 1
 			}
-		case sim.EvSwitchSource:
+		case sim.EvSwitchSource, sim.EvDemoteSource:
 			if int(ev.To) >= n {
 				ev.To = -1
 			}
@@ -194,6 +224,22 @@ func (sc *Scenario) Config(factory sim.AlgorithmFactory) (sim.Config, error) {
 	}
 	if sc.ChurnLeave > 0 || sc.ChurnJoin > 0 {
 		cfg.Churn = &sim.ChurnConfig{LeaveFraction: sc.ChurnLeave, JoinFraction: sc.ChurnJoin}
+	}
+	if sc.Net {
+		// The transport's delay model runs on the trace's ping column —
+		// the one Clip2-DSS field the capacity substrate was dropping on
+		// the floor. Nodes beyond the trace (churn joiners, crowd
+		// members) fall back to NetPingMS.
+		pings := make([]int, len(tr.Nodes))
+		for i, n := range tr.Nodes {
+			pings[i] = n.PingMS
+		}
+		cfg.Net = &netmodel.Config{
+			PingMS:        pings,
+			DefaultPingMS: sc.NetPingMS,
+			JitterMS:      sc.NetJitterMS,
+			Loss:          sc.NetLoss,
+		}
 	}
 	return cfg, nil
 }

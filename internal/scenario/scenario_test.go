@@ -46,6 +46,7 @@ duration 500
 churn 0.01 0.02
 perlink
 qs 25
+net loss=0.05 jitter=150 ping=80
 
 at 20 switch to=3 horizon=90
 at 60 switch
@@ -54,6 +55,12 @@ at 30 crowd count=50 backlog=120
 at 45 churnburst for=15 leave=0.1 join=0.05
 at 70 bandwidth factor=0.5
 at 120 measure for=25
+at 55 latency factor=20
+at 65 lossburst for=30 p=0.25
+at 75 partition frac=0.5
+at 95 heal
+at 130 demote node=3
+at 140 demote
 `
 	sc, err := Parse(strings.NewReader(text))
 	if err != nil {
@@ -64,6 +71,9 @@ at 120 measure for=25
 		sc.ChurnLeave != 0.01 || sc.ChurnJoin != 0.02 || !sc.PerLink || sc.Qs != 25 {
 		t.Errorf("header misparsed: %+v", sc)
 	}
+	if !sc.Net || sc.NetLoss != 0.05 || sc.NetJitterMS != 150 || sc.NetPingMS != 80 {
+		t.Errorf("net directive misparsed: %+v", sc)
+	}
 	want := []sim.Event{
 		{Tick: 20, Kind: sim.EvSwitchSource, To: 3, Horizon: 90},
 		{Tick: 60, Kind: sim.EvSwitchSource, To: -1},
@@ -72,6 +82,12 @@ at 120 measure for=25
 		sim.ChurnBurstAt(45, 15, 0.1, 0.05),
 		sim.BandwidthShiftAt(70, 0.5),
 		sim.MeasureAt(120, 25),
+		sim.LatencyShiftAt(55, 20),
+		sim.LossBurstAt(65, 30, 0.25),
+		sim.PartitionAt(75, 0.5),
+		sim.HealAt(95),
+		sim.DemoteAt(130, 3),
+		sim.DemoteAt(140, -1),
 	}
 	if !reflect.DeepEqual(sc.Events, want) {
 		t.Errorf("events misparsed:\n%+v\nwant\n%+v", sc.Events, want)
@@ -104,6 +120,26 @@ func TestParseErrors(t *testing.T) {
 		"scenario ok\nnodes 1\nseed 1\nat 10 switch",
 		"scenario ok\nnodes 100\nseed 1\nat 10 churnburst for=10 leave=1.5",
 		"scenario ok\nnodes 100\nseed 1", // no events, no duration
+		// Netmodel clauses: malformed options.
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 latency factor=0",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 latency factor=abc",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 lossburst for=0 p=0.2",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 lossburst for=10 p=1.5",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 partition frac=0",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 partition frac=1.2",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 partition frac=0.5 side=3",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 heal now",
+		"scenario ok\nnodes 100\nseed 1\nat 10 demote node=abc",
+		"scenario ok\nnodes 100\nseed 1\nat 10 demote node=500",
+		// Net directive: bad options, and net events without it.
+		"scenario ok\nnodes 100\nseed 1\nnet loss=2\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nnet jitter=-5\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nnet speed=56\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nnet loss\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nat 10 partition frac=0.5",
+		"scenario ok\nnodes 100\nseed 1\nat 10 heal",
+		"scenario ok\nnodes 100\nseed 1\nat 10 lossburst for=10 p=0.2",
+		"scenario ok\nnodes 100\nseed 1\nat 10 latency factor=5",
 	}
 	for _, text := range bad {
 		if _, err := Parse(strings.NewReader(text)); err == nil {
@@ -163,6 +199,34 @@ func TestSerialHandoffDeterminism(t *testing.T) {
 		if w.Kind != "switch" || len(w.PrepareS2Times) == 0 {
 			t.Errorf("window %d unusable: %+v", i, w)
 		}
+	}
+	for _, workers := range []int{1, 8} {
+		if got := run(workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d diverged from the serial engine", workers)
+		}
+	}
+}
+
+// TestNetScenarioDeterminism is the netmodel acceptance criterion at the
+// scenario level: with the transport enabled the same seed yields a
+// bit-identical Result at Workers ∈ {0, 1, 8} — including the in-flight
+// messages severed by the partition (the scenario's jitter keeps grants
+// airborne across the split instant).
+func TestNetScenarioDeterminism(t *testing.T) {
+	run := func(workers int) *sim.Result {
+		cfg, err := TransatlanticSplit().Scaled(150).Config(sim.Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = workers
+		return mustRun(t, cfg)
+	}
+	serial := run(0)
+	if len(serial.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(serial.Windows))
+	}
+	if serial.NetDelivered == 0 {
+		t.Fatal("transport delivered nothing")
 	}
 	for _, workers := range []int{1, 8} {
 		if got := run(workers); !reflect.DeepEqual(serial, got) {

@@ -17,6 +17,7 @@ import (
 
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/core"
+	"gossipstream/internal/netmodel"
 	"gossipstream/internal/overlay"
 )
 
@@ -150,6 +151,15 @@ type Config struct {
 	// Churn enables the dynamic environment; nil means static.
 	Churn *ChurnConfig
 
+	// Net enables the message-level transport model: granted segments
+	// become in-flight messages with a per-link delay derived from trace
+	// ping times (plus seeded jitter), a per-message loss probability,
+	// and partition semantics, drained by the pipeline's transit phase.
+	// nil keeps the classic substrate — every grant delivered instantly
+	// and losslessly at the end of its tick, bit-identical to the
+	// pre-netmodel engine. See internal/netmodel.
+	Net *netmodel.Config
+
 	// TrackRatios records the per-tick undelivered/delivered ratio series
 	// (Figures 5 and 9). Costs one window scan per node per tick.
 	TrackRatios bool
@@ -238,9 +248,21 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sim: JoinFraction %v out of [0,1)", c.Churn.JoinFraction)
 		}
 	}
+	if c.Net != nil {
+		if err := c.Net.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.Script != nil {
 		if err := c.Script.Validate(); err != nil {
 			return err
+		}
+		if c.Net == nil {
+			for i, ev := range c.Script.Events {
+				if ev.Kind.NeedsNet() {
+					return fmt.Errorf("sim: event %d (%s) requires Config.Net", i, ev.Kind)
+				}
+			}
 		}
 	}
 	return nil

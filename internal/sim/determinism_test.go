@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"gossipstream/internal/netmodel"
 	"gossipstream/internal/stats"
 )
 
@@ -77,10 +78,13 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 		}},
 		// The scenario engine's events phase under the full event alphabet:
 		// a serial handoff chain with a churn burst, a flash crowd, a
-		// bandwidth shift and a plain measurement window, on top of
-		// baseline churn. Every event must be worker-count invariant.
+		// bandwidth shift, a plain measurement window — and a round-trip
+		// handoff: the initial speaker (pinned to node 2) is demoted back
+		// to listener at 120 and retakes the floor at 135. Every event
+		// must be worker-count invariant.
 		{"scripted-chain", func(c *Config) {
 			c.SharedOutbound = true
+			c.FirstSource = 2
 			c.Churn = &ChurnConfig{LeaveFraction: 0.02, JoinFraction: 0.02}
 			c.Script = &Script{Events: []Event{
 				SwitchAt(25, -1),
@@ -89,8 +93,31 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 				SwitchAt(70, -1),
 				BandwidthShiftAt(85, 0.7),
 				SwitchAt(110, 5),
+				DemoteAt(120, 2),
+				SwitchAt(135, 2),
 				MeasureAt(160, 25),
 			}, Duration: 200}
+		}},
+		// The netmodel transport under stress: multi-tick flights (latency
+		// storm), a loss burst, and a partition that severs messages
+		// already in flight, plus churn (joiners take the default ping)
+		// and a demote — the in-flight message state itself must be
+		// worker-count invariant.
+		{"netmodel", func(c *Config) {
+			c.SharedOutbound = true
+			c.Churn = &ChurnConfig{LeaveFraction: 0.02, JoinFraction: 0.02}
+			c.Net = &netmodel.Config{DefaultPingMS: 120, JitterMS: 400, Loss: 0.05}
+			c.Script = &Script{Events: []Event{
+				SwitchAt(25, -1),
+				LatencyShiftAt(35, 12),
+				PartitionAt(45, 0.4),
+				LossBurstAt(55, 15, 0.3),
+				HealAt(75),
+				LatencyShiftAt(80, 1),
+				SwitchAt(95, -1),
+				DemoteAt(120, -1),
+				SwitchAt(135, -1),
+			}, Duration: 170}
 		}},
 	}
 	for _, sc := range scenarios {

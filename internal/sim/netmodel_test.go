@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gossipstream/internal/netmodel"
+)
+
+// netConfig is the transport setup the netmodel tests share: every node
+// on the default ping, moderate jitter, a little baseline loss.
+func netConfig(loss float64) *netmodel.Config {
+	return &netmodel.Config{DefaultPingMS: 80, JitterMS: 200, Loss: loss}
+}
+
+// TestNetInstantEquivalence pins the timing contract of the transport:
+// with zero loss, zero jitter and sub-period pings, the netmodel run
+// reproduces the instant-delivery run's metrics exactly — every message
+// takes zero extra ticks, so the transit phase is the deliver phase.
+func TestNetInstantEquivalence(t *testing.T) {
+	run := func(net *netmodel.Config) *Result {
+		g := testTopology(t, 150, 9)
+		cfg := quickConfig(g, Fast)
+		cfg.TrackRatios = true
+		cfg.Net = net
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	classic := run(nil)
+	instant := run(&netmodel.Config{DefaultPingMS: 40}) // 40 ms << 1 s period
+	if instant.NetDelivered == 0 {
+		t.Fatal("transport delivered nothing")
+	}
+	if instant.NetLost != 0 || instant.NetReRequests != 0 {
+		t.Errorf("lossless run recorded %d losses, %d re-requests", instant.NetLost, instant.NetReRequests)
+	}
+	// Every message took exactly one period.
+	if d := instant.MeanDeliveryDelay(); math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("mean delivery delay = %v s, want 1.0", d)
+	}
+	// Apart from its own accounting (zero on the classic run by
+	// definition), the transport changes nothing.
+	zeroNet := func(m *SwitchMetrics) {
+		m.NetDelivered, m.NetLost, m.NetReRequests, m.NetDelaySeconds = 0, 0, 0, 0
+	}
+	zeroNet(&instant.SwitchMetrics)
+	for _, w := range instant.Windows {
+		zeroNet(w)
+	}
+	resultsEqual(t, "instant-net", classic, instant)
+}
+
+// TestNetLossSlowsTheSwitch checks the loss semantics end to end: losses
+// are recorded, induce re-requests that eventually land, and the mesh
+// still converges (nobody is wedged by a lost grant).
+func TestNetLossSlowsTheSwitch(t *testing.T) {
+	g := testTopology(t, 150, 9)
+	cfg := quickConfig(g, Fast)
+	cfg.Net = netConfig(0.15)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetLost == 0 {
+		t.Fatal("15% loss produced zero lost messages")
+	}
+	if res.NetReRequests == 0 {
+		t.Error("losses induced no re-requests")
+	}
+	if res.LossRate() < 0.05 || res.LossRate() > 0.30 {
+		t.Errorf("loss rate = %v, want around 0.15", res.LossRate())
+	}
+	if res.UnpreparedS2 > res.Cohort/4 {
+		t.Errorf("mesh did not converge under loss: %d of %d unprepared", res.UnpreparedS2, res.Cohort)
+	}
+}
+
+// TestNetPartitionBlocksAndHeals checks partition semantics: during the
+// split only the source's side progresses, and after heal the far side
+// catches up.
+func TestNetPartitionBlocksAndHeals(t *testing.T) {
+	g := testTopology(t, 150, 9)
+	cfg := quickConfig(g, Fast)
+	cfg.Net = &netmodel.Config{DefaultPingMS: 40}
+	cfg.Script = &Script{Events: []Event{
+		PartitionAt(20, 0.5),
+		HealAt(60),
+		SwitchAt(80, -1),
+	}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The switch happened after the heal, so the whole cohort should
+	// still converge.
+	if len(res.Windows) != 1 || res.Windows[0].Kind != "switch" {
+		t.Fatalf("windows: %+v", res.Windows)
+	}
+	if res.UnpreparedS2 > res.Cohort/4 {
+		t.Errorf("mesh did not recover from the partition: %d of %d unprepared", res.UnpreparedS2, res.Cohort)
+	}
+}
+
+// TestNetEventsRequireNet pins the validation: latency/loss/partition
+// events without Config.Net are a configuration error.
+func TestNetEventsRequireNet(t *testing.T) {
+	g := testTopology(t, 50, 1)
+	for _, ev := range []Event{
+		LatencyShiftAt(10, 5),
+		LossBurstAt(10, 5, 0.3),
+		PartitionAt(10, 0.5),
+		HealAt(10),
+	} {
+		cfg := quickConfig(g, Fast)
+		cfg.Script = &Script{Events: []Event{ev}, Duration: 20}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s event without Config.Net accepted", ev.Kind)
+		}
+	}
+	// Demote needs no transport.
+	cfg := quickConfig(g, Fast)
+	cfg.Script = &Script{Events: []Event{SwitchAt(10, -1), DemoteAt(20, -1)}, Duration: 40}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("demote without Config.Net rejected: %v", err)
+	}
+}
+
+// TestDemoteRoundTripHandoff is the speaker-demotion acceptance test:
+// the floor passes 3 → 7 → back to 3, which is only possible because the
+// demote at tick 70 returned node 3 to the listener pool with nonzero
+// inbound.
+func TestDemoteRoundTripHandoff(t *testing.T) {
+	g := testTopology(t, 150, 9)
+	cfg := quickConfig(g, Fast)
+	cfg.FirstSource = 3
+	cfg.Script = &Script{Events: []Event{
+		SwitchAt(25, 7),
+		DemoteAt(70, 3),
+		SwitchAt(100, 3),
+	}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(res.Windows))
+	}
+	first, second := res.Windows[0], res.Windows[1]
+	if first.OldSource != 3 || first.NewSource != 7 {
+		t.Errorf("first handoff %d -> %d, want 3 -> 7", first.OldSource, first.NewSource)
+	}
+	if second.OldSource != 7 || second.NewSource != 3 {
+		t.Errorf("round trip %d -> %d, want 7 -> 3", second.OldSource, second.NewSource)
+	}
+	if len(second.PrepareS2Times) == 0 {
+		t.Error("nobody prepared the returned speaker's stream")
+	}
+	// Without the demote, the same script must fail: ex-sources cannot
+	// retake the floor. (The pinned target silently falls back to the
+	// random pick, so assert on the promoted node instead of an error.)
+	cfg2 := quickConfig(testTopology(t, 150, 9), Fast)
+	cfg2.FirstSource = 3
+	cfg2.Script = &Script{Events: []Event{
+		SwitchAt(25, 7),
+		SwitchAt(100, 3),
+	}}
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Windows[1].NewSource == 3 {
+		t.Error("ex-source retook the floor without a demote")
+	}
+}
+
+// TestDemoteErrors pins the demote failure modes as run errors.
+func TestDemoteErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"no-ex-source", []Event{DemoteAt(10, -1)}},
+		{"never-source", []Event{SwitchAt(10, 7), DemoteAt(20, 12)}},
+		{"current-source", []Event{SwitchAt(10, 7), DemoteAt(20, 7)}},
+		{"dead-ex-source", []Event{CrashAt(10, 7), DemoteAt(20, -1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testTopology(t, 150, 9)
+			cfg := quickConfig(g, Fast)
+			cfg.FirstSource = 3
+			cfg.Script = &Script{Events: tc.events, Duration: 40}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(); err == nil {
+				t.Error("invalid demote did not surface as a run error")
+			}
+		})
+	}
+}

@@ -66,8 +66,17 @@ type nodeState struct {
 	// the current period: they are in flight (arriving at period end) and
 	// must not be re-requested in retry rounds. At most Inbound·τ entries,
 	// so a flat slice with linear membership beats a map; it is appended
-	// only by the serial commit step and cleared at delivery.
+	// only by the serial commit step and cleared at delivery. Under the
+	// netmodel transport a segment stays granted for its whole flight
+	// time (possibly several ticks) and is removed individually at
+	// delivery or loss, so the round-0 isGranted scans become
+	// load-bearing there.
 	granted []segment.ID
+
+	// lostSegs holds segments whose in-flight message the transport
+	// lost: the node may request them again, and a later grant of one is
+	// counted as a loss-induced re-request. Netmodel runs only.
+	lostSegs []segment.ID
 
 	// linkGrants[i] counts this period's grants over the link from the
 	// node's i-th neighbor (the per-pair cap of the per-link substrate —
@@ -113,6 +122,43 @@ func (n *nodeState) isGranted(id segment.ID) bool {
 // clearGranted resets the in-flight set at period end.
 func (n *nodeState) clearGranted() {
 	n.granted = n.granted[:0]
+}
+
+// removeGranted drops one segment from the in-flight set (netmodel
+// delivery or loss; membership is set-like, so swap-delete is fine).
+func (n *nodeState) removeGranted(id segment.ID) {
+	for i, g := range n.granted {
+		if g == id {
+			n.granted[i] = n.granted[len(n.granted)-1]
+			n.granted = n.granted[:len(n.granted)-1]
+			return
+		}
+	}
+}
+
+// noteLost records a lost in-flight segment so a later re-grant counts
+// as a loss-induced re-request.
+func (n *nodeState) noteLost(id segment.ID) {
+	for _, l := range n.lostSegs {
+		if l == id {
+			return
+		}
+	}
+	n.lostSegs = append(n.lostSegs, id)
+}
+
+// consumeLost reports whether the segment was previously lost for this
+// node, removing the record (each loss is counted as at most one
+// re-request).
+func (n *nodeState) consumeLost(id segment.ID) bool {
+	for i, l := range n.lostSegs {
+		if l == id {
+			n.lostSegs[i] = n.lostSegs[len(n.lostSegs)-1]
+			n.lostSegs = n.lostSegs[:len(n.lostSegs)-1]
+			return true
+		}
+	}
+	return false
 }
 
 // ensureLinkScratch sizes the per-neighbor counters to the node's current

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/sim/engine"
+)
+
+// The transit phase: the netmodel transport's landing step, replacing
+// the instant deliver phase when Config.Net is set. The serve commit
+// injects every granted segment as an in-flight message (see
+// serveRound); transit pops the messages whose arrival tick has come,
+// draws their loss fate, and lands the survivors.
+//
+// Sharded on the destination grid: each shard owns its own message heap
+// inside the model, buffer writes are destination-local, and the loss
+// draws come from a fresh rngNet stream per (tick, shard) — so the
+// in-flight message state obeys the same shard/merge determinism
+// contract as every other phase, and a run with the transport enabled
+// is still a pure function of its seed at any worker count. The
+// per-shard delivery/loss counters merge serially in shard order.
+
+// blocked reports whether the link between two nodes is severed by an
+// active partition (always false without the netmodel transport). The
+// planning phases consult it so buffer maps and requests stop crossing
+// the boundary, exactly like the data messages transit drops.
+func (s *Sim) blocked(a, b overlay.NodeID) bool {
+	return s.net != nil && s.net.Blocked(a, b)
+}
+
+// phaseTransit lands this tick's due messages: losses (drawn per
+// message) and partition-crossing messages are dropped — freeing the
+// segment for a re-request and recording it as lost — and the rest
+// reach their destination's buffer, store-and-forward, exactly when the
+// delay model says they do.
+func (s *Sim) phaseTransit() {
+	n := len(s.nodes)
+	shards := s.ensureShards(n)
+	popped := 0
+	s.pool.Run(shards, func(_, shard int) {
+		sh := &s.shards[shard]
+		sh.netDelivered, sh.netLost, sh.netDelayTicks, sh.netPopped = 0, 0, 0, 0
+		rng := rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngNet, s.tick, 0, shard)))
+		loss := s.net.LossProb(s.tick)
+		sh.netPopped = s.net.PopDue(shard, s.tick, func(msg netmodel.Message) {
+			to := s.nodes[msg.To]
+			if !to.alive {
+				// The destination left the overlay mid-flight: the message
+				// evaporates without loss accounting (nobody re-requests).
+				to.removeGranted(msg.Seg)
+				return
+			}
+			if s.blocked(msg.From, msg.To) || (loss > 0 && rng.Float64() < loss) {
+				to.removeGranted(msg.Seg)
+				to.noteLost(msg.Seg)
+				sh.netLost++
+				return
+			}
+			to.receive(msg.Seg)
+			to.removeGranted(msg.Seg)
+			sh.netDelivered++
+			// Delivery delay includes the landing period itself: the
+			// classic substrate's same-tick delivery measures one period.
+			sh.netDelayTicks += int64(s.tick - msg.Sent + 1)
+		})
+	})
+	// Serial merge in shard order: window accounting and the in-flight
+	// gauge.
+	for si := 0; si < shards; si++ {
+		sh := &s.shards[si]
+		popped += sh.netPopped
+		if s.win.active {
+			s.netDelivered += sh.netDelivered
+			s.netLost += sh.netLost
+			s.netDelayTicks += sh.netDelayTicks
+		}
+	}
+	s.net.SettleDelivered(popped)
+}

@@ -62,10 +62,11 @@ func (s *Sim) planRound() {
 			if !nd.alive {
 				continue
 			}
-			// Map exchange cost: nd receives its alive neighbors' maps.
+			// Map exchange cost: nd receives its alive neighbors' maps
+			// (maps do not cross an active partition).
 			if s.win.active && round == 0 {
 				for _, v := range s.g.Neighbors(nd.id) {
-					if s.nodes[v].alive {
+					if s.nodes[v].alive && !s.blocked(nd.id, v) {
 						sh.controlBits += wire
 					}
 				}
@@ -187,7 +188,9 @@ func (s *Sim) buildView(n *nodeState) {
 	maxAdvert := segment.None
 	for ni, v := range s.g.Neighbors(n.id) {
 		nb := s.nodes[v]
-		if !nb.alive {
+		if !nb.alive || s.blocked(n.id, v) {
+			// Dead — or unreachable across an active partition: no maps,
+			// no requests, no supply until the partition heals.
 			continue
 		}
 		if len(n.viewSuppliers) == core.MaxSuppliers {
@@ -304,7 +307,7 @@ func (s *Sim) pickSupplier(n *nodeState, id segment.ID, rng *rand.Rand) (overlay
 	count := 0
 	for ni, v := range s.g.Neighbors(n.id) {
 		nb := s.nodes[v]
-		if !nb.alive || !nb.buf.Has(id) {
+		if !nb.alive || !nb.buf.Has(id) || s.blocked(n.id, v) {
 			continue
 		}
 		if s.cfg.SharedOutbound {

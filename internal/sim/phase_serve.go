@@ -68,7 +68,15 @@ func (s *Sim) serveRound() {
 		}
 	})
 
-	// Serial commit in shard order.
+	// Serial commit in shard order. Under the netmodel transport the
+	// committed grant becomes an in-flight message instead of an
+	// end-of-tick delivery; its jitter draw comes from a dedicated
+	// per-(tick, round) stream, deterministic because the commit walk
+	// itself is serial and shard-ordered.
+	var jitterRNG *rand.Rand
+	if s.net != nil && s.net.JitterMS() > 0 {
+		jitterRNG = rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngNetJit, s.tick, round, 0)))
+	}
 	granted := false
 	for si := 0; si < shards; si++ {
 		for _, p := range s.shards[si].proposals {
@@ -85,7 +93,18 @@ func (s *Sim) serveRound() {
 			}
 			req.markGranted(p.seg)
 			granted = true
-			s.delivered = append(s.delivered, delivery{to: p.from, seg: p.seg})
+			if s.net != nil {
+				if req.consumeLost(p.seg) && s.win.active {
+					s.netReRequests++ // a loss-induced re-request got re-granted
+				}
+				var jitter float64
+				if jitterRNG != nil {
+					jitter = jitterRNG.Float64() * s.net.JitterMS()
+				}
+				s.net.Send(s.tick, p.sup, p.from, p.seg, jitter)
+			} else {
+				s.delivered = append(s.delivered, delivery{to: p.from, seg: p.seg})
+			}
 			if s.win.active {
 				s.dataBits += bandwidth.BitsForSegments(1)
 			}

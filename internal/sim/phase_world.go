@@ -222,17 +222,7 @@ func (s *Sim) phaseChurn() {
 				anchor = lo
 			}
 		}
-		n.anchor = anchor
-		n.playhead = anchor
-		if ses, ok := s.tl.SessionOf(anchor); ok {
-			for idx, sv := range s.tl.Sessions() {
-				if sv.Begin == ses.Begin {
-					n.sessionIdx = idx
-					n.known = idx + 1
-					break
-				}
-			}
-		}
+		s.adoptPosition(n, anchor)
 		s.nodes = append(s.nodes, n)
 		s.incoming = append(s.incoming, nil)
 	}

@@ -44,6 +44,16 @@ type SwitchMetrics struct {
 	ControlBits int64
 	DataBits    int64
 
+	// Transport accounting over the window (all zero unless the run
+	// enabled Config.Net): messages delivered and lost in transit, the
+	// loss-induced re-requests that got re-granted, and the delivered
+	// messages' summed delivery delay in seconds (one period = the
+	// classic substrate's end-of-tick delivery).
+	NetDelivered    int64
+	NetLost         int64
+	NetReRequests   int64
+	NetDelaySeconds float64
+
 	// Playback continuity accounting over the window, summed across the
 	// cohort: segments actually played, and playback slots lost to a
 	// stall (a hole at the playhead while mid-stream).
@@ -90,6 +100,27 @@ func (m *SwitchMetrics) MaxFinishS1() float64 { return stats.Max(m.FinishS1Times
 
 // MaxPrepareS2 returns the last node's preparing time.
 func (m *SwitchMetrics) MaxPrepareS2() float64 { return stats.Max(m.PrepareS2Times) }
+
+// MeanDeliveryDelay returns the average in-window delivery delay of the
+// transport model in seconds (0 without Config.Net or when nothing was
+// delivered). The classic instant substrate corresponds to one
+// scheduling period.
+func (m *SwitchMetrics) MeanDeliveryDelay() float64 {
+	if m.NetDelivered == 0 {
+		return 0
+	}
+	return m.NetDelaySeconds / float64(m.NetDelivered)
+}
+
+// LossRate returns the fraction of in-window transport messages lost in
+// transit (loss draws plus partition drops).
+func (m *SwitchMetrics) LossRate() float64 {
+	total := m.NetDelivered + m.NetLost
+	if total == 0 {
+		return 0
+	}
+	return float64(m.NetLost) / float64(total)
+}
 
 // Overhead returns the communication overhead: buffer-map control bits
 // over data payload bits in the window (Section 5.2 metric 3).

@@ -140,6 +140,11 @@ type shardScratch struct {
 	controlBits int64
 	// Per-tick diagnostics, merged into the Sim's counters.
 	diagRequests, diagCandidates, diagPlanned int
+	// Transit phase output (netmodel runs): messages popped, delivered
+	// and lost this tick, and the delivered messages' summed delay.
+	netPopped             int
+	netDelivered, netLost int64
+	netDelayTicks         int64
 }
 
 // routedRequest is a pull request together with the supplier it is

@@ -29,7 +29,8 @@ type Event struct {
 	// To pins the node promoted to source by an EvSwitchSource (node 0 is
 	// a valid target); negative picks a uniformly random alive non-source
 	// node. A pinned target that is dead, out of range, or already a
-	// source falls back to the random pick.
+	// source falls back to the random pick. For an EvDemoteSource, To is
+	// the ex-source to demote (negative: the most recently retired one).
 	To overlay.NodeID
 	// Failure makes the switch an abrupt source crash instead of a
 	// planned handoff: the old source leaves the overlay (membership
@@ -57,8 +58,17 @@ type Event struct {
 	Backlog int
 
 	// Factor is the EvBandwidthShift rate multiplier, applied to every
-	// non-source node's base profile (1.0 restores the baseline).
+	// non-source node's base profile (1.0 restores the baseline) — and
+	// the EvLatencyShift propagation multiplier.
 	Factor float64
+
+	// Prob is the EvLossBurst per-message loss probability, overriding
+	// the netmodel baseline for Ticks ticks.
+	Prob float64
+
+	// Frac is the EvPartition split fraction: the expected share of
+	// nodes hashed onto the far side of the partition.
+	Frac float64
 }
 
 // EventKind enumerates the scenario event types.
@@ -85,7 +95,39 @@ const (
 	EvFlashCrowd
 	// EvBandwidthShift scales every non-source node's rates by Factor.
 	EvBandwidthShift
+	// EvLatencyShift scales every subsequent message's propagation delay
+	// by Factor (a latency storm; 1 restores the baseline). Messages
+	// already in flight keep their original arrival tick. Requires
+	// Config.Net.
+	EvLatencyShift
+	// EvLossBurst overrides the transport loss probability with Prob for
+	// Ticks ticks (a lossy-uplink episode). Requires Config.Net.
+	EvLossBurst
+	// EvPartition splits the overlay in two: each node is hashed onto a
+	// side (Frac the expected far-side share, from a fresh rngEvents
+	// stream's seed), and no traffic — buffer maps, requests or data,
+	// including messages already in flight — crosses the boundary until
+	// an EvHeal. Requires Config.Net.
+	EvPartition
+	// EvHeal ends the active partition. Requires Config.Net.
+	EvHeal
+	// EvDemoteSource turns an ex-source back into a listener: its base
+	// inbound rate returns, it rejoins playback at its neighbors' current
+	// position, and it becomes eligible to retake the floor at a later
+	// SwitchSource (the round-trip handoff). To pins the ex-source to
+	// demote; negative demotes the most recently retired one.
+	EvDemoteSource
 )
+
+// NeedsNet reports whether the event kind requires the netmodel
+// transport (Config.Net) to be enabled.
+func (k EventKind) NeedsNet() bool {
+	switch k {
+	case EvLatencyShift, EvLossBurst, EvPartition, EvHeal:
+		return true
+	}
+	return false
+}
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -100,6 +142,16 @@ func (k EventKind) String() string {
 		return "crowd"
 	case EvBandwidthShift:
 		return "bandwidth"
+	case EvLatencyShift:
+		return "latency"
+	case EvLossBurst:
+		return "lossburst"
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvDemoteSource:
+		return "demote"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -134,6 +186,35 @@ func FlashCrowdAt(tick, count, backlog int) Event {
 // BandwidthShiftAt schedules a rate shift of every non-source node.
 func BandwidthShiftAt(tick int, factor float64) Event {
 	return Event{Tick: tick, Kind: EvBandwidthShift, Factor: factor}
+}
+
+// LatencyShiftAt schedules a propagation-delay shift (factor 1 restores
+// the baseline). Requires Config.Net.
+func LatencyShiftAt(tick int, factor float64) Event {
+	return Event{Tick: tick, Kind: EvLatencyShift, Factor: factor}
+}
+
+// LossBurstAt schedules a loss burst: the transport loss probability
+// becomes prob for the given number of ticks. Requires Config.Net.
+func LossBurstAt(tick, ticks int, prob float64) Event {
+	return Event{Tick: tick, Kind: EvLossBurst, Ticks: ticks, Prob: prob}
+}
+
+// PartitionAt schedules a network partition with the given expected
+// far-side fraction. Requires Config.Net.
+func PartitionAt(tick int, frac float64) Event {
+	return Event{Tick: tick, Kind: EvPartition, Frac: frac}
+}
+
+// HealAt schedules the end of the active partition. Requires Config.Net.
+func HealAt(tick int) Event {
+	return Event{Tick: tick, Kind: EvHeal}
+}
+
+// DemoteAt schedules an ex-source's demotion back to listener (node < 0:
+// the most recently retired source).
+func DemoteAt(tick int, node overlay.NodeID) Event {
+	return Event{Tick: tick, Kind: EvDemoteSource, To: node}
 }
 
 // Script is a declarative event timeline driving one run. A nil
@@ -190,6 +271,23 @@ func (sc *Script) Validate() error {
 			if ev.Factor <= 0 {
 				return fmt.Errorf("sim: event %d: bandwidth factor %v must be positive", i, ev.Factor)
 			}
+		case EvLatencyShift:
+			if ev.Factor <= 0 {
+				return fmt.Errorf("sim: event %d: latency factor %v must be positive", i, ev.Factor)
+			}
+		case EvLossBurst:
+			if ev.Ticks <= 0 {
+				return fmt.Errorf("sim: event %d: loss burst needs positive Ticks", i)
+			}
+			if ev.Prob < 0 || ev.Prob >= 1 {
+				return fmt.Errorf("sim: event %d: loss probability %v out of [0,1)", i, ev.Prob)
+			}
+		case EvPartition:
+			if ev.Frac <= 0 || ev.Frac >= 1 {
+				return fmt.Errorf("sim: event %d: partition fraction %v out of (0,1)", i, ev.Frac)
+			}
+		case EvHeal, EvDemoteSource:
+			// No parameters to validate.
 		default:
 			return fmt.Errorf("sim: event %d: unknown kind %d", i, ev.Kind)
 		}

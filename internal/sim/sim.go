@@ -7,6 +7,7 @@ import (
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/core"
 	"gossipstream/internal/membership"
+	"gossipstream/internal/netmodel"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
 	"gossipstream/internal/sim/engine"
@@ -38,6 +39,11 @@ type Sim struct {
 	nodes []*nodeState
 	algo  core.Algorithm // naming only; planning uses per-worker instances
 
+	// net is the message-level transport model (nil = classic instant
+	// delivery). When set, the pipeline's transit phase replaces the
+	// deliver phase and granted segments travel as in-flight messages.
+	net *netmodel.Model
+
 	tl      *segment.Timeline
 	nextGen segment.ID // next id the current source will emit
 
@@ -61,6 +67,9 @@ type Sim struct {
 	oldSource, newSource overlay.NodeID
 	s1End, s2Begin       segment.ID
 	newSessionIdx        int
+	// lastRetired is the most recent node that stopped being the source
+	// (the default target of an EvDemoteSource).
+	lastRetired overlay.NodeID
 
 	// Scenario environment state.
 	burst      *ChurnConfig // churn-burst override, nil outside bursts
@@ -75,7 +84,14 @@ type Sim struct {
 	cohort      []overlay.NodeID
 	controlBits int64
 	dataBits    int64
-	res         *Result
+	// Transport accounting over the open window (netmodel runs only):
+	// delivered/lost message counts, summed delivery delay in ticks, and
+	// grants that re-request a previously lost segment.
+	netDelivered  int64
+	netLost       int64
+	netDelayTicks int64
+	netReRequests int64
+	res           *Result
 
 	// Per-tick pipeline state.
 	round    int               // current plan/serve round within the period
@@ -111,6 +127,8 @@ const (
 	rngPlan = iota + 1
 	rngServe
 	rngEvents
+	rngNet    // transit-phase loss draws, one stream per (tick, shard)
+	rngNetJit // serve-commit jitter draws, one stream per (tick, round)
 )
 
 // New validates the configuration and builds the initial system: all
@@ -159,6 +177,10 @@ func New(cfg Config) (*Sim, error) {
 	s.incoming = make([][]pullRequest, len(s.nodes))
 	s.newSessionIdx = -1
 	s.newSource = -1
+	s.lastRetired = -1
+	if cfg.Net != nil {
+		s.net = netmodel.New(*cfg.Net, cfg.Tau)
+	}
 
 	script := cfg.Script
 	if script == nil {
@@ -190,13 +212,20 @@ func New(cfg Config) (*Sim, error) {
 		engine.Phase{Name: "plan", Run: s.planRound},
 		engine.Phase{Name: "serve", Run: s.serveRound},
 	)
+	// With the netmodel transport enabled, the sharded transit phase
+	// replaces the instant end-of-tick deliver phase: grants travel as
+	// in-flight messages and land when their arrival tick comes due.
+	landing := engine.Phase{Name: "deliver", Run: s.phaseDeliver}
+	if s.net != nil {
+		landing = engine.Phase{Name: "transit", Run: s.phaseTransit}
+	}
 	s.pipeline = engine.NewPipeline(
 		engine.Phase{Name: "events", Run: s.phaseEvents},
 		engine.Phase{Name: "arrivals", Run: s.phaseArrivals},
 		engine.Phase{Name: "generate", Run: s.phaseGenerate},
 		engine.Phase{Name: "refill", Run: s.phaseRefill},
 		engine.Phase{Name: "schedule", Run: s.phaseSchedule},
-		engine.Phase{Name: "deliver", Run: s.phaseDeliver},
+		landing,
 		engine.Phase{Name: "playback", Run: s.phasePlayback},
 		engine.Phase{Name: "churn", Run: s.phaseChurn},
 		engine.Phase{Name: "record", Run: s.phaseRecord},
@@ -216,7 +245,7 @@ func (s *Sim) autoDuration() int {
 			if after <= 0 {
 				after = s.cfg.HorizonTicks
 			}
-		case EvMeasureWindow, EvChurnBurst:
+		case EvMeasureWindow, EvChurnBurst, EvLossBurst:
 			after = ev.Ticks
 		}
 		if t := ev.Tick + after; t > end {
@@ -338,6 +367,83 @@ func (s *Sim) fire(ev Event, idx int) {
 		s.flashCrowd(ev, rng)
 	case EvBandwidthShift:
 		s.shiftBandwidth(ev.Factor)
+	case EvLatencyShift:
+		s.net.SetLatencyFactor(ev.Factor)
+	case EvLossBurst:
+		s.net.SetLossBurst(ev.Prob, s.tick+ev.Ticks)
+	case EvPartition:
+		// The side-assignment seed comes from the event's own stream, so
+		// two partitions in one run split differently.
+		s.net.Partition(ev.Frac, engine.SeedFor(s.cfg.Seed, rngEvents, s.tick, idx, 0))
+	case EvHeal:
+		s.net.Heal()
+	case EvDemoteSource:
+		s.applyDemote(ev)
+	}
+}
+
+// applyDemote turns an ex-source back into a listener: its base
+// bandwidth profile returns (under the current bandwidth shift), it
+// rejoins playback at its neighbors' current position exactly like a
+// churn joiner, and — no longer being a source — it can be promoted
+// again by a later switch (the round-trip handoff). The current source
+// and dead ex-sources cannot be demoted; a demote that cannot apply is a
+// run error, like an unservable switch.
+func (s *Sim) applyDemote(ev Event) {
+	id := ev.To
+	if id < 0 {
+		id = s.lastRetired
+	}
+	switch {
+	case id < 0 || int(id) >= len(s.nodes):
+		s.runErr = fmt.Errorf("sim: demote at tick %d: no ex-source to demote", s.tick)
+		return
+	case !s.nodes[id].isSource:
+		s.runErr = fmt.Errorf("sim: demote at tick %d: node %d never held the source role or was already demoted", s.tick, id)
+		return
+	case overlay.NodeID(s.tl.Current().Source) == id && s.tl.Current().Open():
+		s.runErr = fmt.Errorf("sim: demote at tick %d: node %d is the current source", s.tick, id)
+		return
+	case !s.nodes[id].alive:
+		s.runErr = fmt.Errorf("sim: demote at tick %d: ex-source %d is dead", s.tick, id)
+		return
+	}
+	n := s.nodes[id]
+	n.isSource = false
+	s.applyShift(n) // base × the current bandwidth shift, rates included
+	// Rejoin playback by following the neighbors' current steps (the
+	// Section 5.4 joiner rule): the ex-source kept its buffer, so it
+	// usually starts as a well-provisioned supplier of the old stream.
+	anchor := segment.ID(0)
+	for _, v := range s.g.Neighbors(n.id) {
+		if s.nodes[v].alive {
+			if lo := s.windowLo(s.nodes[v]); lo > anchor {
+				anchor = lo
+			}
+		}
+	}
+	n.playActive = false
+	s.adoptPosition(n, anchor)
+	if id == s.lastRetired {
+		s.lastRetired = -1
+	}
+}
+
+// adoptPosition points a (re)joining node's playback at anchor and
+// aligns its session bookkeeping with the timeline — the Section 5.4
+// "follow its neighbors' current steps" rule, shared by churn joiners
+// and demoted ex-sources.
+func (s *Sim) adoptPosition(n *nodeState, anchor segment.ID) {
+	n.anchor = anchor
+	n.playhead = anchor
+	if ses, ok := s.tl.SessionOf(anchor); ok {
+		for idx, sv := range s.tl.Sessions() {
+			if sv.Begin == ses.Begin {
+				n.sessionIdx = idx
+				n.known = idx + 1
+				break
+			}
+		}
 	}
 }
 
@@ -396,6 +502,7 @@ func (s *Sim) applySwitch(ev Event) {
 	s.nextGen = ses.Begin
 	s.newSessionIdx = len(s.tl.Sessions()) - 1
 	s.oldSource, s.newSource = old, to
+	s.lastRetired = old
 
 	ns := s.nodes[to]
 	ns.becomeSource(s.cfg.SourceOutFactor * s.cfg.P)
@@ -448,6 +555,7 @@ func (s *Sim) openWindow(isSwitch bool, horizon int, ev Event) {
 		m.OldSource, m.NewSource, m.Failure = s.oldSource, s.newSource, ev.Failure
 	}
 	s.controlBits, s.dataBits = 0, 0
+	s.netDelivered, s.netLost, s.netDelayTicks, s.netReRequests = 0, 0, 0, 0
 	s.cohort = s.cohort[:0]
 	for _, n := range s.nodes {
 		eligible := n.alive && !n.isSource
@@ -483,6 +591,10 @@ func (s *Sim) closeWindow(measured int, hitHorizon, interrupted bool) {
 	m.Interrupted = interrupted
 	m.ControlBits = s.controlBits
 	m.DataBits = s.dataBits
+	m.NetDelivered = s.netDelivered
+	m.NetLost = s.netLost
+	m.NetReRequests = s.netReRequests
+	m.NetDelaySeconds = float64(s.netDelayTicks) * s.cfg.Tau
 	for _, id := range s.cohort {
 		n := s.nodes[id]
 		if s.win.isSwitch {

@@ -153,13 +153,31 @@ func Parse(r io.Reader) (*Trace, error) {
 // fields, ping times drawn from a heavy-tailed distribution, and the
 // crawl-era modem/DSL/T1 speed mix.
 func Synthesize(name string, n, attach int, seed int64) *Trace {
+	return SynthesizeDist(name, n, attach, seed, 0, 0)
+}
+
+// SynthesizeDist is Synthesize with the ping-time distribution
+// overridden: pings are drawn from a Gaussian with the given mean and
+// sigma (milliseconds), clamped to ≥ 1 ms — the knob netmodel
+// experiments sweep latency regimes with. pingMean <= 0 selects the
+// legacy heavy-tailed crawl distribution, reproducing Synthesize
+// bit-for-bit (the RNG draw sequence is preserved).
+func SynthesizeDist(name string, n, attach int, seed int64, pingMean, pingSigma float64) *Trace {
 	rng := rand.New(rand.NewSource(seed))
 	t := &Trace{Name: name}
 	speeds := []int{28, 33, 56, 64, 128, 384, 768, 1544}
 	for i := 0; i < n; i++ {
-		ping := 20 + rng.Intn(80)
-		if rng.Intn(10) == 0 { // heavy tail: transcontinental / modem peers
-			ping += 100 + rng.Intn(400)
+		var ping int
+		if pingMean > 0 {
+			ping = int(pingMean + pingSigma*rng.NormFloat64())
+			if ping < 1 {
+				ping = 1
+			}
+		} else {
+			ping = 20 + rng.Intn(80)
+			if rng.Intn(10) == 0 { // heavy tail: transcontinental / modem peers
+				ping += 100 + rng.Intn(400)
+			}
 		}
 		t.Nodes = append(t.Nodes, Node{
 			ID:       i,
@@ -214,12 +232,18 @@ func FamilySizes() []int {
 // Family synthesizes the full 30-trace family with deterministic seeds
 // derived from base.
 func Family(base int64) []*Trace {
+	return FamilyDist(base, 0, 0)
+}
+
+// FamilyDist is Family with the ping-time distribution overridden (see
+// SynthesizeDist; pingMean <= 0 keeps the legacy distribution).
+func FamilyDist(base int64, pingMean, pingSigma float64) []*Trace {
 	sizes := FamilySizes()
 	out := make([]*Trace, 0, len(sizes))
 	for i, n := range sizes {
 		attach := 1 + i%2 // alternate sparse/denser crawls, avg degree ~1.5-3
 		name := fmt.Sprintf("clip2-synth-%05d", n)
-		out = append(out, Synthesize(name, n, attach, base+int64(i)*1009))
+		out = append(out, SynthesizeDist(name, n, attach, base+int64(i)*1009, pingMean, pingSigma))
 	}
 	return out
 }

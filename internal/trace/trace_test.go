@@ -30,6 +30,42 @@ func TestSynthesizeShape(t *testing.T) {
 	}
 }
 
+// TestSynthesizeDist pins the ping-distribution override: a Gaussian
+// regime lands near its mean, pings stay positive even with a huge
+// sigma, and pingMean <= 0 reproduces the legacy distribution
+// bit-for-bit (Synthesize delegates there).
+func TestSynthesizeDist(t *testing.T) {
+	tr := SynthesizeDist("g", 2000, 1, 42, 300, 50)
+	sum, minPing := 0, 1<<30
+	for _, n := range tr.Nodes {
+		if n.PingMS < 1 {
+			t.Fatalf("non-positive ping %d", n.PingMS)
+		}
+		sum += n.PingMS
+		if n.PingMS < minPing {
+			minPing = n.PingMS
+		}
+	}
+	if avg := float64(sum) / float64(tr.N()); avg < 280 || avg > 320 {
+		t.Errorf("avg ping %v far from the requested mean 300", avg)
+	}
+	// Heavy sigma: the ≥ 1 ms clamp holds.
+	for _, n := range SynthesizeDist("c", 500, 1, 7, 10, 500).Nodes {
+		if n.PingMS < 1 {
+			t.Fatalf("clamp failed: ping %d", n.PingMS)
+		}
+	}
+	// Legacy equivalence: the distribution override leaves the default
+	// path's RNG sequence untouched.
+	a := Synthesize("d", 300, 1, 7)
+	b := SynthesizeDist("d", 300, 1, 7, 0, 0)
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("legacy path diverged at node %d: %+v vs %+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+}
+
 func TestSynthesizeDeterminism(t *testing.T) {
 	a := Synthesize("d", 200, 1, 7)
 	b := Synthesize("d", 200, 1, 7)
