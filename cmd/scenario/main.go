@@ -178,7 +178,9 @@ func printResult(algoName string, res *sim.Result) {
 			w.Continuity(), w.Overhead(), w.MeasuredTicks,
 			flagStr(w.HitHorizon, "  [hit horizon]"), flagStr(w.Interrupted, "  [interrupted]"))
 		if w.NetDelivered+w.NetLost > 0 {
-			fmt.Printf("    transport: delay %.2f s  loss %.1f%% (%d lost, %d re-requested of %d msgs)\n",
+			// Millisecond resolution: the sub-tick transport reports true
+			// link delays well below one scheduling period.
+			fmt.Printf("    transport: delay %.3f s  loss %.1f%% (%d lost, %d re-requested of %d msgs)\n",
 				w.MeanDeliveryDelay(), w.LossRate()*100, w.NetLost, w.NetReRequests, w.NetDelivered+w.NetLost)
 		}
 	}

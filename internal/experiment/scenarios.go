@@ -102,7 +102,9 @@ func FormatScenarioSweep(outcomes []ScenarioOutcome) string {
 			label := fmt.Sprintf("%d %s@t=%d", wi, fw.Kind, fw.Tick)
 			net := fmt.Sprintf(" %9s %7s %7s", "-", "-", "-")
 			if fw.NetDelivered+fw.NetLost > 0 {
-				net = fmt.Sprintf(" %9.2f %6.1f%% %7d",
+				// Millisecond resolution for the sub-tick transport's
+				// genuine sub-period delays.
+				net = fmt.Sprintf(" %9.3f %6.1f%% %7d",
 					fw.MeanDeliveryDelay(), fw.LossRate()*100, fw.NetReRequests)
 			}
 			if fw.Kind != "switch" {

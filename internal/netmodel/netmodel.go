@@ -1,24 +1,8 @@
-// Package netmodel is the simulator's message-level transport model: a
-// deterministic per-link delay model derived from trace ping times, a
-// per-message loss probability, and network partitions. Without it the
-// engine delivers every granted segment instantly and losslessly at the
-// end of its tick; with it, a granted segment becomes a Message that
-// spends DelayTicks in flight (propagation derived from the endpoint
-// ping times, plus caller-supplied jitter), may be lost, and is dropped
-// at the boundary of an active partition.
-//
-// The Model is deliberately RNG-free: jitter values and loss draws are
-// made by the caller from dedicated engine.SeedFor streams (the sim's
-// rngNet/rngNetJit tags), so the model itself is a pure state machine
-// and the engine's shard/merge determinism contract extends to the
-// in-flight message queue. Messages are stored in per-destination-shard
-// binary heaps keyed by (arrival tick, injection sequence): pushes
-// happen in the serial serve commit, pops in the sharded transit phase,
-// and both orders are independent of the worker count.
 package netmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
@@ -49,6 +33,14 @@ type Config struct {
 	// Loss is the baseline per-message loss probability in [0, 1). A
 	// LossBurst event overrides it for a bounded window.
 	Loss float64
+	// QuantizeTicks floors every message's arrival timestamp onto whole
+	// scheduling periods — the original tick-quantized transport. Under
+	// it, same-tick arrivals pop in injection order (not sub-tick delay
+	// order) and delivery delays are reported in whole periods, exactly
+	// reproducing the pre-subtick engine bit for bit. The default (false)
+	// is the sub-tick transport: continuous arrival timestamps, true
+	// sub-period delay metrics.
+	QuantizeTicks bool
 }
 
 // Defaulted returns a copy with zero fields replaced by defaults.
@@ -79,18 +71,34 @@ func (c Config) Validate() error {
 }
 
 // Message is one granted segment in flight from a supplier to a
-// requester.
+// requester. The shape is shared with the planned real-socket runtime:
+// any transport that produces (From, To, Seg, ArrivalMS) tuples can feed
+// the same transit phase.
 type Message struct {
 	From overlay.NodeID
 	To   overlay.NodeID
 	Seg  segment.ID
 	// Sent is the tick the grant was committed; Due the tick whose
-	// transit phase delivers the message (Due == Sent reproduces the
-	// classic end-of-tick delivery timing).
+	// transit phase delivers the message — derived from ArrivalMS with
+	// the same comparisons PopDue makes, so it names the actual delivery
+	// tick in both ordering modes (Due == Sent reproduces the classic
+	// end-of-tick delivery timing).
 	Sent, Due int
+	// ArrivalMS is the message's continuous arrival timestamp in
+	// milliseconds since the start of the run: the send tick's start
+	// plus the link delay. Under QuantizeTicks it is floored onto the
+	// start of the Due period, which makes the (ArrivalMS, seq) heap
+	// order degenerate to the original (Due, injection) order.
+	ArrivalMS float64
 	// seq is the global injection sequence number — the heap tiebreak
-	// that makes same-tick pops independent of heap internals.
+	// that makes equal-timestamp pops independent of heap internals.
 	seq uint64
+}
+
+// DelayMS returns the message's link delay relative to its send instant:
+// ArrivalMS minus the start of the Sent period.
+func (m Message) DelayMS(tauSeconds float64) float64 {
+	return m.ArrivalMS - float64(m.Sent)*tauSeconds*1000
 }
 
 // Model is the runtime transport state of one run: the delay/loss
@@ -100,8 +108,9 @@ type Message struct {
 // PopDue — from the worker owning the destination shard, so the Model
 // needs no locking.
 type Model struct {
-	cfg Config
-	tau float64
+	cfg   Config
+	tau   float64
+	tauMS float64
 
 	latFactor float64 // current propagation multiplier (LatencyShift)
 
@@ -111,6 +120,12 @@ type Model struct {
 	partitioned bool
 	partSeed    uint64
 	partFrac    float64
+	// Ping-clustered split state (PartitionByPing): side 1 is the
+	// low-ping cluster below partPingCut, with ties at the cut broken by
+	// the seeded hash with probability partTieFrac.
+	partByPing  bool
+	partPingCut int
+	partTieFrac float64
 
 	seq      uint64
 	heaps    []msgHeap // in-flight messages, per destination shard
@@ -120,7 +135,7 @@ type Model struct {
 // New builds the model for one run. cfg is defaulted, not validated —
 // sim.Config.Validate runs Validate before any Model exists.
 func New(cfg Config, tau float64) *Model {
-	return &Model{cfg: cfg.Defaulted(), tau: tau, latFactor: 1}
+	return &Model{cfg: cfg.Defaulted(), tau: tau, tauMS: tau * 1000, latFactor: 1}
 }
 
 // Ping returns the configured round-trip ping of a node in milliseconds.
@@ -135,46 +150,81 @@ func (m *Model) Ping(n overlay.NodeID) int {
 // caller can skip its jitter stream entirely).
 func (m *Model) JitterMS() float64 { return m.cfg.JitterMS }
 
+// Quantized reports whether the model runs in the tick-quantized
+// compatibility mode (Config.QuantizeTicks).
+func (m *Model) Quantized() bool { return m.cfg.QuantizeTicks }
+
+// DelayMS is one message's continuous link delay in milliseconds:
+// propagation is the mean of the two endpoints' one-way delays (ping/2
+// each), scaled by the current latency factor, plus the caller-drawn
+// jitter.
+func (m *Model) DelayMS(a, b overlay.NodeID, jitterMS float64) float64 {
+	return m.latFactor*(float64(m.Ping(a))+float64(m.Ping(b)))/2 + jitterMS
+}
+
 // DelayTicks converts one message's link delay into whole scheduling
-// periods beyond the sending tick: propagation is the mean of the two
-// endpoints' one-way delays (ping/2 each), scaled by the current latency
-// factor, plus the caller-drawn jitter. The classic substrate's
-// end-of-tick delivery is the zero of this function — a delay below one
-// period adds no extra ticks, so with small pings and no latency storm
-// the model reproduces the paper's timing exactly.
+// periods beyond the sending tick. The classic substrate's end-of-tick
+// delivery is the zero of this function — a delay below one period adds
+// no extra ticks, so with small pings and no latency storm the model
+// reproduces the paper's timing exactly.
 func (m *Model) DelayTicks(a, b overlay.NodeID, jitterMS float64) int {
-	prop := m.latFactor * (float64(m.Ping(a)) + float64(m.Ping(b))) / 2
-	return int((prop + jitterMS) / (m.tau * 1000))
+	return int(m.DelayMS(a, b, jitterMS) / m.tauMS)
 }
 
 // Send injects one granted segment into the in-flight queue and returns
-// its arrival tick. jitterMS is the caller's draw from its jitter
-// stream (0 when jitter is disabled).
+// its delivery tick. jitterMS is the caller's draw from its jitter
+// stream (0 when jitter is disabled). The arrival timestamp is the send
+// tick's start plus the continuous link delay; under QuantizeTicks it is
+// floored onto the start of the due period instead, reproducing the
+// original (Due, injection) pop order exactly.
 func (m *Model) Send(tick int, from, to overlay.NodeID, seg segment.ID, jitterMS float64) int {
-	due := tick + m.DelayTicks(from, to, jitterMS)
+	delay := m.DelayMS(from, to, jitterMS)
+	var due int
+	var arrival float64
+	if m.cfg.QuantizeTicks {
+		// The pre-subtick floor, kept as the exact original expression —
+		// the QuantizeTicks goldens pin it bit for bit.
+		due = tick + int(delay/m.tauMS)
+		arrival = float64(due) * m.tauMS
+	} else {
+		arrival = float64(tick)*m.tauMS + delay
+		// Derive Due from the timestamp with the same comparisons PopDue
+		// makes, so the returned tick agrees with the actual delivery
+		// even when the division rounds across a period boundary.
+		due = int(arrival / m.tauMS)
+		for float64(due)*m.tauMS > arrival {
+			due--
+		}
+		for float64(due+1)*m.tauMS <= arrival {
+			due++
+		}
+	}
 	shard := engine.ShardOf(int(to))
 	for len(m.heaps) <= shard {
 		m.heaps = append(m.heaps, nil)
 	}
 	m.seq++
-	m.heaps[shard].push(Message{From: from, To: to, Seg: seg, Sent: tick, Due: due, seq: m.seq})
+	m.heaps[shard].push(Message{From: from, To: to, Seg: seg, Sent: tick, Due: due, ArrivalMS: arrival, seq: m.seq})
 	m.inFlight++
 	return due
 }
 
-// PopDue pops every message of the destination shard whose arrival tick
-// has come, in (Due, injection) order, and hands each to fn. It is the
-// shard-local half of the transit phase: distinct shards touch distinct
-// heaps, so concurrent PopDue calls for different shards are race-free.
-// The inFlight counter is deliberately not maintained here — the serial
-// merge step calls SettleDelivered with the per-shard pop counts.
+// PopDue pops every message of the destination shard whose arrival
+// timestamp falls within the current period (ArrivalMS < the start of
+// tick+1), in (ArrivalMS, injection) order, and hands each to fn. It is
+// the shard-local half of the transit phase: distinct shards touch
+// distinct heaps, so concurrent PopDue calls for different shards are
+// race-free. The inFlight counter is deliberately not maintained here —
+// the serial merge step calls SettleDelivered with the per-shard pop
+// counts.
 func (m *Model) PopDue(shard, tick int, fn func(Message)) int {
 	if shard >= len(m.heaps) {
 		return 0
 	}
+	cutoff := float64(tick+1) * m.tauMS
 	h := &m.heaps[shard]
 	n := 0
-	for len(*h) > 0 && (*h)[0].Due <= tick {
+	for len(*h) > 0 && (*h)[0].ArrivalMS < cutoff {
 		fn(h.pop())
 		n++
 	}
@@ -218,8 +268,51 @@ func (m *Model) LossProb(tick int) float64 {
 // deterministic side too.
 func (m *Model) Partition(frac float64, seed int64) {
 	m.partitioned = true
+	m.partByPing = false
 	m.partFrac = frac
 	m.partSeed = uint64(seed)
+}
+
+// PartitionByPing splits the overlay by round-trip ping instead of a
+// uniform hash: the configured ping table is cut at its frac-quantile,
+// the low-ping cluster lands on side 1 (CliqueStream-style latency
+// islands: nearby peers stay connected to each other), and ties exactly
+// at the cut are broken by the seeded hash so the expected side-1 share
+// is still frac. Nodes without a ping entry carry the default ping, so
+// churn joiners land on a deterministic side too. With an empty ping
+// table every node ties at the cut and the split degenerates to the
+// uniform hash.
+func (m *Model) PartitionByPing(frac float64, seed int64) {
+	m.partitioned = true
+	m.partByPing = true
+	m.partFrac = frac
+	m.partSeed = uint64(seed)
+
+	pings := append([]int(nil), m.cfg.PingMS...)
+	sort.Ints(pings)
+	want := int(frac * float64(len(pings)))
+	if len(pings) == 0 || want >= len(pings) {
+		// Nothing to cut below: every node ties at the default ping and
+		// the hash tiebreak carries the whole split.
+		m.partPingCut = m.cfg.DefaultPingMS
+		m.partTieFrac = frac
+		return
+	}
+	cut := pings[want]
+	below, at := 0, 0
+	for _, p := range pings {
+		switch {
+		case p < cut:
+			below++
+		case p == cut:
+			at++
+		}
+	}
+	m.partPingCut = cut
+	m.partTieFrac = 0
+	if at > 0 {
+		m.partTieFrac = float64(want-below) / float64(at)
+	}
 }
 
 // Heal ends the partition: every link carries traffic again.
@@ -234,11 +327,29 @@ func (m *Model) Side(n overlay.NodeID) int {
 	if !m.partitioned {
 		return 0
 	}
-	h := splitmix64(m.partSeed ^ uint64(n))
-	if float64(h>>11)/(1<<53) < m.partFrac {
+	if m.partByPing {
+		switch p := m.Ping(n); {
+		case p < m.partPingCut:
+			return 1
+		case p > m.partPingCut:
+			return 0
+		}
+		if m.hashFrac(n) < m.partTieFrac {
+			return 1
+		}
+		return 0
+	}
+	if m.hashFrac(n) < m.partFrac {
 		return 1
 	}
 	return 0
+}
+
+// hashFrac maps a node id onto [0, 1) via the seeded splitmix64 hash —
+// the uniform side assignment, and the tie-break of the ping split.
+func (m *Model) hashFrac(n overlay.NodeID) float64 {
+	h := splitmix64(m.partSeed ^ uint64(n))
+	return float64(h>>11) / (1 << 53)
 }
 
 // Blocked reports whether the link between two nodes is severed by the
@@ -258,13 +369,15 @@ func splitmix64(x uint64) uint64 {
 }
 
 // msgHeap is a binary min-heap of in-flight messages ordered by
-// (Due, seq): the injection sequence tiebreak makes the pop order of
-// same-tick messages a pure function of the push order.
+// (ArrivalMS, seq): the injection sequence tiebreak makes the pop order
+// of equal-timestamp messages a pure function of the push order. Under
+// QuantizeTicks arrival timestamps sit on period boundaries, so this
+// order degenerates to the original (Due, injection) order.
 type msgHeap []Message
 
 func (h msgHeap) less(i, j int) bool {
-	if h[i].Due != h[j].Due {
-		return h[i].Due < h[j].Due
+	if h[i].ArrivalMS != h[j].ArrivalMS {
+		return h[i].ArrivalMS < h[j].ArrivalMS
 	}
 	return h[i].seq < h[j].seq
 }

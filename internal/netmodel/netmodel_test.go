@@ -54,11 +54,77 @@ func TestDelayTicks(t *testing.T) {
 	}
 }
 
-// TestSendPopOrder pins the heap contract: messages pop in (Due, injection
-// sequence) order regardless of push order, per destination shard.
+// TestSubtickPopOrder is the tentpole's ordering contract: two grants
+// issued the same tick with different ping-derived delays pop in delay
+// order, not injection order — the sub-tick transport distinguishes
+// arrivals the quantized model collapsed onto one period boundary.
+func TestSubtickPopOrder(t *testing.T) {
+	// Node 2 is a slow peer (800 ms), node 3 a fast one (100 ms); both
+	// send to node 1 (ping 100) in tick 0, slow first.
+	cfg := Config{PingMS: []int{60, 100, 800, 100}}
+	m := New(cfg, 1.0)
+	m.Send(0, 2, 1, 7, 0) // delay (800+100)/2 = 450 ms, injected first
+	m.Send(0, 3, 1, 8, 0) // delay (100+100)/2 = 100 ms, injected second
+	var got []int
+	m.SettleDelivered(m.PopDue(0, 0, func(msg Message) {
+		got = append(got, int(msg.Seg))
+		want := 450.0
+		if msg.Seg == 8 {
+			want = 100.0
+		}
+		if d := msg.DelayMS(1.0); d != want {
+			t.Errorf("seg %d delay = %v ms, want %v", msg.Seg, d, want)
+		}
+	}))
+	if len(got) != 2 || got[0] != 8 || got[1] != 7 {
+		t.Errorf("sub-tick pop order = %v, want [8 7] (delay order)", got)
+	}
+
+	// The same two sends under QuantizeTicks collapse onto the period
+	// boundary and pop in injection order — the pre-subtick behavior.
+	cfg.QuantizeTicks = true
+	q := New(cfg, 1.0)
+	q.Send(0, 2, 1, 7, 0)
+	q.Send(0, 3, 1, 8, 0)
+	got = got[:0]
+	q.SettleDelivered(q.PopDue(0, 0, func(msg Message) { got = append(got, int(msg.Seg)) }))
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Errorf("quantized pop order = %v, want [7 8] (injection order)", got)
+	}
+}
+
+// TestSubtickDueTick pins that the sub-tick transport never changes
+// *which* tick a message lands in — only the order and the reported
+// delay: the arrival timestamp falls in the period the quantized model
+// floored onto.
+func TestSubtickDueTick(t *testing.T) {
+	m := New(Config{DefaultPingMS: 100}, 1.0)
+	q := New(Config{DefaultPingMS: 100, QuantizeTicks: true}, 1.0)
+	for _, jit := range []float64{0, 850, 950, 1900, 2850} {
+		if sub, quant := m.Send(3, 0, 1, 1, jit), q.Send(3, 0, 1, 1, jit); sub != quant {
+			t.Errorf("jitter %v ms: sub-tick due %d != quantized due %d", jit, sub, quant)
+		}
+	}
+	// Every message pops exactly at its due tick under both models.
+	for tick := 3; tick <= 6; tick++ {
+		var subSegs, quantSegs int
+		m.SettleDelivered(m.PopDue(0, tick, func(Message) { subSegs++ }))
+		q.SettleDelivered(q.PopDue(0, tick, func(Message) { quantSegs++ }))
+		if subSegs != quantSegs {
+			t.Errorf("tick %d: sub-tick popped %d, quantized popped %d", tick, subSegs, quantSegs)
+		}
+	}
+	if m.InFlight() != 0 || q.InFlight() != 0 {
+		t.Errorf("stragglers left in flight: %d sub-tick, %d quantized", m.InFlight(), q.InFlight())
+	}
+}
+
+// TestSendPopOrder pins the heap contract: messages pop in (arrival
+// timestamp, injection sequence) order regardless of push order, per
+// destination shard.
 func TestSendPopOrder(t *testing.T) {
 	m := New(Config{DefaultPingMS: 10}, 1.0)
-	// Three messages to node 1 (shard 0) with staggered delays via jitter.
+	// Four messages to node 1 (shard 0) with staggered delays via jitter.
 	m.Send(0, 2, 1, 7, 2500) // due 2
 	m.Send(0, 3, 1, 8, 0)    // due 0
 	m.Send(0, 4, 1, 9, 1500) // due 1
@@ -173,6 +239,72 @@ func TestPartitionSides(t *testing.T) {
 	m.Heal()
 	if m.Blocked(int32ID(a), int32ID(b)) {
 		t.Error("blocked after heal")
+	}
+}
+
+// TestPartitionByPingSides pins the latency-clustered split: the
+// low-ping cluster lands on side 1 around the frac-quantile cut, the
+// assignment is a deterministic pure function of (pings, frac, seed),
+// nodes beyond the ping table sit on their default-ping side, and ties
+// at the cut split by the seeded hash to hit the requested fraction.
+func TestPartitionByPingSides(t *testing.T) {
+	// 100 low-ping nodes (20 ms) then 100 high-ping nodes (500 ms).
+	pings := make([]int, 200)
+	for i := range pings {
+		if i < 100 {
+			pings[i] = 20
+		} else {
+			pings[i] = 500
+		}
+	}
+	m := New(Config{PingMS: pings, DefaultPingMS: 500}, 1.0)
+	m.PartitionByPing(0.5, 42)
+	for i := 0; i < 100; i++ {
+		if m.Side(int32ID(i)) != 1 {
+			t.Fatalf("low-ping node %d not on side 1", i)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		if m.Side(int32ID(i)) != 0 {
+			t.Fatalf("high-ping node %d not on side 0", i)
+		}
+	}
+	// A churn joiner beyond the table carries the default (high) ping.
+	if m.Side(int32ID(999)) != 0 {
+		t.Error("default-ping joiner not on the high-ping side")
+	}
+	if !m.Blocked(0, 150) || m.Blocked(0, 50) || m.Blocked(150, 199) {
+		t.Error("by-ping blocking does not follow the cluster sides")
+	}
+	// Determinism: same inputs, same sides.
+	m2 := New(Config{PingMS: pings, DefaultPingMS: 500}, 1.0)
+	m2.PartitionByPing(0.5, 42)
+	for i := 0; i < 200; i++ {
+		if m.Side(int32ID(i)) != m2.Side(int32ID(i)) {
+			t.Fatalf("side of node %d not deterministic", i)
+		}
+	}
+	m.Heal()
+	if m.Blocked(0, 150) {
+		t.Error("blocked after heal")
+	}
+
+	// Uniform pings: everyone ties at the cut, the seeded hash carries
+	// the split, and the fraction still roughly holds.
+	flat := make([]int, 1000)
+	for i := range flat {
+		flat[i] = 60
+	}
+	mf := New(Config{PingMS: flat}, 1.0)
+	mf.PartitionByPing(0.3, 7)
+	ones := 0
+	for i := 0; i < 1000; i++ {
+		if mf.Side(int32ID(i)) == 1 {
+			ones++
+		}
+	}
+	if ones < 200 || ones > 400 {
+		t.Errorf("tie-broken split put %d of 1000 on side 1, want ~300", ones)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package scenario is the declarative layer over the simulator's event
+// engine: a Scenario names a topology, a base environment (including
+// the netmodel transport), and a tick-scheduled event timeline, and
+// compiles into a sim.Config whose Script drives the run. The paper's
+// entire evaluation shape — warm up, one switch, one measurement
+// window — is just one scenario (paper-single-switch); everything else
+// the north star asks for is a different file, not a different main.go.
+//
+// Scenarios are deterministic (bit-identical at any sim worker count)
+// and round-trip through a plain-text file format (Parse/Write). The
+// complete grammar reference is docs/SCENARIOS.md, kept in lockstep
+// with the parser by the drift test in docs_test.go; a bundled library
+// of named scenarios ships in library.go.
+package scenario

@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The grammar drift test: docs/SCENARIOS.md documents exactly the
+// grammar the parser in format.go accepts — every directive, event verb
+// and option, in both directions. The parser side is extracted from
+// format.go's AST (the case labels of parseLine/parseNet/parseEvent and
+// the take/takeInt/takeFloat calls inside each verb's case), the doc
+// side from the reference tables' first columns and the per-verb
+// headings. Add a clause to the parser without documenting it — or
+// document one that does not exist — and this test names it.
+
+// parserGrammar is the grammar as implemented by format.go.
+type parserGrammar struct {
+	directives  map[string]bool
+	netOptions  map[string]bool
+	verbOptions map[string]map[string]bool // verb → options
+}
+
+// grammarFromSource parses format.go and extracts the accepted grammar.
+func grammarFromSource(t *testing.T) parserGrammar {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "format.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parserGrammar{
+		directives:  map[string]bool{},
+		netOptions:  map[string]bool{},
+		verbOptions: map[string]map[string]bool{},
+	}
+	funcs := map[string]*ast.FuncDecl{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			funcs[fd.Name.Name] = fd
+		}
+	}
+	for name, fd := range map[string]*ast.FuncDecl{
+		"parseLine":  funcs["parseLine"],
+		"parseNet":   funcs["parseNet"],
+		"parseEvent": funcs["parseEvent"],
+	} {
+		if fd == nil {
+			t.Fatalf("format.go no longer has %s — update the drift test's extraction", name)
+		}
+	}
+	// Directives: the case labels of parseLine's switch on `key`.
+	for _, c := range switchCases(funcs["parseLine"], "key") {
+		for _, label := range caseStrings(c) {
+			g.directives[label] = true
+		}
+	}
+	// Net options: the case labels of parseNet's switch on `k`.
+	for _, c := range switchCases(funcs["parseNet"], "k") {
+		for _, label := range caseStrings(c) {
+			g.netOptions[label] = true
+		}
+	}
+	// Verbs and their options: parseEvent's switch on `verb`; options are
+	// the string literals handed to take/takeInt/takeFloat in each case.
+	for _, c := range switchCases(funcs["parseEvent"], "verb") {
+		opts := map[string]bool{}
+		ast.Inspect(c, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			switch fn.Name {
+			case "take", "takeInt", "takeFloat":
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					opt, err := strconv.Unquote(lit.Value)
+					if err == nil {
+						opts[opt] = true
+					}
+				}
+			}
+			return true
+		})
+		for _, label := range caseStrings(c) {
+			g.verbOptions[label] = opts
+		}
+	}
+	if len(g.directives) == 0 || len(g.verbOptions) == 0 {
+		t.Fatal("grammar extraction came back empty — format.go's switch shape changed")
+	}
+	return g
+}
+
+// switchCases returns the case clauses of the switch statements in fn
+// whose tag is the identifier tag (nested tagless switches are skipped).
+func switchCases(fn *ast.FuncDecl, tag string) []*ast.CaseClause {
+	var out []*ast.CaseClause
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		id, ok := sw.Tag.(*ast.Ident)
+		if !ok || id.Name != tag {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			if c, ok := stmt.(*ast.CaseClause); ok && c.List != nil { // skip default
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// caseStrings returns a clause's string labels.
+func caseStrings(c *ast.CaseClause) []string {
+	var out []string
+	for _, e := range c.List {
+		if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// docGrammar is the grammar as documented by docs/SCENARIOS.md.
+type docGrammar struct {
+	directives  map[string]bool
+	netOptions  map[string]bool
+	verbOptions map[string]map[string]bool
+}
+
+var (
+	rowRe  = regexp.MustCompile("^\\| `([a-z]+)` ")
+	verbRe = regexp.MustCompile("^### `([a-z]+)`$")
+)
+
+// grammarFromDoc extracts the documented grammar from the reference
+// sections of docs/SCENARIOS.md: directive and net-option table rows
+// (first column) and the per-verb subsections with their option tables.
+func grammarFromDoc(t *testing.T) docGrammar {
+	t.Helper()
+	raw, err := os.ReadFile("../../docs/SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("docs/SCENARIOS.md missing: %v", err)
+	}
+	g := docGrammar{
+		directives:  map[string]bool{},
+		netOptions:  map[string]bool{},
+		verbOptions: map[string]map[string]bool{},
+	}
+	section := ""
+	verb := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case line == "## Directives":
+			section, verb = "directives", ""
+			continue
+		case line == "### `net` options":
+			section, verb = "net", ""
+			continue
+		case line == "## Event verbs":
+			section, verb = "verbs", ""
+			continue
+		case strings.HasPrefix(line, "## "):
+			section, verb = "", ""
+			continue
+		}
+		if section == "verbs" {
+			if m := verbRe.FindStringSubmatch(line); m != nil {
+				verb = m[1]
+				g.verbOptions[verb] = map[string]bool{}
+				continue
+			}
+		}
+		m := rowRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		switch section {
+		case "directives":
+			g.directives[m[1]] = true
+		case "net":
+			g.netOptions[m[1]] = true
+		case "verbs":
+			if verb != "" {
+				g.verbOptions[verb][m[1]] = true
+			}
+		}
+	}
+	if len(g.directives) == 0 || len(g.verbOptions) == 0 {
+		t.Fatal("doc extraction came back empty — docs/SCENARIOS.md's reference sections moved")
+	}
+	return g
+}
+
+// TestScenarioDocMatchesParser is the drift check both ways: the doc
+// documents exactly what the parser accepts.
+func TestScenarioDocMatchesParser(t *testing.T) {
+	src := grammarFromSource(t)
+	doc := grammarFromDoc(t)
+
+	diffSets(t, "directive", src.directives, doc.directives)
+	diffSets(t, "net option", src.netOptions, doc.netOptions)
+
+	srcVerbs, docVerbs := map[string]bool{}, map[string]bool{}
+	for v := range src.verbOptions {
+		srcVerbs[v] = true
+	}
+	for v := range doc.verbOptions {
+		docVerbs[v] = true
+	}
+	diffSets(t, "event verb", srcVerbs, docVerbs)
+	for v, srcOpts := range src.verbOptions {
+		if docOpts, ok := doc.verbOptions[v]; ok {
+			diffSets(t, fmt.Sprintf("option of verb %q", v), srcOpts, docOpts)
+		}
+	}
+}
+
+// diffSets reports the elements present on one side only.
+func diffSets(t *testing.T, kind string, parser, doc map[string]bool) {
+	t.Helper()
+	for _, name := range sortedKeys(parser) {
+		if !doc[name] {
+			t.Errorf("%s %q is accepted by the parser but undocumented in docs/SCENARIOS.md", kind, name)
+		}
+	}
+	for _, name := range sortedKeys(doc) {
+		if !parser[name] {
+			t.Errorf("%s %q is documented in docs/SCENARIOS.md but the parser does not accept it", kind, name)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDocWorkedExamplesParse keeps the doc's worked examples honest:
+// every fenced scenario block in docs/SCENARIOS.md must parse, and the
+// bundled-library examples must match the canonical dump of the bundled
+// scenario of the same name.
+func TestDocWorkedExamplesParse(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/SCENARIOS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, pinned := 0, 0
+	for _, chunk := range strings.Split(string(raw), "```")[1:] {
+		if blocks%2 == 0 { // odd chunks are inside fences
+			text := chunk
+			if strings.HasPrefix(strings.TrimSpace(text), "scenario ") {
+				sc, err := Parse(strings.NewReader(text))
+				if err != nil {
+					t.Errorf("worked example does not parse: %v\n%s", err, text)
+				} else if lib := Lookup(sc.Name); lib != nil {
+					pinned++
+					var want strings.Builder
+					if err := lib.Write(&want); err != nil {
+						t.Fatal(err)
+					}
+					if strings.TrimSpace(want.String()) != strings.TrimSpace(text) {
+						t.Errorf("worked example for %s drifted from the bundled scenario:\ndoc:\n%s\nbundled:\n%s",
+							sc.Name, strings.TrimSpace(text), strings.TrimSpace(want.String()))
+					}
+				}
+			}
+		}
+		blocks++
+	}
+	// Every bundled scenario must have its worked example — a fence or
+	// formatting change that hides the blocks fails loudly, not silently.
+	if want := len(Library()); pinned != want {
+		t.Fatalf("doc pins %d bundled-library examples, want %d (one per Library() scenario)", pinned, want)
+	}
+}

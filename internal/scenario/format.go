@@ -27,14 +27,17 @@ import (
 //	churn 0.02 0.02      # baseline leave/join fractions (join defaults to leave)
 //	perlink              # per-link capacity model (default: shared outbound)
 //	qs 50
-//	net loss=0.05 jitter=200 ping=80   # message-level transport model
+//	net loss=0.05 jitter=200 ping=80 subtick   # message-level transport model
 //
 // The net directive enables the netmodel transport: per-link delivery
 // delay derived from the synthesized trace's ping times, per-message
 // loss (`loss`, baseline probability), uniform jitter (`jitter`,
 // milliseconds) and the default ping of nodes without a trace record
-// (`ping`, milliseconds; churn joiners and crowd members). All options
-// are optional — a bare `net` turns on the transport with trace delays
+// (`ping`, milliseconds; churn joiners and crowd members). The bare
+// `subtick` flag selects the sub-tick event-driven transport (continuous
+// arrival timestamps, true sub-period delay metrics); without it the
+// file keeps the original tick-quantized transport. All options are
+// optional — a bare `net` turns on the transport with trace delays
 // only. The latency/lossburst/partition/heal events require it.
 //
 //	at 40  switch to=41            # planned handoff to a pinned speaker
@@ -48,12 +51,14 @@ import (
 //	at 55  latency factor=20       # latency storm (propagation ×20; 1 restores)
 //	at 65  lossburst for=30 p=0.25 # loss probability override for 30 ticks
 //	at 75  partition frac=0.5      # sever the overlay in two (seeded split)
+//	at 76  partition frac=0.5 by=ping  # latency-clustered sides (trace ping)
 //	at 95  heal                    # end the partition
 //	at 130 demote node=3           # ex-source 3 back to listener (omit node:
 //	                               # the most recently retired source)
 //
 // Parse and Write round-trip: Write emits the canonical form of exactly
-// this grammar.
+// this grammar. docs/SCENARIOS.md is the full reference; a drift test
+// keeps it and this parser in lockstep.
 func Parse(r io.Reader) (*Scenario, error) {
 	sc := &Scenario{}
 	scan := bufio.NewScanner(r)
@@ -163,14 +168,11 @@ func (sc *Scenario) parseLine(fields []string) error {
 	return fmt.Errorf("unknown directive %q", key)
 }
 
-// parseNet handles the net directive's k=v options.
+// parseNet handles the net directive's k=v options and bare flags.
 func (sc *Scenario) parseNet(args []string) error {
 	sc.Net = true
 	for _, a := range args {
 		k, v, found := strings.Cut(a, "=")
-		if !found {
-			return fmt.Errorf("net: want key=value, got %q", a)
-		}
 		var err error
 		switch k {
 		case "loss":
@@ -179,8 +181,17 @@ func (sc *Scenario) parseNet(args []string) error {
 			sc.NetJitterMS, err = strconv.ParseFloat(v, 64)
 		case "ping":
 			sc.NetPingMS, err = strconv.Atoi(v)
+		case "subtick":
+			if found {
+				return fmt.Errorf("net: subtick is a bare flag, got %q", a)
+			}
+			sc.NetSubtick = true
+			continue
 		default:
 			return fmt.Errorf("net: unknown option %q", k)
+		}
+		if !found {
+			return fmt.Errorf("net: want key=value, got %q", a)
 		}
 		if err != nil {
 			return fmt.Errorf("net: %w", err)
@@ -302,7 +313,15 @@ func (sc *Scenario) parseEvent(args []string) error {
 		if err != nil {
 			return err
 		}
-		ev = sim.PartitionAt(tick, frac)
+		by, hasBy := take("by")
+		switch {
+		case !hasBy:
+			ev = sim.PartitionAt(tick, frac)
+		case by == "ping":
+			ev = sim.PartitionByPingAt(tick, frac)
+		default:
+			return fmt.Errorf("partition: unknown split %q (want by=ping)", by)
+		}
 	case "heal":
 		ev = sim.HealAt(tick)
 	case "demote":
@@ -367,6 +386,9 @@ func (sc *Scenario) Write(w io.Writer) error {
 		if sc.NetPingMS != 0 {
 			fmt.Fprintf(bw, " ping=%d", sc.NetPingMS)
 		}
+		if sc.NetSubtick {
+			fmt.Fprint(bw, " subtick")
+		}
 		fmt.Fprintln(bw)
 	}
 	if len(sc.Events) > 0 {
@@ -404,7 +426,11 @@ func (sc *Scenario) Write(w io.Writer) error {
 		case sim.EvLossBurst:
 			fmt.Fprintf(bw, "at %d lossburst for=%d p=%s\n", ev.Tick, ev.Ticks, ftoa(ev.Prob))
 		case sim.EvPartition:
-			fmt.Fprintf(bw, "at %d partition frac=%s\n", ev.Tick, ftoa(ev.Frac))
+			fmt.Fprintf(bw, "at %d partition frac=%s", ev.Tick, ftoa(ev.Frac))
+			if ev.ByPing {
+				fmt.Fprint(bw, " by=ping")
+			}
+			fmt.Fprintln(bw)
 		case sim.EvHeal:
 			fmt.Fprintf(bw, "at %d heal\n", ev.Tick)
 		case sim.EvDemoteSource:

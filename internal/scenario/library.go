@@ -109,11 +109,13 @@ func SourceCrash() *Scenario {
 }
 
 // LossyUplink is the netmodel baseline scenario: the whole session runs
-// over a lossy transport (5% baseline, trace-derived delays plus
-// jitter), and a 25% loss burst breaks over the handoff itself — the
-// regime "Adaptive Streaming in P2P Live Video Systems" shows dominates
-// perceived switch quality. Lost grants surface as loss-induced
-// re-requests in the window metrics.
+// over a lossy sub-tick transport (5% baseline, trace-derived delays
+// plus jitter), and a 25% loss burst breaks over the handoff itself —
+// the regime "Adaptive Streaming in P2P Live Video Systems" shows
+// dominates perceived switch quality. Lost grants surface as
+// loss-induced re-requests, and the window's mean delivery delay now
+// resolves the sub-second trace latencies the quantized transport used
+// to round up to a whole period.
 func LossyUplink() *Scenario {
 	return &Scenario{
 		Name:        "lossy-uplink",
@@ -126,6 +128,7 @@ func LossyUplink() *Scenario {
 		Net:         true,
 		NetLoss:     0.05,
 		NetJitterMS: 150,
+		NetSubtick:  true,
 		Events: []sim.Event{
 			sim.LossBurstAt(45, 40, 0.25),
 			sim.SwitchAt(55, -1),
@@ -134,14 +137,16 @@ func LossyUplink() *Scenario {
 }
 
 // TransatlanticSplit severs the overlay in two mid-session: the switch
-// happens while half the mesh is unreachable (only the source's side
+// happens while part of the mesh is unreachable (only the source's side
 // converges), the partition heals, and a second measurement window
 // quantifies the far side's catch-up — the CliqueStream link-failure
-// experiment as one scenario file.
+// experiment as one scenario file. The split is latency-clustered
+// (by=ping): the low-ping half of the trace forms one island, so the
+// partition is genuinely geographic rather than a random bisection.
 func TransatlanticSplit() *Scenario {
 	return &Scenario{
 		Name:        "transatlantic-split",
-		Desc:        "a 50/50 partition over the handoff, healed after 35 ticks",
+		Desc:        "a ping-clustered 50/50 partition over the handoff, healed after 35 ticks",
 		Nodes:       300,
 		M:           5,
 		Seed:        23,
@@ -149,8 +154,9 @@ func TransatlanticSplit() *Scenario {
 		Horizon:     90,
 		Net:         true,
 		NetJitterMS: 1500, // multi-tick flights: the split severs messages mid-air
+		NetSubtick:  true,
 		Events: []sim.Event{
-			sim.PartitionAt(45, 0.5),
+			sim.PartitionByPingAt(45, 0.5),
 			sim.SwitchAt(50, -1),
 			sim.HealAt(80),
 			sim.MeasureAt(145, 60),
@@ -161,7 +167,9 @@ func TransatlanticSplit() *Scenario {
 // LatencyStorm multiplies every link's propagation delay twentyfold
 // around the handoff (trace pings of tens of milliseconds become
 // seconds, i.e. multi-tick flights), then restores the baseline: the
-// switch must complete while every grant spends periods in transit.
+// switch must complete while every grant spends periods in transit, and
+// under the sub-tick transport same-tick grants land in true delay
+// order instead of injection order.
 func LatencyStorm() *Scenario {
 	return &Scenario{
 		Name:        "latency-storm",
@@ -173,6 +181,7 @@ func LatencyStorm() *Scenario {
 		Horizon:     250,
 		Net:         true,
 		NetJitterMS: 300,
+		NetSubtick:  true,
 		Events: []sim.Event{
 			sim.LatencyShiftAt(40, 20),
 			sim.SwitchAt(55, -1),

@@ -1,20 +1,3 @@
-// Package scenario is the declarative layer over the simulator's event
-// engine: a Scenario names a topology, a base environment, and a
-// tick-scheduled event timeline (source handoffs and crashes, churn
-// bursts, flash crowds, bandwidth shifts, measurement windows), and
-// compiles into a sim.Config whose Script drives the run. The paper's
-// entire evaluation shape — warm up, one switch, one measurement window —
-// is just one scenario (paper-single-switch); everything else the north
-// star asks for (serial handoff chains, churn storms, flash crowds,
-// source failures) is a different file, not a different main.go.
-//
-// Scenarios are deterministic: the run is a pure function of the
-// scenario (topology seed + run seed + events), bit-identical at any
-// sim worker count, per the engine's shard/merge determinism contract.
-//
-// Scenarios round-trip through a plain-text file format (Parse/Write;
-// see the format documentation on Parse) and a bundled library of named
-// scenarios ships in library.go.
 package scenario
 
 import (
@@ -84,6 +67,13 @@ type Scenario struct {
 	// NetPingMS is the ping of nodes without a trace record — churn
 	// joiners and crowd members (0 → netmodel's default).
 	NetPingMS int
+	// NetSubtick selects the sub-tick event-driven transport (`net ...
+	// subtick`): messages carry continuous arrival timestamps, same-tick
+	// grants land in true delay order, and delay metrics resolve below
+	// one period. The default (false) keeps the scenario file format's
+	// original tick-quantized transport, so existing files reproduce
+	// their pre-subtick runs bit for bit (netmodel.Config.QuantizeTicks).
+	NetSubtick bool
 
 	// Events is the timeline, in firing order.
 	Events []sim.Event
@@ -239,6 +229,7 @@ func (sc *Scenario) Config(factory sim.AlgorithmFactory) (sim.Config, error) {
 			DefaultPingMS: sc.NetPingMS,
 			JitterMS:      sc.NetJitterMS,
 			Loss:          sc.NetLoss,
+			QuantizeTicks: !sc.NetSubtick,
 		}
 	}
 	return cfg, nil

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ duration 500
 churn 0.01 0.02
 perlink
 qs 25
-net loss=0.05 jitter=150 ping=80
+net loss=0.05 jitter=150 ping=80 subtick
 
 at 20 switch to=3 horizon=90
 at 60 switch
@@ -58,6 +59,7 @@ at 120 measure for=25
 at 55 latency factor=20
 at 65 lossburst for=30 p=0.25
 at 75 partition frac=0.5
+at 80 partition frac=0.4 by=ping
 at 95 heal
 at 130 demote node=3
 at 140 demote
@@ -71,7 +73,7 @@ at 140 demote
 		sc.ChurnLeave != 0.01 || sc.ChurnJoin != 0.02 || !sc.PerLink || sc.Qs != 25 {
 		t.Errorf("header misparsed: %+v", sc)
 	}
-	if !sc.Net || sc.NetLoss != 0.05 || sc.NetJitterMS != 150 || sc.NetPingMS != 80 {
+	if !sc.Net || sc.NetLoss != 0.05 || sc.NetJitterMS != 150 || sc.NetPingMS != 80 || !sc.NetSubtick {
 		t.Errorf("net directive misparsed: %+v", sc)
 	}
 	want := []sim.Event{
@@ -85,6 +87,7 @@ at 140 demote
 		sim.LatencyShiftAt(55, 20),
 		sim.LossBurstAt(65, 30, 0.25),
 		sim.PartitionAt(75, 0.5),
+		sim.PartitionByPingAt(80, 0.4),
 		sim.HealAt(95),
 		sim.DemoteAt(130, 3),
 		sim.DemoteAt(140, -1),
@@ -136,6 +139,9 @@ func TestParseErrors(t *testing.T) {
 		"scenario ok\nnodes 100\nseed 1\nnet jitter=-5\nat 10 switch",
 		"scenario ok\nnodes 100\nseed 1\nnet speed=56\nat 10 switch",
 		"scenario ok\nnodes 100\nseed 1\nnet loss\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nnet subtick=1\nat 10 switch",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 partition frac=0.5 by=hash",
+		"scenario ok\nnodes 100\nseed 1\nnet\nat 10 partition frac=0.5 by",
 		"scenario ok\nnodes 100\nseed 1\nat 10 partition frac=0.5",
 		"scenario ok\nnodes 100\nseed 1\nat 10 heal",
 		"scenario ok\nnodes 100\nseed 1\nat 10 lossburst for=10 p=0.2",
@@ -211,8 +217,14 @@ func TestSerialHandoffDeterminism(t *testing.T) {
 // scenario level: with the transport enabled the same seed yields a
 // bit-identical Result at Workers ∈ {0, 1, 8} — including the in-flight
 // messages severed by the partition (the scenario's jitter keeps grants
-// airborne across the split instant).
+// airborne across the split instant). The bundled transatlantic-split
+// runs the sub-tick transport with a ping-clustered partition, so this
+// is also the sub-tick worker-count invariance pin the CI netmodel job
+// exercises.
 func TestNetScenarioDeterminism(t *testing.T) {
+	if !TransatlanticSplit().NetSubtick {
+		t.Fatal("transatlantic-split no longer pins the sub-tick transport")
+	}
 	run := func(workers int) *sim.Result {
 		cfg, err := TransatlanticSplit().Scaled(150).Config(sim.Fast)
 		if err != nil {
@@ -227,6 +239,11 @@ func TestNetScenarioDeterminism(t *testing.T) {
 	}
 	if serial.NetDelivered == 0 {
 		t.Fatal("transport delivered nothing")
+	}
+	// Sub-tick delay metrics resolve below whole periods: with 1.5 s
+	// uniform jitter the summed delay cannot sit on a period boundary.
+	if d := serial.NetDelaySeconds; d == math.Trunc(d) {
+		t.Errorf("NetDelaySeconds = %v looks tick-quantized on a sub-tick run", d)
 	}
 	for _, workers := range []int{1, 8} {
 		if got := run(workers); !reflect.DeepEqual(serial, got) {

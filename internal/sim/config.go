@@ -1,15 +1,3 @@
-// Package sim is the gossip-based P2P streaming simulator the paper's
-// evaluation (Section 5) runs on: a deterministic, time-stepped model of
-// pull-based mesh streaming with heterogeneous bandwidth, FIFO buffers,
-// periodic buffer-map exchange, supplier-side contention, playback state
-// machines, serial source switches, and optional churn.
-//
-// One simulation is a pure function of its Config (including seeds):
-// re-running with the same configuration reproduces every transfer and
-// metric bit-for-bit — at any Config.Workers setting, because the engine
-// shards per-node work on a fixed grid with per-shard RNG streams and
-// merges shard outputs in shard order (see internal/sim/engine). The
-// experiment package additionally parallelizes across runs.
 package sim
 
 import (
@@ -152,12 +140,14 @@ type Config struct {
 	Churn *ChurnConfig
 
 	// Net enables the message-level transport model: granted segments
-	// become in-flight messages with a per-link delay derived from trace
-	// ping times (plus seeded jitter), a per-message loss probability,
-	// and partition semantics, drained by the pipeline's transit phase.
-	// nil keeps the classic substrate — every grant delivered instantly
-	// and losslessly at the end of its tick, bit-identical to the
-	// pre-netmodel engine. See internal/netmodel.
+	// become in-flight messages with a continuous sub-tick arrival
+	// timestamp derived from trace ping times (plus seeded jitter), a
+	// per-message loss probability, and partition semantics, drained in
+	// timestamp order by the pipeline's transit phase
+	// (Net.QuantizeTicks restores the tick-floored behavior bit for
+	// bit). nil keeps the classic substrate — every grant delivered
+	// instantly and losslessly at the end of its tick, bit-identical to
+	// the pre-netmodel engine. See internal/netmodel.
 	Net *netmodel.Config
 
 	// TrackRatios records the per-tick undelivered/delivered ratio series

@@ -57,6 +57,17 @@ func resultsEqual(t *testing.T, label string, a, b *Result) {
 	}
 }
 
+// testPings synthesizes a heterogeneous per-node ping table: varied
+// sub-period delays so sub-tick arrival order differs from injection
+// order, and real spread around any by-ping partition cut.
+func testPings(n int) []int {
+	pings := make([]int, n)
+	for i := range pings {
+		pings[i] = 20 + 35*(i%13)
+	}
+	return pings
+}
+
 // TestEngineWorkerCountInvariance is the determinism regression test of
 // the sharded engine: the same Config (including seeds) run on the serial
 // engine and with 1, 2 and 8 workers must produce identical Results —
@@ -98,19 +109,43 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 				MeasureAt(160, 25),
 			}, Duration: 200}
 		}},
-		// The netmodel transport under stress: multi-tick flights (latency
-		// storm), a loss burst, and a partition that severs messages
-		// already in flight, plus churn (joiners take the default ping)
-		// and a demote — the in-flight message state itself must be
+		// The sub-tick netmodel transport under stress: multi-tick flights
+		// (latency storm), a loss burst, and a partition that severs
+		// messages already in flight, plus churn (joiners take the default
+		// ping) and a demote — the in-flight message state, its sub-tick
+		// pop order and the millisecond delay accounting must all be
 		// worker-count invariant.
 		{"netmodel", func(c *Config) {
 			c.SharedOutbound = true
 			c.Churn = &ChurnConfig{LeaveFraction: 0.02, JoinFraction: 0.02}
-			c.Net = &netmodel.Config{DefaultPingMS: 120, JitterMS: 400, Loss: 0.05}
+			c.Net = &netmodel.Config{PingMS: testPings(180), DefaultPingMS: 120, JitterMS: 400, Loss: 0.05}
 			c.Script = &Script{Events: []Event{
 				SwitchAt(25, -1),
 				LatencyShiftAt(35, 12),
 				PartitionAt(45, 0.4),
+				LossBurstAt(55, 15, 0.3),
+				HealAt(75),
+				LatencyShiftAt(80, 1),
+				SwitchAt(95, -1),
+				DemoteAt(120, -1),
+				SwitchAt(135, -1),
+			}, Duration: 170}
+		}},
+		// The same stress script on the QuantizeTicks compatibility
+		// transport (the pre-subtick tick-floored model), with the
+		// partition latency-clustered instead of uniform: both partition
+		// assignments and both arrival-ordering modes are worker-count
+		// invariant. The heterogeneous ping table matters — it puts real
+		// nodes on both sides of the by-ping quantile cut (an empty table
+		// would degenerate the split to the uniform hash).
+		{"netmodel-quantized", func(c *Config) {
+			c.SharedOutbound = true
+			c.Churn = &ChurnConfig{LeaveFraction: 0.02, JoinFraction: 0.02}
+			c.Net = &netmodel.Config{PingMS: testPings(180), DefaultPingMS: 120, JitterMS: 400, Loss: 0.05, QuantizeTicks: true}
+			c.Script = &Script{Events: []Event{
+				SwitchAt(25, -1),
+				LatencyShiftAt(35, 12),
+				PartitionByPingAt(45, 0.4),
 				LossBurstAt(55, 15, 0.3),
 				HealAt(75),
 				LatencyShiftAt(80, 1),

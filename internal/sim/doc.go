@@ -1,0 +1,17 @@
+// Package sim is the gossip-based P2P streaming simulator the paper's
+// evaluation (Section 5) runs on: a deterministic, time-stepped model of
+// pull-based mesh streaming with heterogeneous bandwidth, FIFO buffers,
+// periodic buffer-map exchange, supplier-side contention, playback state
+// machines, and scripted world events (source switches and crashes,
+// churn bursts, flash crowds, bandwidth shifts — see Script).
+//
+// One tick runs the phase pipeline (events → arrivals → generate →
+// refill → plan/serve rounds → deliver-or-transit → playback → churn →
+// record); Config.Net swaps the instant deliver phase for the netmodel
+// transport's sub-tick transit. A run is a pure function of its Config
+// (including seeds): re-running reproduces every transfer and metric
+// bit-for-bit at any Config.Workers setting, per the shard/merge
+// determinism contract of internal/sim/engine. The full architecture —
+// pipeline, determinism rule, extension recipes — is documented in
+// docs/ARCHITECTURE.md.
+package sim

@@ -16,7 +16,10 @@ func netConfig(loss float64) *netmodel.Config {
 // TestNetInstantEquivalence pins the timing contract of the transport:
 // with zero loss, zero jitter and sub-period pings, the netmodel run
 // reproduces the instant-delivery run's metrics exactly — every message
-// takes zero extra ticks, so the transit phase is the deliver phase.
+// lands within its sending period, so the transit phase is the deliver
+// phase. The sub-tick transport reports the true 40 ms link delay; the
+// QuantizeTicks compatibility mode rounds it up to the classic whole
+// period. Both are otherwise bit-identical to the classic run.
 func TestNetInstantEquivalence(t *testing.T) {
 	run := func(net *netmodel.Config) *Result {
 		g := testTopology(t, 150, 9)
@@ -34,27 +37,75 @@ func TestNetInstantEquivalence(t *testing.T) {
 		return res
 	}
 	classic := run(nil)
-	instant := run(&netmodel.Config{DefaultPingMS: 40}) // 40 ms << 1 s period
-	if instant.NetDelivered == 0 {
+	cases := []struct {
+		name      string
+		cfg       *netmodel.Config
+		wantDelay float64 // seconds
+	}{
+		// 40 ms << 1 s period; the sub-tick transport reports it exactly.
+		{"subtick", &netmodel.Config{DefaultPingMS: 40}, 0.040},
+		// The compatibility mode floors onto periods: one period each.
+		{"quantized", &netmodel.Config{DefaultPingMS: 40, QuantizeTicks: true}, 1.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			instant := run(tc.cfg)
+			if instant.NetDelivered == 0 {
+				t.Fatal("transport delivered nothing")
+			}
+			if instant.NetLost != 0 || instant.NetReRequests != 0 {
+				t.Errorf("lossless run recorded %d losses, %d re-requests", instant.NetLost, instant.NetReRequests)
+			}
+			if d := instant.MeanDeliveryDelay(); math.Abs(d-tc.wantDelay) > 1e-9 {
+				t.Errorf("mean delivery delay = %v s, want %v", d, tc.wantDelay)
+			}
+			// Apart from its own accounting (zero on the classic run by
+			// definition), the transport changes nothing.
+			zeroNet := func(m *SwitchMetrics) {
+				m.NetDelivered, m.NetLost, m.NetReRequests, m.NetDelaySeconds = 0, 0, 0, 0
+			}
+			zeroNet(&instant.SwitchMetrics)
+			for _, w := range instant.Windows {
+				zeroNet(w)
+			}
+			resultsEqual(t, "instant-net", classic, instant)
+		})
+	}
+}
+
+// TestSubtickDelayBelowOnePeriod pins the tentpole's metric claim: with
+// heterogeneous pings and jitter but every delay under one period, the
+// sub-tick run's mean delivery delay is a genuine sub-second value — not
+// the whole-period floor the quantized transport reports for the very
+// same messages.
+func TestSubtickDelayBelowOnePeriod(t *testing.T) {
+	run := func(quantize bool) *Result {
+		g := testTopology(t, 150, 9)
+		cfg := quickConfig(g, Fast)
+		cfg.Net = &netmodel.Config{DefaultPingMS: 80, JitterMS: 400, QuantizeTicks: quantize}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sub, quant := run(false), run(true)
+	if sub.NetDelivered == 0 || quant.NetDelivered == 0 {
 		t.Fatal("transport delivered nothing")
 	}
-	if instant.NetLost != 0 || instant.NetReRequests != 0 {
-		t.Errorf("lossless run recorded %d losses, %d re-requests", instant.NetLost, instant.NetReRequests)
+	// 80 ms propagation + U[0,400) ms jitter: every delay is in
+	// (0.08 s, 0.48 s) — strictly below one period.
+	d := sub.MeanDeliveryDelay()
+	if d <= 0.08 || d >= 0.48 {
+		t.Errorf("sub-tick mean delay = %v s, want within (0.08, 0.48)", d)
 	}
-	// Every message took exactly one period.
-	if d := instant.MeanDeliveryDelay(); math.Abs(d-1.0) > 1e-9 {
-		t.Errorf("mean delivery delay = %v s, want 1.0", d)
+	if qd := quant.MeanDeliveryDelay(); math.Abs(qd-1.0) > 1e-9 {
+		t.Errorf("quantized mean delay = %v s, want the 1-period floor", qd)
 	}
-	// Apart from its own accounting (zero on the classic run by
-	// definition), the transport changes nothing.
-	zeroNet := func(m *SwitchMetrics) {
-		m.NetDelivered, m.NetLost, m.NetReRequests, m.NetDelaySeconds = 0, 0, 0, 0
-	}
-	zeroNet(&instant.SwitchMetrics)
-	for _, w := range instant.Windows {
-		zeroNet(w)
-	}
-	resultsEqual(t, "instant-net", classic, instant)
 }
 
 // TestNetLossSlowsTheSwitch checks the loss semantics end to end: losses

@@ -11,8 +11,13 @@ import (
 // The transit phase: the netmodel transport's landing step, replacing
 // the instant deliver phase when Config.Net is set. The serve commit
 // injects every granted segment as an in-flight message (see
-// serveRound); transit pops the messages whose arrival tick has come,
-// draws their loss fate, and lands the survivors.
+// serveRound); transit drains the messages whose continuous arrival
+// timestamp falls within the current period, in timestamp order, draws
+// their loss fate, and lands the survivors — so two grants issued the
+// same tick arrive in their true sub-tick order, and the delay metrics
+// resolve below one period. Under Config.Net.QuantizeTicks timestamps
+// sit on period boundaries and the drain degenerates to the original
+// tick-floored (due, injection) order, bit for bit.
 //
 // Sharded on the destination grid: each shard owns its own message heap
 // inside the model, buffer writes are destination-local, and the loss
@@ -39,9 +44,10 @@ func (s *Sim) phaseTransit() {
 	n := len(s.nodes)
 	shards := s.ensureShards(n)
 	popped := 0
+	quantized := s.net.Quantized()
 	s.pool.Run(shards, func(_, shard int) {
 		sh := &s.shards[shard]
-		sh.netDelivered, sh.netLost, sh.netDelayTicks, sh.netPopped = 0, 0, 0, 0
+		sh.netDelivered, sh.netLost, sh.netDelayTicks, sh.netDelayMS, sh.netPopped = 0, 0, 0, 0, 0
 		rng := rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngNet, s.tick, 0, shard)))
 		loss := s.net.LossProb(s.tick)
 		sh.netPopped = s.net.PopDue(shard, s.tick, func(msg netmodel.Message) {
@@ -61,9 +67,15 @@ func (s *Sim) phaseTransit() {
 			to.receive(msg.Seg)
 			to.removeGranted(msg.Seg)
 			sh.netDelivered++
-			// Delivery delay includes the landing period itself: the
-			// classic substrate's same-tick delivery measures one period.
-			sh.netDelayTicks += int64(s.tick - msg.Sent + 1)
+			if quantized {
+				// Tick-floored delay includes the landing period itself:
+				// the classic substrate's same-tick delivery measures one
+				// period.
+				sh.netDelayTicks += int64(s.tick - msg.Sent + 1)
+			} else {
+				// The true link delay, sub-period resolution.
+				sh.netDelayMS += msg.DelayMS(s.cfg.Tau)
+			}
 		})
 	})
 	// Serial merge in shard order: window accounting and the in-flight
@@ -75,6 +87,7 @@ func (s *Sim) phaseTransit() {
 			s.netDelivered += sh.netDelivered
 			s.netLost += sh.netLost
 			s.netDelayTicks += sh.netDelayTicks
+			s.netDelayMS += sh.netDelayMS
 		}
 	}
 	s.net.SettleDelivered(popped)

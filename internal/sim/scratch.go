@@ -141,10 +141,12 @@ type shardScratch struct {
 	// Per-tick diagnostics, merged into the Sim's counters.
 	diagRequests, diagCandidates, diagPlanned int
 	// Transit phase output (netmodel runs): messages popped, delivered
-	// and lost this tick, and the delivered messages' summed delay.
+	// and lost this tick, and the delivered messages' summed delay —
+	// whole ticks under QuantizeTicks, true milliseconds otherwise.
 	netPopped             int
 	netDelivered, netLost int64
 	netDelayTicks         int64
+	netDelayMS            float64
 }
 
 // routedRequest is a pull request together with the supplier it is

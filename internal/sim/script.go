@@ -69,6 +69,12 @@ type Event struct {
 	// Frac is the EvPartition split fraction: the expected share of
 	// nodes hashed onto the far side of the partition.
 	Frac float64
+
+	// ByPing makes an EvPartition split by round-trip ping instead of a
+	// uniform hash: the low-ping cluster (the Frac-quantile of the trace
+	// ping table) lands on one side — latency-clustered geographic
+	// islands rather than a random bisection.
+	ByPing bool
 }
 
 // EventKind enumerates the scenario event types.
@@ -103,11 +109,12 @@ const (
 	// EvLossBurst overrides the transport loss probability with Prob for
 	// Ticks ticks (a lossy-uplink episode). Requires Config.Net.
 	EvLossBurst
-	// EvPartition splits the overlay in two: each node is hashed onto a
-	// side (Frac the expected far-side share, from a fresh rngEvents
-	// stream's seed), and no traffic — buffer maps, requests or data,
-	// including messages already in flight — crosses the boundary until
-	// an EvHeal. Requires Config.Net.
+	// EvPartition splits the overlay in two: each node is assigned a
+	// side (Frac the expected far-side share, seeded from a fresh
+	// rngEvents stream; ByPing clusters the split by trace ping instead
+	// of a uniform hash), and no traffic — buffer maps, requests or
+	// data, including messages already in flight — crosses the boundary
+	// until an EvHeal. Requires Config.Net.
 	EvPartition
 	// EvHeal ends the active partition. Requires Config.Net.
 	EvHeal
@@ -204,6 +211,13 @@ func LossBurstAt(tick, ticks int, prob float64) Event {
 // far-side fraction. Requires Config.Net.
 func PartitionAt(tick int, frac float64) Event {
 	return Event{Tick: tick, Kind: EvPartition, Frac: frac}
+}
+
+// PartitionByPingAt schedules a latency-clustered network partition: the
+// sides split by trace ping around the frac-quantile instead of a
+// uniform hash. Requires Config.Net.
+func PartitionByPingAt(tick int, frac float64) Event {
+	return Event{Tick: tick, Kind: EvPartition, Frac: frac, ByPing: true}
 }
 
 // HealAt schedules the end of the active partition. Requires Config.Net.

@@ -85,11 +85,13 @@ type Sim struct {
 	controlBits int64
 	dataBits    int64
 	// Transport accounting over the open window (netmodel runs only):
-	// delivered/lost message counts, summed delivery delay in ticks, and
-	// grants that re-request a previously lost segment.
+	// delivered/lost message counts, summed delivery delay (whole ticks
+	// under QuantizeTicks, true milliseconds on the sub-tick transport),
+	// and grants that re-request a previously lost segment.
 	netDelivered  int64
 	netLost       int64
 	netDelayTicks int64
+	netDelayMS    float64
 	netReRequests int64
 	res           *Result
 
@@ -374,7 +376,12 @@ func (s *Sim) fire(ev Event, idx int) {
 	case EvPartition:
 		// The side-assignment seed comes from the event's own stream, so
 		// two partitions in one run split differently.
-		s.net.Partition(ev.Frac, engine.SeedFor(s.cfg.Seed, rngEvents, s.tick, idx, 0))
+		seed := engine.SeedFor(s.cfg.Seed, rngEvents, s.tick, idx, 0)
+		if ev.ByPing {
+			s.net.PartitionByPing(ev.Frac, seed)
+		} else {
+			s.net.Partition(ev.Frac, seed)
+		}
 	case EvHeal:
 		s.net.Heal()
 	case EvDemoteSource:
@@ -555,7 +562,7 @@ func (s *Sim) openWindow(isSwitch bool, horizon int, ev Event) {
 		m.OldSource, m.NewSource, m.Failure = s.oldSource, s.newSource, ev.Failure
 	}
 	s.controlBits, s.dataBits = 0, 0
-	s.netDelivered, s.netLost, s.netDelayTicks, s.netReRequests = 0, 0, 0, 0
+	s.netDelivered, s.netLost, s.netDelayTicks, s.netDelayMS, s.netReRequests = 0, 0, 0, 0, 0
 	s.cohort = s.cohort[:0]
 	for _, n := range s.nodes {
 		eligible := n.alive && !n.isSource
@@ -594,7 +601,13 @@ func (s *Sim) closeWindow(measured int, hitHorizon, interrupted bool) {
 	m.NetDelivered = s.netDelivered
 	m.NetLost = s.netLost
 	m.NetReRequests = s.netReRequests
-	m.NetDelaySeconds = float64(s.netDelayTicks) * s.cfg.Tau
+	if s.net != nil && !s.net.Quantized() {
+		m.NetDelaySeconds = s.netDelayMS / 1000
+	} else {
+		// Tick-floored delays (and the classic substrate's zero), kept as
+		// the exact pre-subtick expression for the QuantizeTicks goldens.
+		m.NetDelaySeconds = float64(s.netDelayTicks) * s.cfg.Tau
+	}
 	for _, id := range s.cohort {
 		n := s.nodes[id]
 		if s.win.isSwitch {
