@@ -1,0 +1,175 @@
+// Command live runs event-scripted scenarios as a live system: every
+// node a goroutine-backed peer exchanging real frames over a pluggable
+// transport (in-process channels or UDP sockets), paced by a wall-clock
+// scheduler — the second execution backend next to cmd/scenario's
+// simulator. Results are reported in the same per-window metric blocks,
+// in scenario seconds, so sim and live runs of one scenario can be read
+// side by side; -compare runs both and prints them together.
+//
+// Examples:
+//
+//	live -name paper-single-switch
+//	live -name paper-single-switch -n 150 -timescale 100
+//	live -name lossy-uplink -transport udp
+//	live -f conf.scn -algo both
+//	live -name paper-single-switch -n 150 -compare  # sim vs live
+//	live -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossipstream/internal/runtime"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+func main() {
+	var (
+		file      = flag.String("f", "", "scenario file to run (see internal/scenario for the format)")
+		name      = flag.String("name", "", "bundled scenario to run (see -list)")
+		list      = flag.Bool("list", false, "list the bundled scenarios")
+		algo      = flag.String("algo", "fast", "scheduler: fast, normal or both")
+		n         = flag.Int("n", 0, "override the overlay size (crowd batches rescale proportionally)")
+		seed      = flag.Int64("seed", 0, "override the scenario seed (0 keeps the file's)")
+		transport = flag.String("transport", "chan", "transport: chan (in-process channels) or udp (loopback sockets)")
+		timescale = flag.Float64("timescale", 0, "scenario seconds per wall second (0 = default 50; 1 = real time)")
+		compare   = flag.Bool("compare", false, "run the simulator first, then the live system, and print both")
+		stats     = flag.Bool("stats", false, "print the wall-clock execution stats (periods, overruns, transport counters)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range scenario.Library() {
+			fmt.Printf("%-22s n=%-5d events=%-2d %s\n", sc.Name, sc.Nodes, len(sc.Events), sc.Desc)
+		}
+		return
+	}
+
+	sc := load(*file, *name)
+	if *n > 0 {
+		sc = sc.Scaled(*n)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	factories := map[string]sim.AlgorithmFactory{}
+	switch *algo {
+	case "fast":
+		factories["fast"] = sim.Fast
+	case "normal":
+		factories["normal"] = sim.Normal
+	case "both":
+		factories["fast"] = sim.Fast
+		factories["normal"] = sim.Normal
+	default:
+		fmt.Fprintf(os.Stderr, "live: unknown -algo %q (want fast, normal or both)\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Desc)
+	fmt.Printf("  nodes=%d seed=%d events=%d transport=%s\n\n", sc.Nodes, sc.Seed, len(sc.Events), *transport)
+
+	for _, algoName := range []string{"normal", "fast"} {
+		factory, ok := factories[algoName]
+		if !ok {
+			continue
+		}
+		if *compare {
+			cfg, err := sc.Config(factory)
+			if err != nil {
+				fatal(err)
+			}
+			s, err := sim.New(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				fatal(err)
+			}
+			printResult("sim/"+algoName, res)
+			fmt.Println()
+		}
+
+		r, err := runtime.FromScenario(sc, factory, runtime.Options{
+			Transport: makeTransport(*transport, sc.Seed),
+			TimeScale: *timescale,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		label := algoName
+		if *compare {
+			label = "live/" + algoName
+		}
+		res, err := r.Run()
+		if err != nil {
+			fatal(err)
+		}
+		printResult(label, res)
+		if *stats || *compare {
+			ls := r.Stats()
+			fmt.Printf("  wall: %v for %d periods (%d overruns); transport: %d data frames sent, %d delivered, %d lost\n",
+				ls.WallDuration.Round(1000000), ls.Periods, ls.Overruns,
+				ls.Transport.DataSent, ls.Transport.DataDelivered, ls.Transport.DataLost)
+		}
+		fmt.Println()
+	}
+}
+
+// makeTransport builds a fresh transport per run (a runner owns and
+// closes its transport).
+func makeTransport(kind string, seed int64) runtime.Transport {
+	switch kind {
+	case "chan":
+		return nil // FromScenario defaults to the channel transport
+	case "udp":
+		return runtime.NewUDPTransport(seed ^ 0x11fe)
+	}
+	fmt.Fprintf(os.Stderr, "live: unknown -transport %q (want chan or udp)\n", kind)
+	os.Exit(2)
+	return nil
+}
+
+func printResult(algoName string, res *sim.Result) {
+	scenario.FormatResult(os.Stdout, algoName, res)
+}
+
+// load resolves the scenario source: a file, a bundled name, or an error.
+func load(file, name string) *scenario.Scenario {
+	switch {
+	case file != "" && name != "":
+		fmt.Fprintln(os.Stderr, "live: -f and -name are mutually exclusive")
+		os.Exit(2)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sc, err := scenario.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		return sc
+	case name != "":
+		sc := scenario.Lookup(name)
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "live: unknown scenario %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		return sc
+	}
+	fmt.Fprintln(os.Stderr, "live: need -f, -name or -list")
+	os.Exit(2)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "live: %v\n", err)
+	os.Exit(1)
+}

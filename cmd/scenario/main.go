@@ -155,42 +155,10 @@ func load(file, name string) *scenario.Scenario {
 	return nil
 }
 
-// printResult renders one run's per-window metric blocks.
+// printResult renders one run's per-window metric blocks in the report
+// format shared with cmd/live (internal/scenario.FormatResult).
 func printResult(algoName string, res *sim.Result) {
-	fmt.Printf("%s: %d measurement window(s)\n", algoName, len(res.Windows))
-	for _, w := range res.Windows {
-		if w.Kind == "switch" {
-			kind := "handoff"
-			if w.Failure {
-				kind = "CRASH"
-			}
-			fmt.Printf("  window %d: %s %d -> %d at t=%d (n=%d cohort=%d)\n",
-				w.Window, kind, w.OldSource, w.NewSource, w.Tick, w.Nodes, w.Cohort)
-			fmt.Printf("    finish S1  avg %6.2f s (max %6.2f, unfinished %d)\n",
-				w.AvgFinishS1(), w.MaxFinishS1(), w.UnfinishedS1)
-			fmt.Printf("    prepare S2 avg %6.2f s (max %6.2f, unprepared %d)\n",
-				w.AvgPrepareS2(), w.MaxPrepareS2(), w.UnpreparedS2)
-		} else {
-			fmt.Printf("  window %d: measure at t=%d for %d ticks (n=%d cohort=%d)\n",
-				w.Window, w.Tick, w.MeasuredTicks, w.Nodes, w.Cohort)
-		}
-		fmt.Printf("    continuity %.4f  overhead %.4f  measured %d ticks%s%s\n",
-			w.Continuity(), w.Overhead(), w.MeasuredTicks,
-			flagStr(w.HitHorizon, "  [hit horizon]"), flagStr(w.Interrupted, "  [interrupted]"))
-		if w.NetDelivered+w.NetLost > 0 {
-			// Millisecond resolution: the sub-tick transport reports true
-			// link delays well below one scheduling period.
-			fmt.Printf("    transport: delay %.3f s  loss %.1f%% (%d lost, %d re-requested of %d msgs)\n",
-				w.MeanDeliveryDelay(), w.LossRate()*100, w.NetLost, w.NetReRequests, w.NetDelivered+w.NetLost)
-		}
-	}
-}
-
-func flagStr(b bool, s string) string {
-	if b {
-		return s
-	}
-	return ""
+	scenario.FormatResult(os.Stdout, algoName, res)
 }
 
 // runSmoke executes every bundled scenario at small scale and fails loudly

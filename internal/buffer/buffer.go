@@ -232,11 +232,24 @@ type Map struct {
 // The anchor is the smallest id held; an empty buffer yields an anchor of
 // 0 and an all-clear map.
 func (b *Buffer) Snapshot() *Map {
-	m := &Map{Anchor: 0, Capacity: b.capacity, Bits: bitfield.New(b.capacity)}
 	if b.size == 0 {
-		return m
+		return &Map{Anchor: 0, Capacity: b.capacity, Bits: bitfield.New(b.capacity)}
 	}
-	m.Anchor = b.MinID()
+	return b.SnapshotFrom(b.MinID())
+}
+
+// SnapshotFrom builds the availability map for the window [anchor,
+// anchor+B) — holdings outside it are clipped. A node whose buffer
+// spans more than B ids (an ex-listener promoted to source keeps its
+// old playback tail while generating at the live edge) must anchor its
+// advertisement at the freshest window, maxSeen-B+1, or the map cannot
+// represent the segments it is the unique supplier of; the live runtime
+// (internal/runtime) advertises exactly that window.
+func (b *Buffer) SnapshotFrom(anchor segment.ID) *Map {
+	if anchor < 0 {
+		anchor = 0
+	}
+	m := &Map{Anchor: anchor, Capacity: b.capacity, Bits: bitfield.New(b.capacity)}
 	for i := 0; i < b.size; i++ {
 		id := b.ring[(b.head+i)%b.capacity]
 		off := int(id - m.Anchor)

@@ -309,3 +309,64 @@ func TestPartitionByPingSides(t *testing.T) {
 }
 
 func int32ID(i int) overlay.NodeID { return overlay.NodeID(i) }
+
+// TestFlatPolicy pins the self-contained LinkPolicy: constant delay
+// plus caller jitter, constant loss, no partitions — the raw live
+// transport configuration.
+func TestFlatPolicy(t *testing.T) {
+	var p LinkPolicy = Flat{Delay: 40, Loss: 0.25}
+	if d := p.DelayMS(1, 2, 5); d != 45 {
+		t.Errorf("DelayMS = %v, want 45", d)
+	}
+	if p.JitterMS() != 0 {
+		t.Errorf("JitterMS = %v, want 0", p.JitterMS())
+	}
+	if l := p.LossProb(7); l != 0.25 {
+		t.Errorf("LossProb = %v, want 0.25", l)
+	}
+	if p.Blocked(1, 2) {
+		t.Error("Flat reported a blocked link")
+	}
+	// The zero Flat is the deliver-everything-immediately policy.
+	zero := Flat{}
+	if zero.DelayMS(1, 2, 0) != 0 || zero.LossProb(0) != 0 {
+		t.Error("zero Flat is not a no-op policy")
+	}
+}
+
+// TestModelIsLinkPolicy pins the transit seam: the heap-backed Model
+// and the runtime's flat shaper satisfy the same transport-facing
+// interface, so scenario events reach both backends through one
+// surface.
+func TestModelIsLinkPolicy(t *testing.T) {
+	m := New(Config{PingMS: []int{20, 80}, JitterMS: 0}, 1)
+	var p LinkPolicy = m
+	if d := p.DelayMS(0, 1, 0); d != 50 {
+		t.Errorf("model DelayMS = %v, want (20+80)/2", d)
+	}
+	m.SetLatencyFactor(3)
+	if d := p.DelayMS(0, 1, 0); d != 150 {
+		t.Errorf("model DelayMS under latency shift = %v, want 150", d)
+	}
+	m.SetLossBurst(0.5, 10)
+	if p.LossProb(9) != 0.5 || p.LossProb(10) != 0 {
+		t.Error("loss burst not visible through the policy surface")
+	}
+	m.Partition(0.5, 42)
+	blockedAny := false
+	for a := overlay.NodeID(0); a < 20 && !blockedAny; a++ {
+		for b := a + 1; b < 20; b++ {
+			if p.Blocked(a, b) {
+				blockedAny = true
+				break
+			}
+		}
+	}
+	if !blockedAny {
+		t.Error("no link blocked under an active 50/50 partition")
+	}
+	m.Heal()
+	if p.Blocked(0, 1) {
+		t.Error("link still blocked after heal")
+	}
+}

@@ -1,0 +1,73 @@
+package netmodel
+
+import "gossipstream/internal/overlay"
+
+// The transit seam. The Message shape plus the delay/loss/partition
+// policy below are the full transport-facing surface of the network
+// model, and they now have two consumers:
+//
+//   - the simulator's transit phase: Model.Send injects a Message into
+//     the per-destination-shard heaps, PopDue drains it on the virtual
+//     clock (internal/sim's `transit` phase);
+//
+//   - the live runtime (internal/runtime): peers exchange the same
+//     Message shape as real frames over channel or UDP transports, and
+//     the shaped transports apply LinkPolicy on the wall clock — delay
+//     a frame by DelayMS, drop it with LossProb, sever it with Blocked.
+//
+// Keeping the policy behind an interface is what makes the seam
+// swappable: scenario events (latency storms, loss bursts, partitions,
+// heals) mutate one *Model, and whichever backend is executing — heap
+// drain or socket delivery — observes the change on its next message.
+
+// LinkPolicy is the delay/loss/partition surface of the transport
+// model: everything a message carrier needs to decide when a message
+// arrives, whether it is dropped, and whether its link is severed.
+// *Model satisfies it (the simulator's heaps and the runtime's shaped
+// transports share one instance per run); Flat is the self-contained
+// implementation for carriers that run without a model.
+type LinkPolicy interface {
+	// DelayMS is the continuous link delay for one message between two
+	// endpoints, with the caller's jitter draw already included.
+	DelayMS(a, b overlay.NodeID, jitterMS float64) float64
+	// JitterMS is the per-message uniform jitter amplitude (0 = none;
+	// the caller can skip its jitter stream entirely).
+	JitterMS() float64
+	// LossProb is the per-message loss probability in effect at the
+	// given scheduling tick (loss bursts are tick-bounded).
+	LossProb(tick int) float64
+	// Blocked reports whether the link between two nodes is severed by
+	// an active partition.
+	Blocked(a, b overlay.NodeID) bool
+}
+
+// Model is the stateful LinkPolicy — the compile-time assertion pins
+// the seam.
+var _ LinkPolicy = (*Model)(nil)
+
+// Flat is the trivial LinkPolicy: one constant propagation delay, one
+// constant loss probability, no jitter, no partitions. It is what a
+// live transport runs with when no network model is configured (Delay
+// and Loss zero: deliver immediately, drop nothing — the raw-socket
+// deployment where the real network provides delay and loss), and what
+// unit tests use to pin shaping behavior without a full Model.
+type Flat struct {
+	// Delay is the flat one-way link delay in milliseconds.
+	Delay float64
+	// Loss is the flat per-message loss probability in [0, 1).
+	Loss float64
+}
+
+// DelayMS returns the flat delay plus the caller's jitter draw.
+func (f Flat) DelayMS(a, b overlay.NodeID, jitterMS float64) float64 { return f.Delay + jitterMS }
+
+// JitterMS returns 0: Flat itself never asks for jitter.
+func (f Flat) JitterMS() float64 { return 0 }
+
+// LossProb returns the flat loss probability at every tick.
+func (f Flat) LossProb(tick int) float64 { return f.Loss }
+
+// Blocked returns false: Flat has no partitions.
+func (f Flat) Blocked(a, b overlay.NodeID) bool { return false }
+
+var _ LinkPolicy = Flat{}

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+)
+
+// inboxCap bounds one node's inbox. A peer receives a few dozen frames
+// per period (M maps, its inbound budget in requests and data, denies);
+// the cap is generous headroom for bursty scheduling, and overflow
+// drops like a datagram rather than blocking the sender.
+const inboxCap = 512
+
+// ChanTransport is the in-process transport: per-node buffered channels
+// with LinkPolicy shaping. It is the tests/CI transport — no sockets,
+// no serialization, frames move by value — and the reference
+// implementation of the Transport contract. With a nil (or zero-Flat)
+// policy, delivery is immediate and lossless; with a *netmodel.Model
+// installed, the same latency storms, loss bursts and partitions the
+// simulator's transit phase applies are imposed on the wall clock.
+type ChanTransport struct {
+	mu      sync.RWMutex
+	inboxes map[overlay.NodeID]chan Frame
+	shape   *shaper
+	closed  bool
+
+	dataSent      atomic.Int64
+	dataDelivered atomic.Int64
+	dataLost      atomic.Int64
+	delayMu       sync.Mutex
+	delaySum      float64 // scenario ms
+}
+
+// NewChanTransport returns an empty in-process transport; seed drives
+// the shaping draws (loss, jitter).
+func NewChanTransport(seed int64) *ChanTransport {
+	return &ChanTransport{
+		inboxes: make(map[overlay.NodeID]chan Frame),
+		shape:   newShaper(seed),
+	}
+}
+
+// Open attaches a node.
+func (t *ChanTransport) Open(id overlay.NodeID) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := make(chan Frame, inboxCap)
+	t.inboxes[id] = ch
+	return &chanEndpoint{t: t, id: id, inbox: ch}, nil
+}
+
+// SetPolicy installs the delay/loss/partition policy.
+func (t *ChanTransport) SetPolicy(p netmodel.LinkPolicy) { t.shape.setPolicy(p) }
+
+// SetTick publishes the scheduling period and time compression.
+func (t *ChanTransport) SetTick(tick int, wallPerScenarioMS float64) {
+	t.shape.setTick(tick, wallPerScenarioMS)
+}
+
+// Stats returns cumulative data-plane counters.
+func (t *ChanTransport) Stats() TransportStats {
+	t.delayMu.Lock()
+	delay := t.delaySum
+	t.delayMu.Unlock()
+	return TransportStats{
+		DataSent:        t.dataSent.Load(),
+		DataDelivered:   t.dataDelivered.Load(),
+		DataLost:        t.dataLost.Load(),
+		DelayScenarioMS: delay,
+	}
+}
+
+// Close shuts the transport down.
+func (t *ChanTransport) Close() {
+	t.shape.stop()
+	t.mu.Lock()
+	t.closed = true
+	t.inboxes = make(map[overlay.NodeID]chan Frame)
+	t.mu.Unlock()
+}
+
+// send routes one frame through the shaper into the destination inbox.
+func (t *ChanTransport) send(f Frame) {
+	if f.Kind == FrameData {
+		t.dataSent.Add(1)
+	}
+	delivered := t.shape.route(f, t.deliver)
+	if !delivered && f.Kind == FrameData {
+		t.dataLost.Add(1) // severed at injection
+	}
+}
+
+func (t *ChanTransport) deliver(f Frame) {
+	if f.Kind == frameDropped {
+		t.dataLost.Add(1)
+		return
+	}
+	t.mu.RLock()
+	ch, ok := t.inboxes[f.Msg.To]
+	t.mu.RUnlock()
+	if !ok {
+		return // destination detached (churn): the datagram evaporates
+	}
+	select {
+	case ch <- f:
+		if f.Kind == FrameData {
+			t.dataDelivered.Add(1)
+			if f.Msg.ArrivalMS > 0 {
+				t.delayMu.Lock()
+				t.delaySum += f.Msg.ArrivalMS
+				t.delayMu.Unlock()
+			}
+		}
+	default:
+		// Inbox overflow: drop like a datagram.
+		if f.Kind == FrameData {
+			t.dataLost.Add(1)
+		}
+	}
+}
+
+type chanEndpoint struct {
+	t     *ChanTransport
+	id    overlay.NodeID
+	inbox chan Frame
+}
+
+func (e *chanEndpoint) Send(f Frame) {
+	f.Msg.From = e.id
+	e.t.send(f)
+}
+
+func (e *chanEndpoint) Recv() <-chan Frame { return e.inbox }
+
+func (e *chanEndpoint) Close() {
+	e.t.mu.Lock()
+	if e.t.inboxes[e.id] == e.inbox {
+		delete(e.t.inboxes, e.id)
+	}
+	e.t.mu.Unlock()
+}

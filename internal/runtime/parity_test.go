@@ -1,0 +1,118 @@
+package runtime
+
+import (
+	"testing"
+
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+// TestLiveSimParityPaperSingleSwitch pins the live runtime against the
+// simulator on the paper's evaluation scenario: paper-single-switch,
+// in-process channel transport, zero loss. The two backends share
+// topology, profiles, parameters and protocol core but run on different
+// clocks, so the pin is statistical, with the tolerances stated below.
+//
+// Why the live numbers sit above the simulator's: the simulator
+// resolves a request, its grant and the delivery inside one tick (three
+// serve rounds against same-tick buffer state), while a live peer pays
+// one full scheduling period of request-to-playback latency whenever a
+// hole reaches its playhead — the data frame arrives mid-period, but
+// playback only consumes at period boundaries. Those stalls compound
+// along the dissemination path, which bounds the live times at roughly
+// twice the simulated ones on this scenario rather than a constant
+// offset. What must agree exactly: the windows complete (every cohort
+// member finishes S1 and prepares S2 — the delivery-ratio guarantee),
+// the cohort itself, and the shape of the report.
+func TestLiveSimParityPaperSingleSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity run takes a few seconds")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock parity is a timing pin, not a race target (see race_on_test.go)")
+	}
+	sc := scenario.PaperSingleSwitch().Scaled(150)
+
+	cfg, err := sc.Config(sim.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := FromScenario(sc, sim.Fast, Options{TimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(liveRes.Windows) != len(simRes.Windows) {
+		t.Fatalf("live has %d windows, sim has %d", len(liveRes.Windows), len(simRes.Windows))
+	}
+	lw, sw := liveRes.Windows[0], simRes.Windows[0]
+	t.Logf("sim : %s", sw)
+	t.Logf("live: %s", lw)
+
+	// Structure: same kind of window over the same cohort.
+	if lw.Kind != "switch" || sw.Kind != "switch" {
+		t.Fatalf("window kinds: live %q, sim %q", lw.Kind, sw.Kind)
+	}
+	if lw.Tick != sw.Tick {
+		t.Errorf("switch tick: live %d, sim %d", lw.Tick, sw.Tick)
+	}
+	if lw.Cohort != sw.Cohort {
+		t.Errorf("cohort: live %d, sim %d", lw.Cohort, sw.Cohort)
+	}
+
+	// Delivery ratio: every measurement window completes — at most 2% of
+	// the cohort may straggle past the horizon (wall-clock tail the
+	// simulator does not have), and every completion time is recorded.
+	maxStragglers := lw.Cohort / 50
+	if lw.UnfinishedS1 > maxStragglers || lw.UnpreparedS2 > maxStragglers {
+		t.Errorf("incomplete window: unfinished=%d unprepared=%d (allowed %d of cohort %d)",
+			lw.UnfinishedS1, lw.UnpreparedS2, maxStragglers, lw.Cohort)
+	}
+	if got := len(lw.PrepareS2Times); got < lw.Cohort-maxStragglers {
+		t.Errorf("prepare-S2 samples: %d of cohort %d", got, lw.Cohort)
+	}
+
+	// Switch delay: the live average prepare-S2 (the paper's "switch
+	// time") lands within [0.5×, 2.5×] of the simulator's, and never
+	// more than one horizon out in absolute terms.
+	simPrep, livePrep := sw.AvgPrepareS2(), lw.AvgPrepareS2()
+	if livePrep < 0.5*simPrep || livePrep > 2.5*simPrep {
+		t.Errorf("avg prepare S2: live %.2fs outside [0.5, 2.5]× sim %.2fs", livePrep, simPrep)
+	}
+	simFin, liveFin := sw.AvgFinishS1(), lw.AvgFinishS1()
+	if liveFin < 0.5*simFin || liveFin > 2.5*simFin {
+		t.Errorf("avg finish S1: live %.2fs outside [0.5, 2.5]× sim %.2fs", liveFin, simFin)
+	}
+
+	// Playback continuity: within 0.25 absolute of the simulator (the
+	// per-hole period of latency shows up here first).
+	if d := sw.Continuity() - lw.Continuity(); d > 0.25 {
+		t.Errorf("continuity: live %.4f more than 0.25 below sim %.4f", lw.Continuity(), sw.Continuity())
+	}
+
+	// Overhead: the same 620-bit maps against the same data volume, so
+	// the ratio lands in the same order of magnitude.
+	if lw.Overhead() > 4*sw.Overhead() || lw.Overhead() <= 0 {
+		t.Errorf("overhead: live %.4f vs sim %.4f", lw.Overhead(), sw.Overhead())
+	}
+
+	// The unshaped channel transport loses nothing but inbox-overflow
+	// drops under burst scheduling; more than 0.01% of the data plane
+	// means something is actually broken.
+	if st := r.Stats().Transport; st.DataLost*10000 > st.DataSent {
+		t.Errorf("lost %d of %d data frames on the lossless channel transport", st.DataLost, st.DataSent)
+	}
+}

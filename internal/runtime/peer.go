@@ -1,0 +1,771 @@
+package runtime
+
+import (
+	"math/rand"
+
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/buffer"
+	"gossipstream/internal/core"
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+	"gossipstream/internal/sim"
+)
+
+// A peer is one live protocol participant: a goroutine owning a buffer,
+// budgets, a sim.Playback (the per-node protocol core shared with the
+// simulator) and a scheduler instance, exchanging frames with its
+// neighbors through a transport Endpoint. Nothing here touches shared
+// state — the peer's world is its inbox, its control channel from the
+// runner, and the tick signal that paces its scheduling period.
+//
+// Per period a peer: refills its budgets, generates (source) or plays
+// back (listener), advertises its buffer map to every neighbor, and
+// plans pull requests with the same core.Algorithm the simulator runs —
+// against views decoded from real map frames rather than same-tick
+// shared memory. Requests are served (or denied) asynchronously as they
+// arrive; denials refund the requester's inbound budget and trigger a
+// bounded retry at an alternate supplier, the live counterpart of the
+// simulator's retry rounds.
+
+// peerParams is the protocol parameter block, fixed for a run.
+type peerParams struct {
+	tau             float64
+	p               float64
+	q, qs           int
+	bufferCap       int
+	linkShare       int
+	sharedOut       bool
+	sourceOutFactor float64
+	disablePrefetch bool
+	perTick         int   // p·τ whole segments
+	wireBits        int64 // control cost of one buffer map
+}
+
+// viewTTLPeriods is how many periods a neighbor's buffer-map view stays
+// usable without a refresh. Maps arrive every period on a healthy link,
+// so a view this stale means the neighbor is gone or the link is
+// severed (the live runtime discovers partitions by silence, where the
+// simulator's planner consults the partition oracle directly).
+const viewTTLPeriods = 3
+
+// denyRetryCap bounds how many suppliers a peer tries for one segment
+// within a period (the first request plus retries after denials) — the
+// live counterpart of the simulator's bounded retry rounds.
+const denyRetryCap = 3
+
+// tickCmd paces one scheduling period.
+type tickCmd struct {
+	n int // period number
+}
+
+// ctrlKind enumerates runner→peer control messages: the in-process
+// control plane (spin-up metadata, role changes, membership updates)
+// that a multi-host deployment would move onto an authenticated
+// control transport.
+type ctrlKind uint8
+
+const (
+	ctrlBecomeSource ctrlKind = iota + 1
+	ctrlStopSource
+	ctrlDemote
+	ctrlNeighbors
+	ctrlBandwidth
+	ctrlQuit
+)
+
+type ctrlMsg struct {
+	kind      ctrlKind
+	sessions  []segment.Session // authoritative timeline (become/demote)
+	neighbors []overlay.NodeID  // ctrlNeighbors
+	anchor    segment.ID        // ctrlDemote rejoin anchor
+	factor    float64           // ctrlBandwidth
+	reply     chan segment.ID   // ctrlStopSource: the closed session's end id
+}
+
+// report is one peer's per-period account to the runner's collector.
+type report struct {
+	id       overlay.NodeID
+	period   int
+	alive    bool
+	isSource bool
+
+	played, stalled   int
+	mapBits, dataBits int64
+	maxSeen           segment.ID
+	windowLo          segment.ID
+
+	started, finished int   // session indices, -1 when nothing happened
+	prepared          []int // session indices newly prepared this period
+
+	dupes, denies int // diagnostics
+}
+
+// neighborView is the last decoded advertisement from one neighbor.
+type neighborView struct {
+	m       *buffer.Map
+	maxSeen segment.ID
+	rate    float64
+	period  int
+}
+
+type peer struct {
+	id  overlay.NodeID
+	par peerParams
+	ep  Endpoint
+	rng *rand.Rand
+
+	algo core.Algorithm
+	buf  *buffer.Buffer
+	pb   sim.Playback
+
+	base, profile bandwidth.Profile
+	in, out       *bandwidth.Budget
+	bwFactor      float64
+
+	alive     bool
+	startTick int
+	tick      int
+
+	isSource  bool // holds (or held) the source role
+	mySession int  // timeline index of the session this peer sources, -1
+	nextGen   segment.ID
+	maxSeen   segment.ID
+
+	sessions  []segment.Session
+	neighbors []overlay.NodeID
+	views     map[overlay.NodeID]*neighborView
+
+	// Per-period request state: segments in flight (requested this or
+	// the previous period), the suppliers that denied each of them, and
+	// the per-supplier request counts of the per-link capacity estimate.
+	requested map[segment.ID]int
+	deniedBy  map[segment.ID][]overlay.NodeID
+	reqPer    map[overlay.NodeID]int
+	// Per-period grant counts per requester (the per-link serve cap).
+	grantsOut map[overlay.NodeID]int
+
+	// Period accumulators, flushed into the report.
+	mapBits, dataBits int64
+	played, stalled   int
+	started, finished int
+	preparedDone      map[int]bool
+	newlyPrepared     []int
+	dupes, denies     int
+
+	// Scratch reused across periods.
+	env     core.Env
+	plan    core.Plan
+	granted []segment.ID
+	needOld []segment.ID
+	needNew []segment.ID
+	pool    []segment.ID
+
+	tickCh  chan tickCmd
+	ctrlCh  chan ctrlMsg
+	reports chan<- report
+}
+
+// spawnSpec is everything the runner passes to build one peer.
+type spawnSpec struct {
+	id         overlay.NodeID
+	profile    bandwidth.Profile
+	bwFactor   float64
+	startTick  int
+	neighbors  []overlay.NodeID
+	sessions   []segment.Session
+	anchor     segment.ID
+	sessionIdx int
+	known      int
+	isSource   bool
+	mySession  int
+	nextGen    segment.ID
+	seed       int64
+}
+
+func newPeer(spec spawnSpec, par peerParams, algo core.Algorithm, ep Endpoint, reports chan<- report) *peer {
+	p := &peer{
+		id:           spec.id,
+		par:          par,
+		ep:           ep,
+		rng:          rand.New(rand.NewSource(spec.seed)),
+		algo:         algo,
+		buf:          buffer.New(par.bufferCap),
+		pb:           sim.NewPlayback(spec.anchor, spec.sessionIdx, spec.known),
+		base:         spec.profile,
+		profile:      spec.profile,
+		bwFactor:     spec.bwFactor,
+		alive:        spec.startTick == 0,
+		startTick:    spec.startTick,
+		isSource:     spec.isSource,
+		mySession:    spec.mySession,
+		nextGen:      spec.nextGen,
+		maxSeen:      segment.None,
+		sessions:     append([]segment.Session(nil), spec.sessions...),
+		neighbors:    append([]overlay.NodeID(nil), spec.neighbors...),
+		views:        make(map[overlay.NodeID]*neighborView),
+		requested:    make(map[segment.ID]int),
+		deniedBy:     make(map[segment.ID][]overlay.NodeID),
+		reqPer:       make(map[overlay.NodeID]int),
+		grantsOut:    make(map[overlay.NodeID]int),
+		preparedDone: make(map[int]bool),
+		started:      -1,
+		finished:     -1,
+		tickCh:       make(chan tickCmd, 1),
+		ctrlCh:       make(chan ctrlMsg, 8),
+		reports:      reports,
+	}
+	if !spec.isSource {
+		p.profile = bandwidth.Profile{In: spec.profile.In * spec.bwFactor, Out: spec.profile.Out * spec.bwFactor}
+	} else {
+		p.profile = bandwidth.SourceProfile(par.sourceOutFactor)
+		p.pb.Known = len(p.sessions)
+	}
+	p.in = bandwidth.NewBudget(p.profile.In)
+	p.out = bandwidth.NewBudget(p.profile.Out)
+	return p
+}
+
+// run is the peer goroutine: frames and control between ticks, the
+// period step on each tick. It exits only on ctrlQuit.
+func (p *peer) run() {
+	for {
+		select {
+		case c := <-p.ctrlCh:
+			if !p.handleCtrl(c) {
+				return
+			}
+		case f := <-p.ep.Recv():
+			p.handleFrame(f)
+		case t := <-p.tickCh:
+			// Drain the inbox before the period: everything that reached
+			// this node by the period boundary is visible to playback and
+			// planning, however the host happened to schedule the
+			// goroutines (the live analog of the simulator's
+			// store-and-forward rule).
+			if !p.drain() {
+				return
+			}
+			p.period(t.n)
+		}
+	}
+}
+
+// drain empties the control and frame queues; false means a quit
+// arrived mid-drain.
+func (p *peer) drain() bool {
+	for {
+		select {
+		case c := <-p.ctrlCh:
+			if !p.handleCtrl(c) {
+				return false
+			}
+		case f := <-p.ep.Recv():
+			p.handleFrame(f)
+		default:
+			return true
+		}
+	}
+}
+
+// period runs one scheduling step and files the period report.
+func (p *peer) period(tick int) {
+	p.tick = tick
+	if !p.alive && !p.isSource && tick >= p.startTick {
+		p.alive = true // staggered arrival
+	}
+	if p.alive {
+		p.refill()
+		p.generate()
+		p.playback()
+		p.checkPrepared()
+		p.advertise()
+		p.plan_()
+	}
+	p.reports <- p.makeReport(tick)
+}
+
+// refill resets the per-period budgets and request bookkeeping.
+func (p *peer) refill() {
+	p.in.Refill(p.par.tau)
+	p.out.Refill(p.par.tau)
+	for k := range p.grantsOut {
+		delete(p.grantsOut, k)
+	}
+	for k := range p.reqPer {
+		delete(p.reqPer, k)
+	}
+	for k := range p.deniedBy {
+		delete(p.deniedBy, k)
+	}
+	// A request stays "in flight" for the period it was issued plus one
+	// (the response may be crossing the wire); older ones are forgotten
+	// and the segment becomes requestable again — the live counterpart
+	// of the simulator clearing grants at delivery.
+	for seg, at := range p.requested {
+		if at < p.tick-1 {
+			delete(p.requested, seg)
+		}
+	}
+}
+
+// generate emits this period's fresh segments when this peer is the
+// streaming source of the open session.
+func (p *peer) generate() {
+	if !p.isSource || p.mySession < 0 || p.mySession >= len(p.sessions) || !p.sessions[p.mySession].Open() {
+		return
+	}
+	for i := 0; i < p.par.perTick; i++ {
+		p.buf.Insert(p.nextGen)
+		if p.nextGen > p.maxSeen {
+			p.maxSeen = p.nextGen
+		}
+		p.nextGen++
+	}
+}
+
+// playback advances the shared playback state machine by one period.
+func (p *peer) playback() {
+	if p.isSource {
+		return
+	}
+	st := p.pb.Advance(p.buf, p.sessions, p.par.q, p.par.qs, p.par.perTick)
+	p.played += st.Played
+	p.stalled += st.Stalled
+	if st.Started >= 0 {
+		p.started = st.Started
+	}
+	if st.Finished >= 0 {
+		p.finished = st.Finished
+	}
+}
+
+// checkPrepared reports sessions whose startup window just completed
+// (the paper's prepare-S2 condition, evaluated at period boundaries
+// exactly like the simulator's playback phase).
+func (p *peer) checkPrepared() {
+	if p.isSource {
+		return
+	}
+	for k := 1; k < p.pb.Known && k < len(p.sessions); k++ {
+		if p.preparedDone[k] {
+			continue
+		}
+		if sim.Prepared(p.buf, p.sessions[k].Begin, p.par.qs) {
+			p.preparedDone[k] = true
+			p.newlyPrepared = append(p.newlyPrepared, k)
+		}
+	}
+}
+
+// advertise sends this period's buffer map to every neighbor.
+func (p *peer) advertise() {
+	if len(p.neighbors) == 0 {
+		return
+	}
+	// Advertise the freshest capacity window: a promoted ex-listener's
+	// buffer spans old playback holdings AND the live edge it generates
+	// at — anchoring at MinID would clip the very segments only it has.
+	anchor := p.buf.MinID()
+	if anchor < 0 {
+		anchor = 0
+	}
+	if lo := p.maxSeen - segment.ID(p.par.bufferCap) + 1; lo > anchor {
+		anchor = lo
+	}
+	snap := p.buf.SnapshotFrom(anchor)
+	img, err := snap.Encode()
+	if err != nil {
+		img = nil
+	}
+	sessions := make([]SessionInfo, len(p.sessions))
+	for i, s := range p.sessions {
+		sessions[i] = SessionInfo{Source: overlay.NodeID(s.Source), Begin: s.Begin, End: s.End}
+	}
+	rate := p.advertisedRate()
+	for _, v := range p.neighbors {
+		p.ep.Send(Frame{
+			Kind:     FrameMap,
+			Msg:      netmodel.Message{To: v, Sent: p.tick},
+			MapImg:   img,
+			MaxSeen:  p.maxSeen,
+			Rate:     rate,
+			Sessions: sessions,
+		})
+	}
+}
+
+// advertisedRate is the R(j) this peer offers a neighbor: its full
+// outbound in the shared-capacity substrate, out/LinkShare (floored at
+// one segment per period) in the paper's per-link model — the same
+// values the simulator's buildView computes from shared memory.
+func (p *peer) advertisedRate() float64 {
+	if p.par.sharedOut {
+		return p.out.Rate()
+	}
+	r := p.out.Rate() / float64(p.par.linkShare)
+	if floor := 1 / p.par.tau; r < floor {
+		r = floor
+	}
+	return r
+}
+
+// linkCapFor estimates a supplier's per-link per-period grant capacity
+// from its advertised rate.
+func (p *peer) linkCapFor(rate float64) int {
+	c := int(rate*p.par.tau + 1e-9)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// plan_ runs the scheduler against the decoded neighbor views and
+// issues this period's pull requests. (Named with a trailing underscore
+// only to dodge the plan scratch field.)
+func (p *peer) plan_() {
+	if p.isSource || p.profile.In <= 0 || p.in.Available() < 1 {
+		return
+	}
+	p.env = core.Env{
+		Tau:       p.par.tau,
+		P:         p.par.p,
+		Q:         float64(p.par.q),
+		Inbound:   p.profile.In,
+		Playhead:  p.pb.WindowLo(),
+		Suppliers: p.env.Suppliers[:0],
+	}
+	supIDs := p.env.Suppliers[:0]
+	maxAdvert := segment.None
+	supOf := make([]overlay.NodeID, 0, len(p.neighbors))
+	for _, v := range p.neighbors {
+		view, ok := p.views[v]
+		if !ok || view.period < p.tick-viewTTLPeriods || view.m == nil {
+			continue // never heard from it, or the link has gone silent
+		}
+		if len(supIDs) == core.MaxSuppliers {
+			break
+		}
+		if view.maxSeen > maxAdvert {
+			maxAdvert = view.maxSeen
+		}
+		supIDs = append(supIDs, core.Supplier{ID: core.SupplierID(v), Rate: view.rate, View: view.m})
+		supOf = append(supOf, v)
+	}
+	p.env.Suppliers = supIDs
+	if maxAdvert == segment.None {
+		return
+	}
+
+	// The shared per-node protocol core: session discovery and the two
+	// undelivered request windows, with in-flight requests excluded.
+	p.pb.Discover(p.sessions, maxAdvert)
+	p.granted = p.granted[:0]
+	for seg := range p.requested {
+		p.granted = append(p.granted, seg)
+	}
+	p.needOld, p.needNew = p.pb.NeedWindows(p.buf, p.sessions, maxAdvert,
+		p.par.bufferCap, p.par.qs, p.granted, p.needOld, p.needNew)
+	if len(p.needOld) == 0 && len(p.needNew) == 0 {
+		return
+	}
+	p.env.NeedOld, p.env.NeedNew = p.needOld, p.needNew
+
+	p.algo.Plan(&p.env, &p.plan)
+	for _, req := range p.plan.Requests {
+		if p.in.Available() < 1 {
+			break
+		}
+		if _, dup := p.requested[req.Segment]; dup {
+			continue
+		}
+		p.request(req.Segment, overlay.NodeID(req.Supplier))
+	}
+	if !p.par.disablePrefetch {
+		p.prefetch(supOf)
+	}
+}
+
+// request spends one inbound token on a pull request.
+func (p *peer) request(seg segment.ID, sup overlay.NodeID) {
+	p.in.Take(1)
+	p.requested[seg] = p.tick
+	p.reqPer[sup]++
+	p.ep.Send(Frame{Kind: FrameRequest, Msg: netmodel.Message{To: sup, Seg: seg, Sent: p.tick}})
+}
+
+// prefetch spends leftover inbound budget on uniformly random missing
+// segments of the current stream — the data-driven-mesh substrate
+// behavior, identical in role to the simulator's prefetch (random
+// useful-piece selection keeps neighborhood holdings diverse).
+func (p *peer) prefetch(sups []overlay.NodeID) {
+	budget := p.in.Available()
+	if budget <= 0 {
+		return
+	}
+	pool := append(p.pool[:0], p.needOld...)
+	p.pool = pool
+	for k := 0; k < len(pool) && budget > 0; k++ {
+		j := k + p.rng.Intn(len(pool)-k)
+		pool[k], pool[j] = pool[j], pool[k]
+		id := pool[k]
+		if _, dup := p.requested[id]; dup {
+			continue
+		}
+		sup := p.pickSupplier(sups, id)
+		if sup < 0 {
+			continue
+		}
+		p.request(id, sup)
+		budget--
+	}
+}
+
+// pickSupplier chooses a uniformly random supplier advertising the
+// segment with per-link request headroom; -1 if none.
+func (p *peer) pickSupplier(sups []overlay.NodeID, id segment.ID) overlay.NodeID {
+	best := overlay.NodeID(-1)
+	count := 0
+	for _, v := range sups {
+		view := p.views[v]
+		if view == nil || view.m == nil || !view.m.Has(id) {
+			continue
+		}
+		if !p.par.sharedOut && p.reqPer[v] >= p.linkCapFor(view.rate) {
+			continue
+		}
+		count++
+		if p.rng.Intn(count) == 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// handleFrame processes one inbound frame.
+func (p *peer) handleFrame(f Frame) {
+	if !p.alive {
+		return
+	}
+	switch f.Kind {
+	case FrameMap:
+		p.handleMap(f)
+	case FrameRequest:
+		p.serve(f.Msg.From, f.Msg.Seg)
+	case FrameDeny:
+		p.handleDeny(f.Msg.From, f.Msg.Seg)
+	case FrameData:
+		p.handleData(f.Msg.Seg)
+	}
+}
+
+// handleMap decodes a neighbor's advertisement and merges its session
+// gossip.
+func (p *peer) handleMap(f Frame) {
+	m, err := buffer.DecodeMap(f.MapImg, p.par.bufferCap)
+	if err != nil {
+		return
+	}
+	p.views[f.Msg.From] = &neighborView{m: m, maxSeen: f.MaxSeen, rate: f.Rate, period: p.tick}
+	p.mapBits += p.par.wireBits
+	p.mergeSessions(f.Sessions)
+}
+
+// mergeSessions folds gossiped timeline knowledge into the local copy.
+// Sessions are created by one authority (the runner's control plane),
+// so lists agree on their common prefix; merging only appends newly
+// learned sessions and closes ones the sender has seen end.
+func (p *peer) mergeSessions(remote []SessionInfo) {
+	for i, rs := range remote {
+		if i < len(p.sessions) {
+			if p.sessions[i].Open() && rs.End != segment.None {
+				p.sessions[i].End = rs.End
+			}
+			continue
+		}
+		p.sessions = append(p.sessions, segment.Session{Source: segment.SourceID(rs.Source), Begin: rs.Begin, End: rs.End})
+	}
+}
+
+// serve answers one pull request: grant under this period's capacity,
+// deny otherwise. The requester's own state is unknown here — unlike
+// the simulator's serve phase, a live supplier cannot read the
+// requester's budget, so over-subscription resolves at the requester
+// (duplicate data is dropped on arrival).
+func (p *peer) serve(from overlay.NodeID, seg segment.ID) {
+	grant := p.buf.Has(seg)
+	if grant {
+		if p.par.sharedOut {
+			grant = p.out.Take(1)
+		} else if p.grantsOut[from] < p.linkCapFor(p.advertisedRate()) {
+			p.grantsOut[from]++
+		} else {
+			grant = false
+		}
+	}
+	kind := FrameData
+	if !grant {
+		kind = FrameDeny
+	}
+	p.ep.Send(Frame{Kind: kind, Msg: netmodel.Message{To: from, Seg: seg, Sent: p.tick}})
+}
+
+// handleDeny refunds the inbound token and retries the segment at an
+// alternate supplier, at most denyRetryCap suppliers per period.
+func (p *peer) handleDeny(from overlay.NodeID, seg segment.ID) {
+	if _, ok := p.requested[seg]; !ok {
+		return // stale deny from a previous period
+	}
+	p.denies++
+	denied := append(p.deniedBy[seg], from)
+	p.deniedBy[seg] = denied
+	if len(denied) < denyRetryCap {
+		if alt := p.alternateSupplier(seg, denied); alt >= 0 {
+			p.requested[seg] = p.tick
+			p.reqPer[alt]++
+			p.ep.Send(Frame{Kind: FrameRequest, Msg: netmodel.Message{To: alt, Seg: seg, Sent: p.tick}})
+			return
+		}
+	}
+	delete(p.requested, seg)
+	p.in.Refund(1)
+}
+
+// alternateSupplier picks a random fresh-view neighbor advertising the
+// segment that has not denied it this period.
+func (p *peer) alternateSupplier(seg segment.ID, denied []overlay.NodeID) overlay.NodeID {
+	best := overlay.NodeID(-1)
+	count := 0
+outer:
+	for _, v := range p.neighbors {
+		view := p.views[v]
+		if view == nil || view.m == nil || view.period < p.tick-viewTTLPeriods || !view.m.Has(seg) {
+			continue
+		}
+		for _, d := range denied {
+			if d == v {
+				continue outer
+			}
+		}
+		count++
+		if p.rng.Intn(count) == 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// handleData lands one granted segment.
+func (p *peer) handleData(seg segment.ID) {
+	delete(p.requested, seg)
+	if p.buf.Has(seg) {
+		p.dupes++ // over-subscription resolved here, not at the supplier
+		return
+	}
+	p.buf.Insert(seg)
+	if seg > p.maxSeen {
+		p.maxSeen = seg
+	}
+	p.dataBits += bandwidth.BitsForSegments(1)
+}
+
+// handleCtrl applies one control message; false means quit.
+func (p *peer) handleCtrl(c ctrlMsg) bool {
+	switch c.kind {
+	case ctrlBecomeSource:
+		p.sessions = append(p.sessions[:0], c.sessions...)
+		p.mySession = len(p.sessions) - 1
+		p.nextGen = p.sessions[p.mySession].Begin
+		p.isSource = true
+		p.alive = true
+		p.profile = bandwidth.SourceProfile(p.par.sourceOutFactor)
+		p.in.SetRate(0)
+		p.out.SetRate(p.profile.Out)
+		p.pb.Active = false
+		p.pb.Known = len(p.sessions)
+	case ctrlStopSource:
+		end := p.nextGen - 1
+		if p.mySession >= 0 && p.mySession < len(p.sessions) && p.sessions[p.mySession].Open() {
+			p.sessions[p.mySession].End = end
+		}
+		c.reply <- end
+	case ctrlDemote:
+		p.isSource = false
+		p.mySession = -1
+		p.profile = bandwidth.Profile{In: p.base.In * p.bwFactor, Out: p.base.Out * p.bwFactor}
+		p.in.SetRate(p.profile.In)
+		p.out.SetRate(p.profile.Out)
+		p.sessions = append(p.sessions[:0], c.sessions...)
+		p.adoptPosition(c.anchor)
+	case ctrlNeighbors:
+		p.neighbors = append(p.neighbors[:0], c.neighbors...)
+		for v := range p.views {
+			if !containsNode(p.neighbors, v) {
+				delete(p.views, v)
+			}
+		}
+	case ctrlBandwidth:
+		p.bwFactor = c.factor
+		if !p.isSource {
+			p.profile = bandwidth.Profile{In: p.base.In * c.factor, Out: p.base.Out * c.factor}
+			p.in.SetRate(p.profile.In)
+			p.out.SetRate(p.profile.Out)
+		}
+	case ctrlQuit:
+		p.ep.Close()
+		return false
+	}
+	return true
+}
+
+// adoptPosition rejoins playback at anchor — the Section 5.4 "follow
+// its neighbors' current steps" rule, shared with the simulator's
+// adoptPosition.
+func (p *peer) adoptPosition(anchor segment.ID) {
+	idx, known := 0, 1
+	for i, s := range p.sessions {
+		if s.Contains(anchor) {
+			idx, known = i, i+1
+			break
+		}
+	}
+	p.pb = sim.NewPlayback(anchor, idx, known)
+}
+
+func containsNode(list []overlay.NodeID, v overlay.NodeID) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// makeReport flushes the period accumulators.
+func (p *peer) makeReport(tick int) report {
+	r := report{
+		id:       p.id,
+		period:   tick,
+		alive:    p.alive,
+		isSource: p.isSource,
+		played:   p.played,
+		stalled:  p.stalled,
+		mapBits:  p.mapBits,
+		dataBits: p.dataBits,
+		maxSeen:  p.maxSeen,
+		windowLo: p.pb.WindowLo(),
+		started:  p.started,
+		finished: p.finished,
+		dupes:    p.dupes,
+		denies:   p.denies,
+	}
+	if len(p.newlyPrepared) > 0 {
+		r.prepared = append([]int(nil), p.newlyPrepared...)
+	}
+	p.played, p.stalled = 0, 0
+	p.mapBits, p.dataBits = 0, 0
+	p.started, p.finished = -1, -1
+	p.newlyPrepared = p.newlyPrepared[:0]
+	p.dupes, p.denies = 0, 0
+	return r
+}

@@ -1,0 +1,12 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports that this binary was built with the race
+// detector: the wall-clock parity and UDP end-to-end scenarios skip
+// themselves there (a saturated 1-CPU race build overflows kernel
+// socket buffers and stretches every period — a load artifact, not a
+// concurrency question; the event-alphabet smoke covers the
+// concurrent machinery under race, and CI runs these scenarios in a
+// race-free step).
+const raceEnabled = true

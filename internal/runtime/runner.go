@@ -1,0 +1,480 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gossipstream/internal/bandwidth"
+	"gossipstream/internal/bitfield"
+	"gossipstream/internal/membership"
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/segment"
+	"gossipstream/internal/sim"
+)
+
+// Options tune a live run.
+type Options struct {
+	// Transport carries the frames; nil selects the in-process channel
+	// transport. The runner owns the transport and closes it.
+	Transport Transport
+	// TimeScale compresses scenario time onto the wall clock: a run at
+	// TimeScale 50 executes one τ=1s scheduling period every 20ms of
+	// wall time. 0 selects the default (50). 1 is real time — the pace
+	// an actual deployment would run at.
+	TimeScale float64
+}
+
+// DefaultTimeScale is the time compression a live run uses when
+// Options.TimeScale is zero.
+const DefaultTimeScale = 50
+
+// LiveStats describes how the wall-clock execution went — the numbers
+// that have no simulator counterpart.
+type LiveStats struct {
+	// WallDuration is the elapsed wall time of the run.
+	WallDuration time.Duration
+	// Periods is the number of scheduling periods executed.
+	Periods int
+	// Overruns counts periods whose processing outlasted the configured
+	// period length (the scheduler stretches rather than dropping
+	// ticks, so overruns slow the wall clock but do not skew the
+	// scenario-time metrics).
+	Overruns int
+	// Transport is the cumulative data-plane account.
+	Transport TransportStats
+}
+
+// peerHandle is the runner's view of one spawned peer.
+type peerHandle struct {
+	p        *peer
+	running  bool // goroutine live (false after quit)
+	active   bool // participating (past its staggered start, not dead)
+	isSource bool // holds or held the source role (cleared by demote)
+}
+
+// Runner executes one scenario as a live system: peers as goroutines
+// wired by a Transport, a wall-clock scheduler in place of the
+// simulator's tick loop, and the scenario's event timeline fired on the
+// wall clock through the control plane and the transport's LinkPolicy.
+// It collects the same SwitchMetrics windows the simulator reports, in
+// scenario seconds, so sim and live runs of one scenario read
+// identically.
+type Runner struct {
+	sc  *scenario.Scenario
+	cfg sim.Config // the defaulted simulator compilation of sc
+	par peerParams
+	opt Options
+
+	factory sim.AlgorithmFactory
+
+	tr     Transport
+	policy *lockedPolicy // nil without the network model
+
+	g   *overlay.Graph
+	dir *membership.Directory
+
+	rng      *rand.Rand // structural decisions (successor picks, partition seeds)
+	churnRNG *rand.Rand // churn victim/joiner profile draws
+
+	timeline []segment.Session
+
+	events    []sim.Event
+	nextEvent int
+	duration  int
+	earlyExit bool
+
+	peers   map[overlay.NodeID]*peerHandle
+	lastRep map[overlay.NodeID]report
+	reports chan report
+
+	lastRetired overlay.NodeID
+	burst       *sim.ChurnConfig
+	burstUntil  int
+	bwFactor    float64
+
+	tick int
+	ran  bool
+	err  error
+
+	win liveWindow
+	res *sim.Result
+
+	stats LiveStats
+}
+
+// FromScenario compiles a scenario into a live run, reusing the exact
+// sim.Config the simulator would execute — one compilation path
+// (scenario.Scenario.Config), so topology, profiles, parameters and
+// the event timeline cannot drift between the two backends — and
+// binding it to a transport instead of the phase pipeline. The
+// scenario's tick schedule becomes a wall-clock schedule at
+// Options.TimeScale.
+func FromScenario(sc *scenario.Scenario, factory sim.AlgorithmFactory, opt Options) (*Runner, error) {
+	if factory == nil {
+		factory = sim.Fast
+	}
+	if opt.TimeScale == 0 {
+		opt.TimeScale = DefaultTimeScale
+	}
+	if opt.TimeScale < 0 {
+		return nil, fmt.Errorf("runtime: negative TimeScale %v", opt.TimeScale)
+	}
+	cfg, err := sc.Config(factory)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.Defaulted()
+	g := cfg.Graph
+
+	// The membership view target, inferred from the augmented topology's
+	// minimum degree exactly like the simulator's neighborTarget.
+	m := g.MinDegree()
+	if m < 1 {
+		m = 5
+	}
+	par := peerParams{
+		tau:             cfg.Tau,
+		p:               cfg.P,
+		q:               cfg.Q,
+		qs:              cfg.Qs,
+		bufferCap:       cfg.BufferCap,
+		linkShare:       cfg.LinkShare,
+		sharedOut:       cfg.SharedOutbound,
+		sourceOutFactor: cfg.SourceOutFactor,
+		disablePrefetch: cfg.DisablePrefetch,
+		perTick:         int(cfg.P*cfg.Tau + 1e-9),
+		wireBits:        int64(bitfield.WireBits(cfg.BufferCap)),
+	}
+
+	transport := opt.Transport
+	if transport == nil {
+		transport = NewChanTransport(sc.Seed ^ 0x11fe)
+	}
+	r := &Runner{
+		sc:          sc,
+		cfg:         cfg,
+		par:         par,
+		opt:         opt,
+		factory:     factory,
+		tr:          transport,
+		g:           g,
+		dir:         membership.NewDirectory(g, m, rand.New(rand.NewSource(sc.Seed^0x3a11ce))),
+		rng:         rand.New(rand.NewSource(sc.Seed)),
+		churnRNG:    rand.New(rand.NewSource(sc.Seed ^ 0x5eed_c0de)),
+		peers:       make(map[overlay.NodeID]*peerHandle),
+		lastRep:     make(map[overlay.NodeID]report),
+		reports:     make(chan report, 4096),
+		lastRetired: -1,
+		bwFactor:    1,
+		res:         &sim.Result{Algorithm: factory().Name()},
+	}
+	if cfg.Net != nil {
+		// The same trace-derived delay/loss/partition state machine the
+		// transit phase would drain, shared with the shaped transports.
+		// (QuantizeTicks only affects the heap path the live runtime
+		// never calls; the wall clock is continuous by nature.)
+		r.policy = &lockedPolicy{m: netmodel.New(*cfg.Net, cfg.Tau)}
+		transport.SetPolicy(r.policy)
+	}
+
+	r.events = cfg.Script.Events
+	sortEvents(r.events)
+	r.earlyExit = cfg.Script.Duration == 0
+	r.duration = cfg.Script.Duration
+	if r.duration <= 0 {
+		r.duration = r.autoDuration()
+	}
+	return r, nil
+}
+
+// sortEvents orders the timeline by tick (stable, like sim.Script).
+func sortEvents(evs []sim.Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Tick < evs[j-1].Tick; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// autoDuration mirrors the simulator's rule: every window gets room to
+// reach its horizon.
+func (r *Runner) autoDuration() int {
+	end := 1
+	for _, ev := range r.events {
+		after := 1
+		switch ev.Kind {
+		case sim.EvSwitchSource:
+			after = ev.Horizon
+			if after <= 0 {
+				after = r.horizonDefault()
+			}
+		case sim.EvMeasureWindow, sim.EvChurnBurst, sim.EvLossBurst:
+			after = ev.Ticks
+		}
+		if t := ev.Tick + after; t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+func (r *Runner) horizonDefault() int { return r.cfg.HorizonTicks }
+
+// Stats returns the wall-clock execution account (valid after Run).
+func (r *Runner) Stats() LiveStats { return r.stats }
+
+// Run spins the peers up, executes the event timeline on the wall
+// clock, and returns the collected Result. Like the simulator, the run
+// ends at the script duration — or earlier, once every event fired and
+// every measurement window closed, when the duration was auto-derived.
+func (r *Runner) Run() (*sim.Result, error) {
+	if r.ran {
+		return nil, fmt.Errorf("runtime: Run called twice")
+	}
+	r.ran = true
+	start := time.Now()
+	defer func() {
+		r.stats.WallDuration = time.Since(start)
+		r.stats.Transport = r.tr.Stats()
+		r.shutdown()
+	}()
+
+	if err := r.spawnInitial(); err != nil {
+		return nil, err
+	}
+
+	periodWall := time.Duration(float64(time.Second) * r.par.tau / r.opt.TimeScale)
+	wallPerScenarioMS := 1 / r.opt.TimeScale
+	next := time.Now()
+	for r.tick = 0; r.tick < r.duration; r.tick++ {
+		r.tr.SetTick(r.tick, wallPerScenarioMS)
+		r.fireEvents()
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Pace every running peer through one scheduling period and
+		// collect their reports; the frame exchange itself runs on the
+		// wall clock in the peers' own goroutines.
+		ticked := 0
+		for _, h := range r.peers {
+			if h.running {
+				h.p.tickCh <- tickCmd{n: r.tick}
+				ticked++
+			}
+		}
+		for i := 0; i < ticked; i++ {
+			r.observe(<-r.reports)
+		}
+		r.stats.Periods++
+		r.windowsTick()
+		r.churnStep()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.earlyExit && !r.win.active && r.nextEvent >= len(r.events) {
+			break
+		}
+		next = next.Add(periodWall)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		} else {
+			// The host could not complete the period's work in time:
+			// stretch the wall clock instead of dropping ticks.
+			next = time.Now()
+			r.stats.Overruns++
+		}
+	}
+	if r.win.active {
+		r.closeWindow(r.duration-r.win.openTick, false, true)
+	}
+	r.finalize()
+	return r.res, nil
+}
+
+// spawnInitial builds the whole population from the synthesized trace:
+// the first source streaming from segment 0, everyone else staggered
+// over the scenario's spread — the same assembly the simulator runs.
+func (r *Runner) spawnInitial() error {
+	n := r.g.N()
+	profiles := r.cfg.Profiles
+	if profiles == nil {
+		profiles = bandwidth.Assign(n, rand.New(rand.NewSource(r.sc.Seed^0x0ba5_e5)))
+	}
+	stagger := rand.New(rand.NewSource(r.sc.Seed ^ 0x57a6))
+	spread := r.cfg.JoinSpreadTicks // 0 after Defaulted = simultaneous start
+
+	first := r.cfg.FirstSource
+	if first < 0 {
+		first = minDegreeNode(r.g)
+	}
+	r.timeline = []segment.Session{{Source: segment.SourceID(first), Begin: 0, End: segment.None}}
+
+	for i := 0; i < n; i++ {
+		id := overlay.NodeID(i)
+		startTick := 0
+		if spread > 0 {
+			startTick = stagger.Intn(spread + 1)
+		}
+		spec := spawnSpec{
+			id:        id,
+			profile:   profiles[i],
+			bwFactor:  1,
+			startTick: startTick,
+			neighbors: r.g.Neighbors(id),
+			sessions:  r.timeline,
+			mySession: -1,
+			seed:      r.sc.Seed ^ (int64(id)+1)*0x9e37_79b9,
+			known:     1,
+		}
+		if id == first {
+			spec.isSource = true
+			spec.mySession = 0
+			spec.startTick = 0
+		}
+		if err := r.spawn(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spawn opens a transport endpoint and starts one peer goroutine.
+func (r *Runner) spawn(spec spawnSpec) error {
+	ep, err := r.tr.Open(spec.id)
+	if err != nil {
+		return err
+	}
+	p := newPeer(spec, r.par, r.factory(), ep, r.reports)
+	h := &peerHandle{
+		p:        p,
+		running:  true,
+		active:   spec.startTick == 0 || spec.isSource,
+		isSource: spec.isSource,
+	}
+	r.peers[spec.id] = h
+	go p.run()
+	return nil
+}
+
+// quitPeer stops a peer and removes it from the overlay (membership
+// repair included). The caller refreshes neighbor lists afterwards.
+func (r *Runner) quitPeer(id overlay.NodeID) {
+	h, ok := r.peers[id]
+	if !ok || !h.running {
+		return
+	}
+	h.running = false
+	h.active = false
+	h.p.ctrlCh <- ctrlMsg{kind: ctrlQuit}
+	r.dir.Leave(id)
+	r.cohortDied(id)
+}
+
+// refreshNeighbors pushes every running peer's current adjacency list —
+// the membership service's view — through the control plane.
+func (r *Runner) refreshNeighbors() {
+	for id, h := range r.peers {
+		if !h.running {
+			continue
+		}
+		nbs := append([]overlay.NodeID(nil), r.g.Neighbors(id)...)
+		h.p.ctrlCh <- ctrlMsg{kind: ctrlNeighbors, neighbors: nbs}
+	}
+}
+
+// shutdown stops every peer and the transport.
+func (r *Runner) shutdown() {
+	for _, h := range r.peers {
+		if h.running {
+			h.running = false
+			h.p.ctrlCh <- ctrlMsg{kind: ctrlQuit}
+		}
+	}
+	r.tr.Close()
+}
+
+// observe folds one per-period report into the runner's state and the
+// open measurement window.
+func (r *Runner) observe(rep report) {
+	r.lastRep[rep.id] = rep
+	if h, ok := r.peers[rep.id]; ok && h.running {
+		h.active = rep.alive
+	}
+	r.windowObserve(rep)
+}
+
+// activeListener reports whether a node is a running, arrived,
+// non-source peer — the cohort eligibility rule.
+func (r *Runner) activeListener(id overlay.NodeID) bool {
+	h, ok := r.peers[id]
+	return ok && h.running && h.active && !h.isSource
+}
+
+func (r *Runner) activeCount() int {
+	n := 0
+	for _, h := range r.peers {
+		if h.running && h.active {
+			n++
+		}
+	}
+	return n
+}
+
+// minDegreeNode mirrors the simulator's auto-pick: the lowest-id node
+// of minimum degree holds exactly M neighbors, like the paper's source.
+func minDegreeNode(g *overlay.Graph) overlay.NodeID {
+	best := overlay.NodeID(0)
+	for u := 1; u < g.N(); u++ {
+		if g.Degree(overlay.NodeID(u)) < g.Degree(best) {
+			best = overlay.NodeID(u)
+		}
+	}
+	return best
+}
+
+// lockedPolicy wraps the run's netmodel.Model so transport goroutines
+// (reads) and the runner's event firing (mutations) can share it. It is
+// the live runtime's instance of the transit seam: the same Model state
+// machine the simulator's heaps consult, behind the same LinkPolicy
+// surface.
+type lockedPolicy struct {
+	mu sync.RWMutex
+	m  *netmodel.Model
+}
+
+func (l *lockedPolicy) DelayMS(a, b overlay.NodeID, jitterMS float64) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.m.DelayMS(a, b, jitterMS)
+}
+
+func (l *lockedPolicy) JitterMS() float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.m.JitterMS()
+}
+
+func (l *lockedPolicy) LossProb(tick int) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.m.LossProb(tick)
+}
+
+func (l *lockedPolicy) Blocked(a, b overlay.NodeID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.m.Blocked(a, b)
+}
+
+// mutate runs one event mutation under the write lock.
+func (l *lockedPolicy) mutate(f func(m *netmodel.Model)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f(l.m)
+}
+
+var _ netmodel.LinkPolicy = (*lockedPolicy)(nil)

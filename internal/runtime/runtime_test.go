@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"testing"
+
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+// raceSmokeScenario exercises the full live event alphabet in one short
+// run: handoff, crash, demote round-trip, churn burst, flash crowd,
+// bandwidth shift, latency storm, loss burst, partition and heal — the
+// -race CI scenario for the concurrent machinery (peer goroutines,
+// shaped transport timers, control plane, policy mutation).
+func raceSmokeScenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "live-race-smoke",
+		Desc:        "every live event kind in 90 ticks",
+		Nodes:       50,
+		M:           5,
+		Seed:        3,
+		Spread:      8,
+		Horizon:     25,
+		Net:         true,
+		NetLoss:     0.02,
+		NetJitterMS: 150,
+		ChurnLeave:  0.01,
+		ChurnJoin:   0.01,
+		Duration:    90,
+		Events: []sim.Event{
+			sim.LatencyShiftAt(10, 4),
+			sim.SwitchAt(14, -1),
+			sim.LossBurstAt(16, 8, 0.2),
+			sim.LatencyShiftAt(22, 1),
+			sim.PartitionAt(26, 0.4),
+			sim.HealAt(34),
+			sim.BandwidthShiftAt(38, 0.8),
+			sim.FlashCrowdAt(42, 10, 100),
+			sim.ChurnBurstAt(46, 6, 0.05, 0.05),
+			// Demote the first retired speaker back to listener duty
+			// before the crash retires (and kills) the second one.
+			sim.DemoteAt(50, -1),
+			sim.CrashAt(52, -1),
+			sim.BandwidthShiftAt(74, 1.0),
+			sim.MeasureAt(76, 10),
+		},
+	}
+}
+
+// TestLiveEventAlphabetSmoke runs the kitchen-sink scenario on the
+// channel transport and checks the run survives with sane metrics.
+// This is the CI -race job's main target.
+func TestLiveEventAlphabetSmoke(t *testing.T) {
+	sc := raceSmokeScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("smoke scenario invalid: %v", err)
+	}
+	r, err := FromScenario(sc, sim.Fast, Options{TimeScale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3 (handoff, crash, measure)", len(res.Windows))
+	}
+	for _, w := range res.Windows {
+		if w.Cohort == 0 {
+			t.Errorf("window %d: empty cohort", w.Window)
+		}
+		if w.PlayedSegments == 0 {
+			t.Errorf("window %d: nothing played", w.Window)
+		}
+	}
+	if res.Windows[0].Kind != "switch" || res.Windows[1].Failure != true || res.Windows[2].Kind != "measure" {
+		t.Errorf("window shapes: %s / %s / %s", res.Windows[0], res.Windows[1], res.Windows[2])
+	}
+	st := r.Stats()
+	if st.Transport.DataDelivered == 0 {
+		t.Error("no data frames delivered")
+	}
+	if st.Transport.DataLost == 0 {
+		t.Error("a 2% lossy run with a partition lost nothing — shaping is not wired")
+	}
+	if st.Periods != 90 {
+		t.Errorf("ran %d periods, want the explicit duration 90", st.Periods)
+	}
+}
+
+// TestLiveUDPScenario runs a short lossless scenario over real UDP
+// loopback sockets end to end.
+func TestLiveUDPScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("udp scenario run takes a few seconds")
+	}
+	if raceEnabled {
+		t.Skip("udp under the race detector drops datagrams to kernel-buffer pressure (see race_on_test.go)")
+	}
+	sc := scenario.PaperSingleSwitch().Scaled(40)
+	tr := NewUDPTransport(9)
+	r, err := FromScenario(sc, sim.Fast, Options{Transport: tr, TimeScale: 100})
+	if err != nil {
+		t.Skipf("udp transport unavailable: %v", err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 1 || res.Windows[0].Kind != "switch" {
+		t.Fatalf("windows: %v", res.Windows)
+	}
+	w := res.Windows[0]
+	if w.Cohort == 0 || len(w.PrepareS2Times) == 0 || w.PlayedSegments == 0 {
+		t.Fatalf("empty metrics over udp: %s", w)
+	}
+	if st := r.Stats().Transport; st.DataDelivered == 0 {
+		t.Fatal("no datagrams delivered")
+	}
+}
+
+// TestLiveRunTwiceFails pins the one-shot contract.
+func TestLiveRunTwiceFails(t *testing.T) {
+	sc := scenario.PaperSingleSwitch().Scaled(20)
+	sc.Events = []sim.Event{sim.SwitchAt(3, -1)}
+	sc.Spread = 0
+	sc.Horizon = 5
+	r, err := FromScenario(sc, sim.Fast, Options{TimeScale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

@@ -1,0 +1,231 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+)
+
+// FrameKind distinguishes the payloads peers exchange on the wire.
+type FrameKind uint8
+
+// The live protocol's frame alphabet. Data frames carry exactly the
+// netmodel.Message shape the simulator's transit phase drains; the
+// control-plane frames (map, request, deny) are the parts of the gossip
+// protocol the simulator resolves in shared memory.
+const (
+	// FrameMap is the periodic buffer-map advertisement: the 620-bit
+	// availability image plus the sender's high-water mark, advertised
+	// supplier rate, and known session timeline (the paper's
+	// synchronization metadata rides on the map exchange).
+	FrameMap FrameKind = iota + 1
+	// FrameRequest pulls one segment (Msg.Seg) from the destination.
+	FrameRequest
+	// FrameDeny answers a request the supplier had no capacity (or no
+	// copy) for; the requester refunds its inbound budget and may retry
+	// at another supplier.
+	FrameDeny
+	// FrameData lands one granted segment — the live counterpart of the
+	// simulator's in-flight Message popping due.
+	FrameData
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameMap:
+		return "map"
+	case FrameRequest:
+		return "request"
+	case FrameDeny:
+		return "deny"
+	case FrameData:
+		return "data"
+	}
+	return "frame(?)"
+}
+
+// SessionInfo is one timeline session as gossiped on map frames.
+type SessionInfo struct {
+	Source overlay.NodeID
+	Begin  segment.ID
+	End    segment.ID // segment.None while the session is open
+}
+
+// Frame is one unit on a live transport. Msg carries the shared
+// netmodel.Message shape on every frame (From and To always; Seg for
+// request/deny/data; Sent is the sender's scheduling period); the
+// remaining fields are the FrameMap payload.
+type Frame struct {
+	Kind FrameKind
+	Msg  netmodel.Message
+
+	// Map payload (FrameMap only). The availability window's anchor id
+	// rides inside MapImg (the wire image's 20-bit anchor field).
+	MapImg   []byte // buffer.Map wire image (620 bits for B=600)
+	MaxSeen  segment.ID
+	Rate     float64 // advertised supplier rate R(j), segments/second
+	Sessions []SessionInfo
+}
+
+// Endpoint is one node's attachment to a Transport: an outbox that
+// shapes and routes frames, and an inbox channel the peer goroutine
+// selects on. Send never blocks — a frame to a full inbox, a detached
+// destination or across a severed link is dropped, exactly like a
+// datagram.
+type Endpoint interface {
+	// Send queues one frame for delivery to f.Msg.To.
+	Send(f Frame)
+	// Recv is the endpoint's inbox. It is never closed; peers exit via
+	// their control channel, not by observing transport shutdown.
+	Recv() <-chan Frame
+	// Close detaches the endpoint: subsequent frames to this node are
+	// dropped.
+	Close()
+}
+
+// Transport wires a set of node endpoints together. Implementations
+// must support concurrent Send from many peer goroutines and mid-run
+// Open (churn joiners). The delay/loss/partition behavior of a
+// transport comes from the installed netmodel.LinkPolicy — the same
+// policy object the simulator's heaps consult, mutated live by scenario
+// events (latency shifts, loss bursts, partitions) through the runner.
+type Transport interface {
+	// Open attaches a node and returns its endpoint. Opening an id
+	// twice replaces the previous attachment.
+	Open(id overlay.NodeID) (Endpoint, error)
+	// SetPolicy installs the delay/loss/partition policy (nil: deliver
+	// everything immediately — the raw transport).
+	SetPolicy(p netmodel.LinkPolicy)
+	// SetTick publishes the current scheduling period to the policy
+	// clock (loss bursts are tick-bounded) and the wall-milliseconds
+	// that correspond to one scenario millisecond (time compression for
+	// shaped delays).
+	SetTick(tick int, wallPerScenarioMS float64)
+	// Stats returns cumulative data-plane counters.
+	Stats() TransportStats
+	// Close shuts the transport down; in-flight shaped frames are
+	// dropped.
+	Close()
+}
+
+// TransportStats counts the data plane (FrameData only — maps, requests
+// and denies are control traffic, accounted in bits by the peers).
+// DelayScenarioMS sums the shaped (scenario-time) delay of delivered
+// data frames; it stays zero on an unshaped transport, where the real
+// network provides the delay.
+type TransportStats struct {
+	DataSent        int64
+	DataDelivered   int64
+	DataLost        int64 // policy loss draws + severed links
+	DelayScenarioMS float64
+}
+
+// shaper applies a netmodel.LinkPolicy to frames on the wall clock: the
+// transit seam's second consumer. Data frames are delayed by
+// DelayMS (compressed into wall time) and subjected to the loss draw;
+// every frame kind respects partitions, mirroring the simulator (buffer
+// maps and requests stop crossing a severed link, but only data
+// messages are lossy). The zero shaper (nil policy) delivers everything
+// immediately.
+type shaper struct {
+	mu      sync.Mutex
+	policy  netmodel.LinkPolicy
+	rng     *rand.Rand
+	tick    int
+	wallPer float64 // wall ms per scenario ms (1/TimeScale scaling folded in)
+	stopped bool
+}
+
+func newShaper(seed int64) *shaper {
+	return &shaper{rng: rand.New(rand.NewSource(seed)), wallPer: 1}
+}
+
+func (s *shaper) setPolicy(p netmodel.LinkPolicy) {
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
+func (s *shaper) setTick(tick int, wallPerScenarioMS float64) {
+	s.mu.Lock()
+	s.tick = tick
+	s.wallPer = wallPerScenarioMS
+	s.mu.Unlock()
+}
+
+func (s *shaper) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// route decides one frame's fate: blocked (drop now), or deliver after
+// a wall-clock delay (0 for control frames and unshaped transports).
+// The loss draw happens at delivery time — like the transit phase's
+// pop — so a partition or loss burst that begins mid-flight still
+// catches the frame. deliver runs on the caller's goroutine for
+// immediate frames and on a timer goroutine for delayed ones.
+func (s *shaper) route(f Frame, deliver func(Frame)) (sent bool) {
+	s.mu.Lock()
+	p := s.policy
+	if s.stopped || (p != nil && p.Blocked(f.Msg.From, f.Msg.To)) {
+		s.mu.Unlock()
+		return false
+	}
+	var wallDelay time.Duration
+	if p != nil && f.Kind == FrameData {
+		jitter := 0.0
+		if j := p.JitterMS(); j > 0 {
+			jitter = s.rng.Float64() * j
+		}
+		scenarioMS := p.DelayMS(f.Msg.From, f.Msg.To, jitter)
+		f.Msg.ArrivalMS = scenarioMS // record the shaped delay on the message
+		wallDelay = time.Duration(scenarioMS * s.wallPer * float64(time.Millisecond))
+	}
+	s.mu.Unlock()
+	if wallDelay <= 0 {
+		s.land(f, deliver)
+		return true
+	}
+	// In-flight timers are not drained on shutdown: land re-checks the
+	// stopped flag, so frames delayed past Close simply evaporate (the
+	// documented drop-on-close semantics).
+	time.AfterFunc(wallDelay, func() { s.land(f, deliver) })
+	return true
+}
+
+// land applies the delivery-time policy checks (partition, loss) and
+// hands surviving frames to deliver.
+func (s *shaper) land(f Frame, deliver func(Frame)) {
+	s.mu.Lock()
+	p := s.policy
+	stopped := s.stopped
+	dropped := false
+	if !stopped && p != nil {
+		if p.Blocked(f.Msg.From, f.Msg.To) {
+			dropped = true
+		} else if f.Kind == FrameData {
+			if loss := p.LossProb(s.tick); loss > 0 && s.rng.Float64() < loss {
+				dropped = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if stopped || dropped {
+		if f.Kind == FrameData && !stopped {
+			deliver(Frame{Kind: frameDropped, Msg: f.Msg})
+		}
+		return
+	}
+	deliver(f)
+}
+
+// frameDropped is the internal sentinel land hands to the transport's
+// deliver hook for a lost data frame, so stats can count it; it never
+// reaches a peer inbox.
+const frameDropped FrameKind = 0

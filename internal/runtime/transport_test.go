@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+)
+
+// recvOne pops a frame from the endpoint with a deadline.
+func recvOne(t *testing.T, ep Endpoint, what string) Frame {
+	t.Helper()
+	select {
+	case f := <-ep.Recv():
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return Frame{}
+	}
+}
+
+func TestChanTransportDelivery(t *testing.T) {
+	tr := NewChanTransport(1)
+	defer tr.Close()
+	a, _ := tr.Open(1)
+	b, _ := tr.Open(2)
+
+	a.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: 2, Seg: 7}})
+	f := recvOne(t, b, "data frame")
+	if f.Kind != FrameData || f.Msg.From != 1 || f.Msg.Seg != 7 {
+		t.Fatalf("got %+v", f)
+	}
+	st := tr.Stats()
+	if st.DataSent != 1 || st.DataDelivered != 1 || st.DataLost != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// A detached destination swallows frames without error.
+	b.Close()
+	a.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: 2, Seg: 8}})
+	if st := tr.Stats(); st.DataDelivered != 1 {
+		t.Fatalf("delivered to closed endpoint: %+v", st)
+	}
+}
+
+func TestChanTransportPolicyLossAndSever(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	a, _ := tr.Open(1)
+	b, _ := tr.Open(2)
+
+	// Total loss: data frames die, control frames (maps) still flow —
+	// the simulator's convention (loss draws cover granted segments,
+	// not the map exchange).
+	tr.SetPolicy(netmodel.Flat{Loss: 0.999999999})
+	a.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: 2, Seg: 1}})
+	a.Send(Frame{Kind: FrameMap, Msg: netmodel.Message{To: 2}})
+	if f := recvOne(t, b, "map frame"); f.Kind != FrameMap {
+		t.Fatalf("expected the map to survive total data loss, got %s", f.Kind)
+	}
+	if st := tr.Stats(); st.DataLost != 1 || st.DataDelivered != 0 {
+		t.Fatalf("loss stats %+v", st)
+	}
+
+	// A partition severs everything, maps included, in both directions.
+	model := netmodel.New(netmodel.Config{}, 1)
+	model.Partition(0.5, 12345)
+	sideA, sideB := overlay.NodeID(-1), overlay.NodeID(-1)
+	for id := overlay.NodeID(1); id < 100; id++ {
+		if model.Side(id) == 0 && sideA < 0 {
+			sideA = id
+		}
+		if model.Side(id) == 1 && sideB < 0 {
+			sideB = id
+		}
+	}
+	tr.SetPolicy(model)
+	x, _ := tr.Open(sideA)
+	y, _ := tr.Open(sideB)
+	x.Send(Frame{Kind: FrameMap, Msg: netmodel.Message{To: sideB}})
+	x.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: sideB, Seg: 2}})
+	select {
+	case f := <-y.Recv():
+		t.Fatalf("frame %s crossed an active partition", f.Kind)
+	case <-time.After(50 * time.Millisecond):
+	}
+	model.Heal()
+	x.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: sideB, Seg: 3}})
+	if f := recvOne(t, y, "post-heal data"); f.Msg.Seg != 3 {
+		t.Fatalf("got %+v", f)
+	}
+}
+
+func TestChanTransportShapedDelay(t *testing.T) {
+	tr := NewChanTransport(3)
+	defer tr.Close()
+	a, _ := tr.Open(1)
+	b, _ := tr.Open(2)
+	// 40 scenario-ms links at 1 wall-ms per scenario-ms: the frame must
+	// arrive delayed, carrying its shaped delay on ArrivalMS.
+	tr.SetPolicy(netmodel.Flat{Delay: 40})
+	tr.SetTick(0, 1)
+	start := time.Now()
+	a.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: 2, Seg: 9}})
+	f := recvOne(t, b, "delayed data")
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("shaped frame arrived after %v, want >= ~40ms", elapsed)
+	}
+	if f.Msg.ArrivalMS != 40 {
+		t.Fatalf("ArrivalMS = %v, want 40", f.Msg.ArrivalMS)
+	}
+	st := tr.Stats()
+	if st.DelayScenarioMS != 40 {
+		t.Fatalf("delay sum %v, want 40", st.DelayScenarioMS)
+	}
+}
+
+func TestUDPTransportLoopback(t *testing.T) {
+	tr := NewUDPTransport(4)
+	a, err := tr.Open(1)
+	if err != nil {
+		t.Skipf("udp bind unavailable: %v", err)
+	}
+	defer tr.Close()
+	b, _ := tr.Open(2)
+
+	a.Send(Frame{Kind: FrameRequest, Msg: netmodel.Message{To: 2, Seg: 55, Sent: 3}})
+	f := recvOne(t, b, "udp request")
+	if f.Kind != FrameRequest || f.Msg.From != 1 || f.Msg.Seg != 55 || f.Msg.Sent != 3 {
+		t.Fatalf("got %+v", f)
+	}
+	b.Send(Frame{Kind: FrameData, Msg: netmodel.Message{To: 1, Seg: 55}})
+	if f := recvOne(t, a, "udp data"); f.Kind != FrameData || f.Msg.Seg != 55 {
+		t.Fatalf("got %+v", f)
+	}
+	if st := tr.Stats(); st.DataSent != 1 || st.DataDelivered != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,206 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+)
+
+// UDPTransport carries frames as binary datagrams over real UDP
+// sockets: one loopback socket per node, an address book mapping node
+// ids to socket addresses, and a reader goroutine per socket decoding
+// datagrams into the node's inbox. It is the deployment-shaped
+// transport — everything that crosses a node boundary is a real
+// serialized datagram subject to the kernel's network stack — while the
+// peers themselves still run as goroutines of one process (the address
+// book is in-process state; a multi-host runtime would distribute it).
+//
+// Shaping composes: with a LinkPolicy installed, data frames are
+// delayed before the socket write and the loss/partition draws apply on
+// top of whatever the real network does. The raw configuration (nil
+// policy) lets loopback provide its own (near-zero) delay — the
+// delivery-ratio parity configuration; a WAN-parameterized Model makes
+// localhost behave like the traced swarm.
+type UDPTransport struct {
+	mu     sync.RWMutex
+	nodes  map[overlay.NodeID]*udpNode
+	addrs  map[overlay.NodeID]*net.UDPAddr
+	shape  *shaper
+	closed bool
+
+	dataSent      atomic.Int64
+	dataDelivered atomic.Int64
+	dataLost      atomic.Int64
+	delayMu       sync.Mutex
+	delaySum      float64 // scenario ms
+
+	wg sync.WaitGroup
+}
+
+type udpNode struct {
+	conn  *net.UDPConn
+	inbox chan Frame
+}
+
+// NewUDPTransport returns an empty UDP transport; seed drives the
+// shaping draws.
+func NewUDPTransport(seed int64) *UDPTransport {
+	return &UDPTransport{
+		nodes: make(map[overlay.NodeID]*udpNode),
+		addrs: make(map[overlay.NodeID]*net.UDPAddr),
+		shape: newShaper(seed),
+	}
+}
+
+// Open binds a loopback UDP socket for the node and starts its reader.
+func (t *UDPTransport) Open(id overlay.NodeID) (Endpoint, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	if err != nil {
+		return nil, fmt.Errorf("runtime: udp bind for node %d: %w", id, err)
+	}
+	// Generous kernel buffers: a time-compressed run bursts a whole
+	// period's frames at once, and a reader goroutine on a loaded host
+	// may lag behind the socket.
+	conn.SetReadBuffer(1 << 20)
+	conn.SetWriteBuffer(1 << 20)
+	n := &udpNode{conn: conn, inbox: make(chan Frame, inboxCap)}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("runtime: udp transport closed")
+	}
+	if old, ok := t.nodes[id]; ok {
+		old.conn.Close()
+	}
+	t.nodes[id] = n
+	t.addrs[id] = conn.LocalAddr().(*net.UDPAddr)
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.read(n)
+	return &udpEndpoint{t: t, id: id, node: n}, nil
+}
+
+// read decodes datagrams into the node's inbox until the socket closes.
+func (t *UDPTransport) read(n *udpNode) {
+	defer t.wg.Done()
+	// Sized for the largest legal frame: a map datagram at the
+	// maxWireSessions bound plus image (loopback carries datagrams far
+	// beyond one physical MTU).
+	buf := make([]byte, 32*1024)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed (endpoint Close or transport Close)
+		}
+		f, err := DecodeFrame(buf[:sz])
+		if err != nil {
+			continue // malformed datagram: drop
+		}
+		select {
+		case n.inbox <- f:
+			if f.Kind == FrameData {
+				t.dataDelivered.Add(1)
+				if f.Msg.ArrivalMS > 0 {
+					t.delayMu.Lock()
+					t.delaySum += f.Msg.ArrivalMS
+					t.delayMu.Unlock()
+				}
+			}
+		default:
+			if f.Kind == FrameData {
+				t.dataLost.Add(1) // inbox overflow: datagram semantics
+			}
+		}
+	}
+}
+
+// SetPolicy installs the delay/loss/partition policy.
+func (t *UDPTransport) SetPolicy(p netmodel.LinkPolicy) { t.shape.setPolicy(p) }
+
+// SetTick publishes the scheduling period and time compression.
+func (t *UDPTransport) SetTick(tick int, wallPerScenarioMS float64) {
+	t.shape.setTick(tick, wallPerScenarioMS)
+}
+
+// Stats returns cumulative data-plane counters.
+func (t *UDPTransport) Stats() TransportStats {
+	t.delayMu.Lock()
+	delay := t.delaySum
+	t.delayMu.Unlock()
+	return TransportStats{
+		DataSent:        t.dataSent.Load(),
+		DataDelivered:   t.dataDelivered.Load(),
+		DataLost:        t.dataLost.Load(),
+		DelayScenarioMS: delay,
+	}
+}
+
+// Close shuts every socket down and reaps the readers.
+func (t *UDPTransport) Close() {
+	t.shape.stop()
+	t.mu.Lock()
+	t.closed = true
+	for _, n := range t.nodes {
+		n.conn.Close()
+	}
+	t.nodes = make(map[overlay.NodeID]*udpNode)
+	t.addrs = make(map[overlay.NodeID]*net.UDPAddr)
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// send routes one frame through the shaper onto the wire.
+func (t *UDPTransport) send(from *udpNode, f Frame) {
+	if f.Kind == FrameData {
+		t.dataSent.Add(1)
+	}
+	delivered := t.shape.route(f, func(f Frame) { t.write(from, f) })
+	if !delivered && f.Kind == FrameData {
+		t.dataLost.Add(1) // severed at injection
+	}
+}
+
+// write serializes the frame and puts it on the sender's socket.
+func (t *UDPTransport) write(from *udpNode, f Frame) {
+	if f.Kind == frameDropped {
+		t.dataLost.Add(1)
+		return
+	}
+	t.mu.RLock()
+	addr, ok := t.addrs[f.Msg.To]
+	closed := t.closed
+	t.mu.RUnlock()
+	if !ok || closed {
+		return // destination detached: the datagram evaporates
+	}
+	from.conn.WriteToUDP(EncodeFrame(f), addr)
+}
+
+type udpEndpoint struct {
+	t    *UDPTransport
+	id   overlay.NodeID
+	node *udpNode
+}
+
+func (e *udpEndpoint) Send(f Frame) {
+	f.Msg.From = e.id
+	e.t.send(e.node, f)
+}
+
+func (e *udpEndpoint) Recv() <-chan Frame { return e.node.inbox }
+
+func (e *udpEndpoint) Close() {
+	e.t.mu.Lock()
+	if e.t.nodes[e.id] == e.node {
+		delete(e.t.nodes, e.id)
+		delete(e.t.addrs, e.id)
+	}
+	e.t.mu.Unlock()
+	e.node.conn.Close()
+}

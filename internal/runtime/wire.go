@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/segment"
+)
+
+// The binary wire format of one frame, little-endian. Request, deny
+// and data frames are a fixed 29-byte header; a map frame adds the
+// availability image (80 bytes for B=600) and the gossiped session
+// timeline at 20 bytes per session, so it fits a 1500-byte MTU up to
+// ~66 sessions and a loopback datagram up to the maxWireSessions
+// bound, which EncodeFrame enforces by truncating the newest sessions
+// (the prefix must survive — receivers merge timelines by index):
+//
+//	kind     uint8
+//	from     uint32
+//	to       uint32
+//	seg      int64   (segment.None = -1 encoded two's-complement)
+//	sent     int32   (sender's scheduling period)
+//	arrival  float64 (shaped scenario-ms delay; 0 unshaped)
+//	--- FrameMap only ---
+//	maxSeen  int64
+//	rate     float64 (IEEE 754 bits)
+//	nsess    uint16
+//	nsess ×  { source int32, begin int64, end int64 }
+//	maplen   uint16
+//	maplen × bytes   (buffer.Map wire image)
+
+const wireHeaderLen = 1 + 4 + 4 + 8 + 4 + 8
+
+// maxWireSessions bounds the gossiped timeline length on the wire
+// (enforced on both encode and decode): a live event passes the floor
+// a handful of times, scenario validation caps switches below the node
+// count, and the bound keeps a hostile datagram from allocating
+// unbounded session slices while keeping every frame inside one
+// loopback datagram.
+const maxWireSessions = 1024
+
+// EncodeFrame serializes a frame into the binary wire format.
+func EncodeFrame(f Frame) []byte {
+	if len(f.Sessions) > maxWireSessions {
+		f.Sessions = f.Sessions[:maxWireSessions]
+	}
+	n := wireHeaderLen
+	if f.Kind == FrameMap {
+		n += 8 + 8 + 2 + len(f.Sessions)*20 + 2 + len(f.MapImg)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, byte(f.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.Msg.From))
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.Msg.To))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.Msg.Seg)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.Msg.Sent)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Msg.ArrivalMS))
+	if f.Kind != FrameMap {
+		return b
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.MaxSeen)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Rate))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Sessions)))
+	for _, s := range f.Sessions {
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(s.Source)))
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(s.Begin)))
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(s.End)))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.MapImg)))
+	b = append(b, f.MapImg...)
+	return b
+}
+
+// DecodeFrame parses the binary wire format. The returned frame owns
+// its slices (nothing aliases the input).
+func DecodeFrame(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < wireHeaderLen {
+		return f, fmt.Errorf("runtime: frame of %d bytes, want >= %d", len(b), wireHeaderLen)
+	}
+	f.Kind = FrameKind(b[0])
+	if f.Kind < FrameMap || f.Kind > FrameData {
+		return f, fmt.Errorf("runtime: unknown frame kind %d", b[0])
+	}
+	f.Msg.From = overlay.NodeID(binary.LittleEndian.Uint32(b[1:]))
+	f.Msg.To = overlay.NodeID(binary.LittleEndian.Uint32(b[5:]))
+	f.Msg.Seg = segment.ID(int64(binary.LittleEndian.Uint64(b[9:])))
+	f.Msg.Sent = int(int32(binary.LittleEndian.Uint32(b[17:])))
+	f.Msg.ArrivalMS = math.Float64frombits(binary.LittleEndian.Uint64(b[21:]))
+	if f.Kind != FrameMap {
+		return f, nil
+	}
+	rest := b[wireHeaderLen:]
+	if len(rest) < 8+8+2 {
+		return f, fmt.Errorf("runtime: truncated map frame (%d payload bytes)", len(rest))
+	}
+	f.MaxSeen = segment.ID(int64(binary.LittleEndian.Uint64(rest[0:])))
+	f.Rate = math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+	nsess := int(binary.LittleEndian.Uint16(rest[16:]))
+	rest = rest[18:]
+	if nsess > maxWireSessions {
+		return f, fmt.Errorf("runtime: map frame advertises %d sessions (max %d)", nsess, maxWireSessions)
+	}
+	if len(rest) < nsess*20+2 {
+		return f, fmt.Errorf("runtime: truncated session list (%d sessions, %d bytes left)", nsess, len(rest))
+	}
+	if nsess > 0 {
+		f.Sessions = make([]SessionInfo, nsess)
+		for i := range f.Sessions {
+			f.Sessions[i] = SessionInfo{
+				Source: overlay.NodeID(int32(binary.LittleEndian.Uint32(rest[i*20:]))),
+				Begin:  segment.ID(int64(binary.LittleEndian.Uint64(rest[i*20+4:]))),
+				End:    segment.ID(int64(binary.LittleEndian.Uint64(rest[i*20+12:]))),
+			}
+		}
+	}
+	rest = rest[nsess*20:]
+	maplen := int(binary.LittleEndian.Uint16(rest[0:]))
+	rest = rest[2:]
+	if len(rest) != maplen {
+		return f, fmt.Errorf("runtime: map image length %d, frame carries %d bytes", maplen, len(rest))
+	}
+	if maplen > 0 {
+		f.MapImg = append([]byte(nil), rest...)
+	}
+	return f, nil
+}

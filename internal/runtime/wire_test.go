@@ -1,0 +1,77 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"gossipstream/internal/buffer"
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/segment"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	buf := buffer.New(600)
+	for id := segment.ID(100); id < 180; id += 3 {
+		buf.Insert(id)
+	}
+	img, err := buf.Snapshot().Encode()
+	if err != nil {
+		t.Fatalf("encode map image: %v", err)
+	}
+	frames := []Frame{
+		{Kind: FrameRequest, Msg: netmodel.Message{From: 3, To: 9, Seg: 1234, Sent: 41}},
+		{Kind: FrameDeny, Msg: netmodel.Message{From: 9, To: 3, Seg: 1234, Sent: 41}},
+		{Kind: FrameData, Msg: netmodel.Message{From: 9, To: 3, Seg: 1234, Sent: 41, ArrivalMS: 41234.5}},
+		{Kind: FrameData, Msg: netmodel.Message{From: 0, To: 1, Seg: segment.None, Sent: 0}},
+		{
+			Kind:    FrameMap,
+			Msg:     netmodel.Message{From: 7, To: 8, Seg: segment.None, Sent: 99},
+			MapImg:  img,
+			MaxSeen: 179,
+			Rate:    12.5,
+			Sessions: []SessionInfo{
+				{Source: 4, Begin: 0, End: 399},
+				{Source: 27, Begin: 400, End: segment.None},
+			},
+		},
+		{Kind: FrameMap, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None}, MaxSeen: segment.None},
+	}
+	for i, f := range frames {
+		got, err := DecodeFrame(EncodeFrame(f))
+		if err != nil {
+			t.Fatalf("frame %d (%s): decode: %v", i, f.Kind, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("frame %d (%s): round trip\n got %+v\nwant %+v", i, f.Kind, got, f)
+		}
+	}
+	// The decoded map must behave as a core.View for the planner.
+	f := frames[4]
+	got, _ := DecodeFrame(EncodeFrame(f))
+	m, err := buffer.DecodeMap(got.MapImg, 600)
+	if err != nil {
+		t.Fatalf("decode map: %v", err)
+	}
+	for id := segment.ID(95); id < 185; id++ {
+		if m.Has(id) != buf.Has(id) {
+			t.Fatalf("decoded map disagrees with buffer at %d", id)
+		}
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	good := EncodeFrame(Frame{Kind: FrameMap, Msg: netmodel.Message{From: 1, To: 2},
+		Sessions: []SessionInfo{{Source: 1, Begin: 0, End: segment.None}}})
+	cases := map[string][]byte{
+		"empty":             nil,
+		"short header":      good[:10],
+		"bad kind":          append([]byte{0x7f}, good[1:]...),
+		"truncated payload": good[:len(good)-3],
+		"trailing junk":     append(append([]byte(nil), good...), 1, 2, 3),
+	}
+	for name, b := range cases {
+		if _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

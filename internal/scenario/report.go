@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"gossipstream/internal/sim"
+)
+
+// FormatResult renders one run's per-window metric blocks — the shared
+// report format of cmd/scenario (simulator runs) and cmd/live (live
+// runs over real transports), so results from the two execution
+// backends read identically and can be diffed side by side.
+func FormatResult(w io.Writer, algoName string, res *sim.Result) {
+	fmt.Fprintf(w, "%s: %d measurement window(s)\n", algoName, len(res.Windows))
+	for _, win := range res.Windows {
+		FormatWindow(w, win)
+	}
+}
+
+// FormatWindow renders one measurement window's block.
+func FormatWindow(w io.Writer, win *sim.SwitchMetrics) {
+	if win.Kind == "switch" {
+		kind := "handoff"
+		if win.Failure {
+			kind = "CRASH"
+		}
+		fmt.Fprintf(w, "  window %d: %s %d -> %d at t=%d (n=%d cohort=%d)\n",
+			win.Window, kind, win.OldSource, win.NewSource, win.Tick, win.Nodes, win.Cohort)
+		fmt.Fprintf(w, "    finish S1  avg %6.2f s (max %6.2f, unfinished %d)\n",
+			win.AvgFinishS1(), win.MaxFinishS1(), win.UnfinishedS1)
+		fmt.Fprintf(w, "    prepare S2 avg %6.2f s (max %6.2f, unprepared %d)\n",
+			win.AvgPrepareS2(), win.MaxPrepareS2(), win.UnpreparedS2)
+	} else {
+		fmt.Fprintf(w, "  window %d: measure at t=%d for %d ticks (n=%d cohort=%d)\n",
+			win.Window, win.Tick, win.MeasuredTicks, win.Nodes, win.Cohort)
+	}
+	fmt.Fprintf(w, "    continuity %.4f  overhead %.4f  measured %d ticks%s%s\n",
+		win.Continuity(), win.Overhead(), win.MeasuredTicks,
+		flagStr(win.HitHorizon, "  [hit horizon]"), flagStr(win.Interrupted, "  [interrupted]"))
+	if win.NetDelivered+win.NetLost > 0 {
+		// Millisecond resolution: the sub-tick transport (and the live
+		// runtime's shaped transports) report true link delays well below
+		// one scheduling period.
+		fmt.Fprintf(w, "    transport: delay %.3f s  loss %.1f%% (%d lost, %d re-requested of %d msgs)\n",
+			win.MeanDeliveryDelay(), win.LossRate()*100, win.NetLost, win.NetReRequests, win.NetDelivered+win.NetLost)
+	}
+}
+
+func flagStr(b bool, s string) string {
+	if b {
+		return s
+	}
+	return ""
+}

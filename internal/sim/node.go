@@ -43,12 +43,9 @@ type nodeState struct {
 	// advertised high-water mark of the last exchanged buffer map).
 	maxSeen segment.ID
 
-	// Playback state machine.
-	sessionIdx int        // index into the timeline of the session being played/awaited
-	known      int        // number of timeline sessions this node has discovered
-	playActive bool       // currently consuming segments
-	playhead   segment.ID // next segment to play
-	anchor     segment.ID // first segment of the node's playback (joiners adopt a late anchor)
+	// Playback is the embedded per-node protocol core (peercore.go): the
+	// playback/session state machine shared with the live runtime.
+	Playback
 
 	// Measured-switch bookkeeping (seconds are derived later; ticks here).
 	finishS1Tick  int // finished the whole playback of S1
@@ -184,7 +181,7 @@ func newNodeState(id overlay.NodeID, prof bandwidth.Profile, bufCap, joinTick in
 		alive:         true,
 		joinTick:      joinTick,
 		maxSeen:       segment.None,
-		known:         1,
+		Playback:      NewPlayback(0, 0, 1),
 		finishS1Tick:  unset,
 		prepareS2Tick: unset,
 		startS2Tick:   unset,
@@ -208,7 +205,7 @@ func (n *nodeState) becomeSource(outRate float64) {
 	n.profile = bandwidth.Profile{In: 0, Out: outRate}
 	n.in.SetRate(0)
 	n.out.SetRate(outRate)
-	n.playActive = false
+	n.Active = false
 }
 
 // undeliveredIn counts the ids in [lo, hi] missing from the buffer.
@@ -223,17 +220,4 @@ func (n *nodeState) undeliveredIn(lo, hi segment.ID) int {
 		}
 	}
 	return missing
-}
-
-// appendMissing appends the ids in [lo, hi] absent from the buffer and not
-// already in flight to dst. It runs at round 0 of a period, where the
-// in-flight set is empty (grants are cleared at delivery), so the
-// isGranted scan is a cheap no-op kept for robustness.
-func (n *nodeState) appendMissing(dst []segment.ID, lo, hi segment.ID) []segment.ID {
-	for id := lo; id <= hi; id++ {
-		if !n.buf.Has(id) && !n.isGranted(id) {
-			dst = append(dst, id)
-		}
-	}
-	return dst
 }

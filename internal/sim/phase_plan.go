@@ -104,7 +104,7 @@ func (s *Sim) planNode(ws *workerScratch, sh *shardScratch, n *nodeState, round 
 		P:         s.cfg.P,
 		Q:         float64(s.cfg.Q),
 		Inbound:   n.profile.In,
-		Playhead:  s.windowLo(n),
+		Playhead:  n.WindowLo(),
 		Suppliers: ws.env.Suppliers[:0],
 	}
 	ws.supAdj = ws.supAdj[:0]
@@ -219,39 +219,12 @@ func (s *Sim) buildView(n *nodeState) {
 		return
 	}
 
-	sessions := s.sessions
-	// Discovery: a neighbor advertises a segment beyond every session the
-	// node knows about.
-	for n.known < len(sessions) && maxAdvert >= sessions[n.known].Begin {
-		n.known++
-	}
-	if n.sessionIdx >= len(sessions) {
-		n.sessionIdx = len(sessions) - 1
-	}
-	cur := sessions[n.sessionIdx]
-
-	lo := s.windowLo(n)
-	hi := maxAdvert
-	if !cur.Open() && hi > cur.End {
-		hi = cur.End
-	}
-	if winHi := lo + segment.ID(s.cfg.BufferCap) - 1; hi > winHi {
-		hi = winHi
-	}
-	n.needOld = n.needOld[:0]
-	if hi >= lo {
-		n.needOld = n.appendMissing(n.needOld, lo, hi)
-	}
-
-	n.needNew = n.needNew[:0]
-	if next := n.sessionIdx + 1; next < n.known {
-		ns := sessions[next]
-		nhi := ns.Begin + segment.ID(s.cfg.Qs) - 1
-		if !ns.Open() && nhi > ns.End {
-			nhi = ns.End
-		}
-		n.needNew = n.appendMissing(n.needNew, ns.Begin, nhi)
-	}
+	// Session discovery and the undelivered request windows: the shared
+	// per-node protocol core (peercore.go), driven here against same-tick
+	// buffer state and in the live runtime against decoded wire maps.
+	n.Discover(s.sessions, maxAdvert)
+	n.needOld, n.needNew = n.NeedWindows(n.buf, s.sessions, maxAdvert,
+		s.cfg.BufferCap, s.cfg.Qs, n.granted, n.needOld, n.needNew)
 }
 
 // prefetch spends the node's leftover inbound budget on uniformly random

@@ -99,83 +99,31 @@ func (s *Sim) phasePlayback() {
 			if !nd.alive || nd.isSource {
 				continue
 			}
-			s.advancePlayback(nd, sessions, perTick)
-			if s.win.active && s.win.isSwitch && nd.inCohort && nd.prepareS2Tick == unset && nd.known > s.newSessionIdx {
+			// The playback state machine itself is the shared per-node
+			// protocol core (peercore.go); the window accounting around it
+			// — the finish-S1/start-S2 stamps and the continuity counters —
+			// stays simulator-side, driven by the step report.
+			st := nd.Advance(nd.buf, sessions, s.cfg.Q, s.cfg.Qs, perTick)
+			measured := s.win.active && nd.inCohort
+			if measured {
+				nd.played += st.Played
+				nd.stalled += st.Stalled
+			}
+			if measured && s.win.isSwitch {
+				if st.Started == s.newSessionIdx && nd.startS2Tick == unset {
+					nd.startS2Tick = s.tick
+				}
+				if st.Finished == s.newSessionIdx-1 && nd.finishS1Tick == unset {
+					nd.finishS1Tick = s.tick
+				}
+			}
+			if s.win.active && s.win.isSwitch && nd.inCohort && nd.prepareS2Tick == unset && nd.Known > s.newSessionIdx {
 				if nd.undeliveredIn(s.s2Begin, s.s2Begin+segment.ID(s.cfg.Qs)-1) == 0 {
 					nd.prepareS2Tick = s.tick
 				}
 			}
 		}
 	})
-}
-
-func (s *Sim) advancePlayback(n *nodeState, sessions []segment.Session, perTick int) {
-	if n.sessionIdx >= len(sessions) {
-		return // finished every session that exists
-	}
-	cur := sessions[n.sessionIdx]
-	if !n.playActive {
-		if !s.tryStart(n, sessions, cur) {
-			return
-		}
-	}
-	for consumed := 0; consumed < perTick; consumed++ {
-		if !cur.Open() && n.playhead > cur.End {
-			break
-		}
-		if !n.buf.Has(n.playhead) {
-			// Stall: hole at the playhead. The remaining playback slots of
-			// this period are lost (continuity accounting).
-			if s.win.active && n.inCohort {
-				n.stalled += perTick - consumed
-			}
-			return
-		}
-		n.playhead++
-		if s.win.active && n.inCohort {
-			n.played++
-		}
-	}
-	if !cur.Open() && n.playhead > cur.End {
-		s.finishSession(n, cur)
-	}
-}
-
-// tryStart checks the stream start conditions: Q consecutive segments
-// from the playback anchor for a node entering a stream mid-way or at its
-// beginning; additionally, for a source switch, the first Qs segments of
-// the new source and completed playback of the old one (the latter is
-// implied by sessionIdx having advanced).
-func (s *Sim) tryStart(n *nodeState, sessions []segment.Session, cur segment.Session) bool {
-	if n.sessionIdx > 0 && n.anchor == cur.Begin {
-		// Starting a successor session: need its first Qs segments.
-		need := s.cfg.Qs
-		if !cur.Open() && cur.Len() < need {
-			need = cur.Len()
-		}
-		if n.buf.ConsecutiveFrom(cur.Begin) < need {
-			return false
-		}
-	} else if n.buf.ConsecutiveFrom(n.anchor) < s.cfg.Q {
-		return false
-	}
-	n.playActive = true
-	n.playhead = n.anchor
-	if s.win.active && s.win.isSwitch && n.inCohort && n.sessionIdx == s.newSessionIdx && n.startS2Tick == unset {
-		n.startS2Tick = s.tick
-	}
-	return true
-}
-
-// finishSession transitions a node that played its session to the end.
-func (s *Sim) finishSession(n *nodeState, cur segment.Session) {
-	if s.win.active && s.win.isSwitch && n.inCohort && n.sessionIdx == s.newSessionIdx-1 && n.finishS1Tick == unset {
-		n.finishS1Tick = s.tick
-	}
-	n.playActive = false
-	n.sessionIdx++
-	n.anchor = cur.End + 1
-	n.playhead = n.anchor
 }
 
 // phaseChurn removes LeaveFraction of the alive non-source nodes and adds
@@ -218,7 +166,7 @@ func (s *Sim) phaseChurn() {
 		// its neighbors' current steps" (Section 5.4).
 		anchor := segment.ID(0)
 		for _, v := range neighbors {
-			if lo := s.windowLo(s.nodes[v]); lo > anchor {
+			if lo := s.nodes[v].WindowLo(); lo > anchor {
 				anchor = lo
 			}
 		}

@@ -179,8 +179,8 @@ func TestScriptFlashCrowd(t *testing.T) {
 		t.Fatalf("population = %d, want 160", got)
 	}
 	for _, n := range s.nodes[120:150] {
-		if n.anchor != 0 {
-			t.Errorf("full-catch-up joiner %d anchored at %d, want 0", n.id, n.anchor)
+		if n.Anchor != 0 {
+			t.Errorf("full-catch-up joiner %d anchored at %d, want 0", n.id, n.Anchor)
 		}
 		if n.joinTick != 20 {
 			t.Errorf("joiner %d joinTick = %d", n.id, n.joinTick)
@@ -189,8 +189,8 @@ func TestScriptFlashCrowd(t *testing.T) {
 	// Backlog-bounded joiners anchor at most 50 segments behind the head
 	// at their join tick (head = 10 segments/tick × 25 ticks).
 	for _, n := range s.nodes[150:] {
-		if n.anchor < segment.ID(10*25-50) {
-			t.Errorf("bounded joiner %d anchored at %d, backlog > 50", n.id, n.anchor)
+		if n.Anchor < segment.ID(10*25-50) {
+			t.Errorf("bounded joiner %d anchored at %d, backlog > 50", n.id, n.Anchor)
 		}
 	}
 	// Continue through the switch: joiners present before it are part of

@@ -424,12 +424,12 @@ func (s *Sim) applyDemote(ev Event) {
 	anchor := segment.ID(0)
 	for _, v := range s.g.Neighbors(n.id) {
 		if s.nodes[v].alive {
-			if lo := s.windowLo(s.nodes[v]); lo > anchor {
+			if lo := s.nodes[v].WindowLo(); lo > anchor {
 				anchor = lo
 			}
 		}
 	}
-	n.playActive = false
+	n.Active = false
 	s.adoptPosition(n, anchor)
 	if id == s.lastRetired {
 		s.lastRetired = -1
@@ -441,13 +441,13 @@ func (s *Sim) applyDemote(ev Event) {
 // "follow its neighbors' current steps" rule, shared by churn joiners
 // and demoted ex-sources.
 func (s *Sim) adoptPosition(n *nodeState, anchor segment.ID) {
-	n.anchor = anchor
-	n.playhead = anchor
+	n.Anchor = anchor
+	n.Playhead = anchor
 	if ses, ok := s.tl.SessionOf(anchor); ok {
 		for idx, sv := range s.tl.Sessions() {
 			if sv.Begin == ses.Begin {
-				n.sessionIdx = idx
-				n.known = idx + 1
+				n.SessionIdx = idx
+				n.Known = idx + 1
 				break
 			}
 		}
@@ -515,7 +515,7 @@ func (s *Sim) applySwitch(ev Event) {
 	ns.becomeSource(s.cfg.SourceOutFactor * s.cfg.P)
 	// The synchronization mechanism the paper assumes: the new source
 	// knows S1's ending segment id and embeds it in its first segments.
-	ns.known = s.newSessionIdx + 1
+	ns.Known = s.newSessionIdx + 1
 
 	horizon := ev.Horizon
 	if horizon <= 0 {
@@ -573,7 +573,7 @@ func (s *Sim) openWindow(isSwitch bool, horizon int, ev Event) {
 		n.played, n.stalled = 0, 0
 		if isSwitch {
 			n.finishS1Tick, n.prepareS2Tick, n.startS2Tick = unset, unset, unset
-			n.q0 = n.undeliveredIn(s.windowLo(n), s.s1End)
+			n.q0 = n.undeliveredIn(n.WindowLo(), s.s1End)
 		}
 		s.cohort = append(s.cohort, n.id)
 	}
@@ -651,9 +651,9 @@ func (s *Sim) flashCrowd(ev Event, rng *rand.Rand) {
 		id, _ := s.dir.Join()
 		prof := bandwidth.Profile{In: bandwidth.DrawRate(rng), Out: bandwidth.DrawRate(rng)}
 		n := newNodeState(id, prof, s.cfg.BufferCap, s.tick)
-		n.anchor, n.playhead = anchor, anchor
-		n.sessionIdx = curIdx
-		n.known = curIdx + 1
+		n.Anchor, n.Playhead = anchor, anchor
+		n.SessionIdx = curIdx
+		n.Known = curIdx + 1
 		s.applyShift(n)
 		s.nodes = append(s.nodes, n)
 		s.incoming = append(s.incoming, nil)
@@ -682,19 +682,6 @@ func (s *Sim) applyShift(n *nodeState) {
 	n.profile = bandwidth.Profile{In: n.base.In * s.bwFactor, Out: n.base.Out * s.bwFactor}
 	n.in.SetRate(n.profile.In)
 	n.out.SetRate(n.profile.Out)
-}
-
-// windowLo is the lowest segment id the node still cares about: its
-// playhead once playing, its playback anchor before that.
-func (s *Sim) windowLo(n *nodeState) segment.ID {
-	if n.playActive {
-		return n.playhead
-	}
-	if n.playhead > n.anchor {
-		// Between sessions: playhead parked past the previous session.
-		return n.playhead
-	}
-	return n.anchor
 }
 
 // linkRate is R(j): the sending rate supplier j offers on each of its
@@ -768,7 +755,7 @@ func (s *Sim) recordTick() {
 		}
 		q0Sum += n.q0
 		if n.q0 > 0 {
-			lo := s.windowLo(n)
+			lo := n.WindowLo()
 			if lo > s.s1End {
 				// Finished or moved past S1 — nothing undelivered remains.
 			} else {

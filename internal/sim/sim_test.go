@@ -160,7 +160,7 @@ func TestTickInvariants(t *testing.T) {
 	for s.tick = 0; s.tick < total; s.tick++ {
 		prevPlayheads := make(map[overlay.NodeID]int64)
 		for _, n := range s.nodes {
-			prevPlayheads[n.id] = int64(n.playhead)
+			prevPlayheads[n.id] = int64(n.Playhead)
 		}
 		s.step()
 		perTick := int(s.cfg.P * s.cfg.Tau)
@@ -185,8 +185,8 @@ func TestTickInvariants(t *testing.T) {
 			if !n.alive {
 				continue
 			}
-			adv := int64(n.playhead) - prevPlayheads[n.id]
-			if adv < 0 && n.playActive {
+			adv := int64(n.Playhead) - prevPlayheads[n.id]
+			if adv < 0 && n.Active {
 				t.Fatalf("tick %d: node %d playhead moved backwards", s.tick, n.id)
 			}
 			if adv > int64(perTick) && prevPlayheads[n.id] > 0 {
@@ -194,7 +194,7 @@ func TestTickInvariants(t *testing.T) {
 			}
 			// A playing node must hold every segment it has played up to
 			// the buffer horizon.
-			if n.playActive && n.playhead > n.anchor && !n.buf.Has(n.playhead-1) {
+			if n.Active && n.Playhead > n.Anchor && !n.buf.Has(n.Playhead-1) {
 				t.Fatalf("tick %d: node %d played a segment it does not hold", s.tick, n.id)
 			}
 		}
@@ -231,8 +231,8 @@ func TestFinishImpliesFullS1Playback(t *testing.T) {
 	}
 	for _, id := range s.cohort {
 		n := s.nodes[id]
-		if n.finishS1Tick != unset && n.playhead <= s.s1End {
-			t.Fatalf("node %d marked finished with playhead %d <= s1End %d", id, n.playhead, s.s1End)
+		if n.finishS1Tick != unset && n.Playhead <= s.s1End {
+			t.Fatalf("node %d marked finished with playhead %d <= s1End %d", id, n.Playhead, s.s1End)
 		}
 	}
 }
