@@ -323,12 +323,14 @@ func BenchmarkScenario(b *testing.B) {
 }
 
 // BenchmarkEngineParallel contrasts the serial engine (workers=1) with
-// the parallel engine (workers=GOMAXPROCS) at two scales. The engine's
-// determinism contract makes the runs bit-identical — only wall-clock
-// differs — so ns/op across the workers variants IS the speedup
-// measurement. BENCH_engine.json snapshots one run.
+// the parallel engine (workers=GOMAXPROCS) at three scales, n=100000
+// being the headline. The engine's determinism contract makes the runs
+// bit-identical — only wall-clock differs — so ns/op across the workers
+// variants IS the speedup measurement. cmd/bench runs the same
+// workloads at fixed iteration counts and appends each capture to the
+// BENCH_engine.json trajectory.
 func BenchmarkEngineParallel(b *testing.B) {
-	for _, n := range []int{1000, 10000} {
+	for _, n := range []int{1000, 10000, 100000} {
 		for vi, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 			parallel := vi == 1
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
@@ -342,8 +344,8 @@ func BenchmarkEngineParallel(b *testing.B) {
 // skipDegenerateParallel skips the workers=GOMAXPROCS variant on a
 // single-CPU runner, where it degenerates to a re-run of the serial
 // engine: the duplicate numbers would read as a measured speedup of 1.0
-// when no parallel execution ever happened (BENCH_engine.json notes that
-// the multi-core capture is still pending).
+// when no parallel execution ever happened (cmd/bench records the same
+// condition as an explicit skipped row in BENCH_engine.json).
 func skipDegenerateParallel(b *testing.B, parallelVariant bool) {
 	b.Helper()
 	if parallelVariant && runtime.GOMAXPROCS(0) == 1 {

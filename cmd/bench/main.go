@@ -1,0 +1,348 @@
+// Command bench is the repo's perf-trajectory harness: it runs the
+// engine benchmarks (the same workloads as BenchmarkEngineParallel and
+// BenchmarkScenario in bench_test.go, at fixed iteration counts so
+// captures stay comparable), captures a per-phase timing/allocation
+// breakdown of the hot path, and APPENDS the results to
+// BENCH_engine.json — one entry per capture, never rewriting history.
+// The file is a trajectory, not a snapshot: reading it top to bottom
+// replays how engine cost moved PR over PR.
+//
+//	go run ./cmd/bench                 # append a capture to BENCH_engine.json
+//	go run ./cmd/bench -dry            # print the entry instead of appending
+//	go run ./cmd/bench -label "PR 6"   # tag the entry
+//
+// Rows that cannot produce a meaningful number on this machine (the
+// workers=GOMAXPROCS variants on a single-CPU runner, where the parallel
+// engine degenerates to a serial re-run) are recorded as explicitly
+// skipped with a machine-emitted reason, so a missing measurement is
+// never mistaken for a measured speedup of 1.0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"gossipstream/internal/experiment"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+// engineSizes are the tick-benchmark scales with their fixed warm-up
+// iteration counts. Iterations are load-bearing for comparability: the
+// workload times b.N-style warm-up ticks from a cold start, so a deeper
+// run amortizes more of the early growth. n=100000 is the headline scale
+// (10x keeps the harness under a couple of minutes on one core).
+var engineSizes = []struct {
+	n, iters int
+}{
+	{1000, 30},
+	{10000, 30},
+	{100000, 10},
+}
+
+const scenarioIters = 10
+
+type hostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+}
+
+type benchRow struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Iters      int     `json:"iters,omitempty"`
+	NsPerOp    int64   `json:"ns_per_op,omitempty"`
+	BytesPerOp uint64  `json:"bytes_per_op,omitempty"`
+	AllocsOp   uint64  `json:"allocs_per_op,omitempty"`
+	PrepMean   float64 `json:"s_prepare_mean,omitempty"`
+	Skipped    string  `json:"skipped,omitempty"`
+}
+
+type phaseRow struct {
+	Name   string `json:"name"`
+	Ns     int64  `json:"ns"`
+	Bytes  uint64 `json:"bytes"`
+	Allocs uint64 `json:"allocs"`
+}
+
+type entry struct {
+	Label    string     `json:"label,omitempty"`
+	Captured string     `json:"captured"`
+	GitRev   string     `json:"git_rev"`
+	Host     hostInfo   `json:"host"`
+	Rows     []benchRow `json:"benchmarks"`
+	// Phases is the per-phase breakdown of one instrumented run
+	// (n=10000, workers=1, 30 ticks with engine memory capture on);
+	// ns/bytes/allocs are totals over those ticks.
+	PhaseN     int        `json:"phase_capture_n,omitempty"`
+	PhaseTicks int64      `json:"phase_capture_ticks,omitempty"`
+	Phases     []phaseRow `json:"phases,omitempty"`
+}
+
+// trajectory is the whole BENCH_engine.json file. Entries are kept as
+// raw JSON so appending never re-marshals (and so never corrupts) what
+// earlier captures wrote.
+type trajectory struct {
+	Note    string            `json:"note"`
+	Entries []json.RawMessage `json:"entries"`
+}
+
+const trajectoryNote = "Append-only engine perf trajectory: one entry per capture, oldest first, written by cmd/bench (go run ./cmd/bench). ns_per_op for the engine rows is the cost of ONE scheduling period of an N-node system under the Fast switch algorithm, shared-outbound substrate, measured over `iters` warm-up ticks from a cold start; the scenario row is one COMPLETE serial-handoff-chain run (3 measured switches, N=200). The engine's determinism contract makes runs bit-identical at any worker count, so ns_per_op across workers variants is a pure speedup measurement. Rows with a `skipped` field were not measurable on the capturing machine (reason recorded); phases is the per-phase timing/alloc breakdown of one instrumented run."
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_engine.json", "trajectory file to append to")
+		label = flag.String("label", "", "optional label recorded on the entry")
+		dry   = flag.Bool("dry", false, "print the capture as JSON instead of appending it")
+	)
+	flag.Parse()
+
+	e := capture(*label)
+
+	raw, err := json.MarshalIndent(e, "    ", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *dry {
+		fmt.Println(string(raw))
+		return
+	}
+	if err := appendEntry(*out, raw); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench: appended capture %s (%d rows) to %s\n", e.Captured, len(e.Rows), *out)
+}
+
+func capture(label string) entry {
+	e := entry{
+		Label:    label,
+		Captured: time.Now().UTC().Format(time.RFC3339),
+		GitRev:   gitRev(),
+		Host: hostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go:         runtime.Version(),
+		},
+	}
+
+	workerVariants := []int{1, runtime.GOMAXPROCS(0)}
+	for _, size := range engineSizes {
+		for vi, workers := range workerVariants {
+			name := fmt.Sprintf("engine/n=%d/workers=%d", size.n, workers)
+			if vi == 1 && workers == 1 {
+				// The parallel variant on a 1-CPU machine re-runs the
+				// serial engine: record the gap, not a fake speedup.
+				e.Rows = append(e.Rows, benchRow{
+					Name:    fmt.Sprintf("engine/n=%d/workers=GOMAXPROCS", size.n),
+					Skipped: "GOMAXPROCS=1: the parallel variant degenerates to the serial engine on this machine; capture on a multi-core host to measure speedup",
+				})
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "bench: %s (%dx)...\n", name, size.iters)
+			row, err := engineRow(name, size.n, workers, size.iters)
+			if err != nil {
+				fatal(err)
+			}
+			e.Rows = append(e.Rows, row)
+		}
+	}
+
+	for vi, workers := range workerVariants {
+		if vi == 1 && workers == 1 {
+			e.Rows = append(e.Rows, benchRow{
+				Name:    "scenario/serial-handoff-chain/workers=GOMAXPROCS",
+				Skipped: "GOMAXPROCS=1: the parallel variant degenerates to the serial engine on this machine; capture on a multi-core host to measure speedup",
+			})
+			continue
+		}
+		name := fmt.Sprintf("scenario/serial-handoff-chain/workers=%d", workers)
+		fmt.Fprintf(os.Stderr, "bench: %s (%dx)...\n", name, scenarioIters)
+		row, err := scenarioRow(name, workers, scenarioIters)
+		if err != nil {
+			fatal(err)
+		}
+		e.Rows = append(e.Rows, row)
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: phase capture (n=10000, workers=1, 30 ticks)...\n")
+	phases, ticks, err := phaseCapture(10000, 1, 30)
+	if err != nil {
+		fatal(err)
+	}
+	e.PhaseN, e.PhaseTicks, e.Phases = 10000, ticks, phases
+	return e
+}
+
+// engineCfg builds the BenchmarkEngineParallel workload: n nodes on the
+// paper's synthesized topology, Fast algorithm, shared outbound, iters
+// warm-up ticks (cold start, staggered arrivals) + a 1-tick horizon.
+func engineCfg(n, workers, iters int) (sim.Config, error) {
+	w := experiment.Paper()
+	g, err := w.Topology(n, 0)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Graph: g, Seed: 1, NewAlgorithm: sim.Fast,
+		FirstSource: -1, NewSource: -1, SharedOutbound: true,
+		WarmupTicks: iters, HorizonTicks: 1, JoinSpreadTicks: 10,
+		Workers: workers,
+	}, nil
+}
+
+// engineRow times one engine workload: wall clock and MemStats deltas
+// around the run, divided by the iteration count — the same quantity
+// `go test -bench BenchmarkEngineParallel -benchtime <iters>x` reports.
+func engineRow(name string, n, workers, iters int) (benchRow, error) {
+	cfg, err := engineCfg(n, workers, iters)
+	if err != nil {
+		return benchRow{}, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return benchRow{}, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := s.Run(); err != nil {
+		return benchRow{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return benchRow{
+		Name: name, N: n, Workers: workers, Iters: iters,
+		NsPerOp:    elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp: (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters),
+		AllocsOp:   (m1.Mallocs - m0.Mallocs) / uint64(iters),
+	}, nil
+}
+
+// scenarioRow times complete serial-handoff-chain runs (the
+// BenchmarkScenario workload): one op is a whole 3-switch run including
+// topology synthesis.
+func scenarioRow(name string, workers, iters int) (benchRow, error) {
+	sc := scenario.SerialHandoffChain().Scaled(200)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	var prep float64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		cfg, err := sc.Config(sim.Fast)
+		if err != nil {
+			return benchRow{}, err
+		}
+		cfg.Workers = workers
+		s, err := sim.New(cfg)
+		if err != nil {
+			return benchRow{}, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return benchRow{}, err
+		}
+		if len(res.Windows) != 3 {
+			return benchRow{}, fmt.Errorf("scenario run %d: windows = %d, want 3", i, len(res.Windows))
+		}
+		prep = 0
+		for _, w := range res.Windows {
+			prep += w.AvgPrepareS2()
+		}
+		prep /= 3
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return benchRow{
+		Name: name, N: 200, Workers: workers, Iters: iters,
+		NsPerOp:    elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp: (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters),
+		AllocsOp:   (m1.Mallocs - m0.Mallocs) / uint64(iters),
+		PrepMean:   prep,
+	}, nil
+}
+
+// phaseCapture runs the engine workload with per-phase memory capture
+// enabled (engine.Pipeline.CaptureMem) and returns the breakdown. Run
+// separately from the timing rows — the per-phase ReadMemStats calls
+// perturb wall clock, so their numbers never mix.
+func phaseCapture(n, workers, iters int) ([]phaseRow, int64, error) {
+	cfg, err := engineCfg(n, workers, iters)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.CapturePhaseMem(true)
+	if _, err := s.Run(); err != nil {
+		return nil, 0, err
+	}
+	var rows []phaseRow
+	for _, t := range s.PhaseTimings() {
+		rows = append(rows, phaseRow{Name: t.Name, Ns: t.Total.Nanoseconds(), Bytes: t.Bytes, Allocs: t.Allocs})
+	}
+	return rows, int64(iters), nil
+}
+
+// appendEntry loads the trajectory (migrating a legacy single-snapshot
+// file into entry 0), appends the new capture, and rewrites the file.
+func appendEntry(path string, raw json.RawMessage) error {
+	var tr trajectory
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		tr.Note = trajectoryNote
+	case err != nil:
+		return err
+	default:
+		if jerr := json.Unmarshal(data, &tr); jerr != nil {
+			return fmt.Errorf("parse %s: %w", path, jerr)
+		}
+		if len(tr.Entries) == 0 && strings.Contains(string(data), "\"benchmarks\"") {
+			// Legacy single-snapshot format: preserve it verbatim as the
+			// trajectory's first entry.
+			tr.Entries = append(tr.Entries, json.RawMessage(data))
+			tr.Note = trajectoryNote
+		}
+	}
+	tr.Entries = append(tr.Entries, raw)
+	out, err := json.MarshalIndent(&tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// gitRev best-effort resolves the current commit (dirty trees get a
+// "+dirty" suffix); "unknown" when git is unavailable.
+func gitRev() string {
+	rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	r := strings.TrimSpace(string(rev))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		r += "+dirty"
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+	os.Exit(1)
+}

@@ -35,7 +35,7 @@ func main() {
 		n       = flag.Int("n", 0, "override the overlay size (crowd batches rescale proportionally)")
 		seed    = flag.Int64("seed", 0, "override the scenario seed (0 keeps the file's)")
 		workers = flag.Int("workers", 0, "engine workers (0/1 = serial engine, <0 = GOMAXPROCS); results are identical at any setting")
-		timings = flag.Bool("timings", false, "print the per-phase wall-clock breakdown")
+		timings = flag.Bool("timings", false, "print the per-phase wall-clock and allocation breakdown")
 		smoke   = flag.Bool("smoke", false, "run every bundled scenario at small scale and verify its windows (CI guard)")
 		compare = flag.Bool("compare", false, "sweep fast vs normal over the whole bundled library (experiment.ScenarioSweep)")
 	)
@@ -110,6 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		s.CapturePhaseMem(*timings)
 		res, err := s.Run()
 		if err != nil {
 			fatal(err)
@@ -118,7 +119,7 @@ func main() {
 		if *timings {
 			fmt.Printf("  phase timings (%d workers):\n", s.Workers())
 			for _, t := range s.PhaseTimings() {
-				fmt.Printf("    %-10s %12v\n", t.Name, t.Total)
+				fmt.Printf("    %-10s %12v %14d B %10d allocs\n", t.Name, t.Total, t.Bytes, t.Allocs)
 			}
 		}
 		fmt.Println()

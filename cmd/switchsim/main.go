@@ -35,7 +35,7 @@ func main() {
 		perLink = flag.Bool("perlink", false, "per-link outbound capacity instead of shared")
 		ratios  = flag.Bool("ratios", false, "track and draw the Figure 5/9 ratio curves")
 		workers = flag.Int("workers", 0, "engine workers (0/1 = serial engine, <0 = GOMAXPROCS); results are identical at any setting")
-		timings = flag.Bool("timings", false, "print the per-phase wall-clock breakdown")
+		timings = flag.Bool("timings", false, "print the per-phase wall-clock and allocation breakdown")
 	)
 	flag.Parse()
 
@@ -67,6 +67,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
+		s.CapturePhaseMem(*timings)
 		res, err := s.Run()
 		if err != nil {
 			return nil, err
@@ -74,7 +75,7 @@ func main() {
 		if *timings {
 			fmt.Printf("  phase timings (%d workers):\n", s.Workers())
 			for _, t := range s.PhaseTimings() {
-				fmt.Printf("    %-10s %12v\n", t.Name, t.Total)
+				fmt.Printf("    %-10s %12v %14d B %10d allocs\n", t.Name, t.Total, t.Bytes, t.Allocs)
 			}
 		}
 		return res, nil

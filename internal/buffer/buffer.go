@@ -48,8 +48,12 @@ func New(capacity int) *Buffer {
 	return &Buffer{
 		capacity: capacity,
 		ring:     make([]segment.ID, capacity),
-		base:     -1,
-		maxSeen:  segment.None,
+		// Pre-size the dense index to one capacity's worth of ids: the
+		// warm-up stream fits without a single setSlot growth, and longer
+		// streams fall back to amortized doubling.
+		slots:   make([]int32, 0, capacity),
+		base:    -1,
+		maxSeen: segment.None,
 	}
 }
 
@@ -246,18 +250,32 @@ func (b *Buffer) Snapshot() *Map {
 // represent the segments it is the unique supplier of; the live runtime
 // (internal/runtime) advertises exactly that window.
 func (b *Buffer) SnapshotFrom(anchor segment.ID) *Map {
+	m := &Map{Anchor: 0, Capacity: b.capacity, Bits: bitfield.New(b.capacity)}
+	return b.SnapshotInto(m, anchor)
+}
+
+// SnapshotInto refills dst in place with the window [anchor, anchor+B) —
+// the allocation-free variant of SnapshotFrom for per-period
+// advertisement loops. A nil dst, or one built for a different capacity,
+// falls back to a fresh snapshot; either way the filled map is returned.
+func (b *Buffer) SnapshotInto(dst *Map, anchor segment.ID) *Map {
+	if dst == nil || dst.Bits == nil || dst.Bits.Len() != b.capacity {
+		return b.SnapshotFrom(anchor)
+	}
 	if anchor < 0 {
 		anchor = 0
 	}
-	m := &Map{Anchor: anchor, Capacity: b.capacity, Bits: bitfield.New(b.capacity)}
+	dst.Anchor = anchor
+	dst.Capacity = b.capacity
+	dst.Bits.Reset()
 	for i := 0; i < b.size; i++ {
 		id := b.ring[(b.head+i)%b.capacity]
-		off := int(id - m.Anchor)
+		off := int(id - anchor)
 		if off >= 0 && off < b.capacity {
-			m.Bits.Set(off)
+			dst.Bits.Set(off)
 		}
 	}
-	return m
+	return dst
 }
 
 // Has reports whether the map advertises the segment.

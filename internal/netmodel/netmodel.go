@@ -138,6 +138,30 @@ func New(cfg Config, tau float64) *Model {
 	return &Model{cfg: cfg.Defaulted(), tau: tau, tauMS: tau * 1000, latFactor: 1}
 }
 
+// Reserve pre-sizes the per-destination-shard heaps for an expected
+// in-flight population of perNode messages per node. Purely an
+// allocation optimization: the heaps reach this capacity through
+// amortized growth anyway, but reserving it up front keeps the warm-up
+// ticks free of heap reallocations. Call before the first Send; later
+// calls only ever grow the reservation.
+func (m *Model) Reserve(nodes, perNode int) {
+	if nodes <= 0 || perNode <= 0 {
+		return
+	}
+	shards := engine.NumShards(nodes)
+	for len(m.heaps) < shards {
+		m.heaps = append(m.heaps, nil)
+	}
+	want := engine.ShardSize * perNode
+	for i := range m.heaps {
+		if cap(m.heaps[i]) < want {
+			h := make(msgHeap, len(m.heaps[i]), want)
+			copy(h, m.heaps[i])
+			m.heaps[i] = h
+		}
+	}
+}
+
 // Ping returns the configured round-trip ping of a node in milliseconds.
 func (m *Model) Ping(n overlay.NodeID) int {
 	if int(n) < len(m.cfg.PingMS) {

@@ -160,6 +160,10 @@ type peer struct {
 	needOld []segment.ID
 	needNew []segment.ID
 	pool    []segment.ID
+	// mapSnap is the reusable advertisement snapshot (SnapshotInto
+	// refills it each period; the encoded image, not the map, crosses
+	// the transport).
+	mapSnap *buffer.Map
 
 	tickCh  chan tickCmd
 	ctrlCh  chan ctrlMsg
@@ -373,8 +377,8 @@ func (p *peer) advertise() {
 	if lo := p.maxSeen - segment.ID(p.par.bufferCap) + 1; lo > anchor {
 		anchor = lo
 	}
-	snap := p.buf.SnapshotFrom(anchor)
-	img, err := snap.Encode()
+	p.mapSnap = p.buf.SnapshotInto(p.mapSnap, anchor)
+	img, err := p.mapSnap.Encode()
 	if err != nil {
 		img = nil
 	}

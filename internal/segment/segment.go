@@ -104,6 +104,13 @@ func (t *Timeline) Sessions() []Session {
 	return out
 }
 
+// SessionsInto overwrites dst with the session list and returns it,
+// reusing dst's backing array when it is large enough — the
+// allocation-free variant for per-tick snapshots.
+func (t *Timeline) SessionsInto(dst []Session) []Session {
+	return append(dst[:0], t.sessions...)
+}
+
 // Current returns the most recent session.
 func (t *Timeline) Current() Session { return t.sessions[len(t.sessions)-1] }
 

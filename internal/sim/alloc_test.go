@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/trace"
+)
+
+// allocSim builds the BenchmarkEngineParallel workload (paper topology,
+// Fast algorithm, shared outbound) sized so the switch event stays far
+// beyond the ticks a test drives by hand. The topology mirrors
+// experiment.Workload.Topology (which this package cannot import —
+// cycle): a synthesized crawl trace augmented to min degree M=5.
+func allocSim(t testing.TB, n int) *Sim {
+	t.Helper()
+	seed := int64(20080101) + int64(n)*1_000_003
+	tr := trace.Synthesize(fmt.Sprintf("synth-%d-0", n), n, 1, seed)
+	g, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay.AugmentMinDegree(g, 5, rand.New(rand.NewSource(seed^0xa06)))
+	s, err := New(Config{
+		Graph: g, Seed: 1, NewAlgorithm: Fast,
+		FirstSource: -1, NewSource: -1, SharedOutbound: true,
+		WarmupTicks: 10_000, HorizonTicks: 1, JoinSpreadTicks: 10,
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// tick advances the simulation by one scheduling period, keeping the
+// tick counter in sync the way Run's loop does.
+func tick(s *Sim) {
+	s.step()
+	s.tick++
+}
+
+// TestTickAllocations pins the steady-state allocation cost of one
+// scheduling period at N=1000 on the serial engine. The hot path runs
+// on reused scratch (per-shard arenas, pooled snapshots, presized
+// buffers), so once every node has joined and per-node slices have
+// grown to their working size, a tick should allocate almost nothing.
+// The budget is ~10x below the pre-optimization cost (5271 allocs/tick
+// at N=1000, BENCH_engine.json entry 0) and far above the ~25 measured
+// at steady state, so real regressions trip it while occasional slice
+// growth does not.
+func TestTickAllocations(t *testing.T) {
+	const budget = 500.0
+
+	s := allocSim(t, 1000)
+	for s.tick < 80 {
+		tick(s)
+	}
+	got := testing.AllocsPerRun(100, func() { tick(s) })
+	if got > budget {
+		t.Fatalf("steady-state tick allocations = %.1f, budget %.0f — the hot path regressed "+
+			"(compare against the BENCH_engine.json trajectory)", got, budget)
+	}
+	t.Logf("steady-state allocations per tick at N=1000: %.1f (budget %.0f)", got, budget)
+}
+
+// TestTickAllocations100k is the scale smoke: the same pinned hot path
+// must hold its per-tick allocation budget at N=100000, where any
+// per-node or per-message allocation would multiply 100x. Skipped under
+// -short (building and warming a 100k-node overlay takes tens of
+// seconds).
+func TestTickAllocations100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=100000 smoke skipped in -short mode")
+	}
+	// Per-tick budget scales sub-linearly: steady-state allocations come
+	// from occasional slice growth, not per-node work.
+	const budget = 20_000.0
+
+	s := allocSim(t, 100_000)
+	for s.tick < 15 {
+		tick(s)
+	}
+	got := testing.AllocsPerRun(3, func() { tick(s) })
+	if got > budget {
+		t.Fatalf("steady-state tick allocations at N=100000 = %.1f, budget %.0f", got, budget)
+	}
+	t.Logf("steady-state allocations per tick at N=100000: %.1f (budget %.0f)", got, budget)
+}

@@ -11,8 +11,11 @@
 //     derived from (seed, phase, tick, round, shard) via SeedFor, so a
 //     shard draws the same values no matter which worker executes it or
 //     in which order shards complete.
-//  3. Shard outputs are buffered per shard and merged in ascending
-//     shard order by a serial merge step.
+//  3. Shard outputs are buffered per shard and reduced in ascending
+//     shard order. The reduce may itself run sharded — each destination
+//     shard gathering from every source shard's buffer, walking source
+//     shards in ascending order — provided the outcome is
+//     element-for-element identical to the serial in-order merge.
 //
 // Together these rules make a run a pure function of its configuration:
 // the same seed produces a bit-identical result at any worker count,

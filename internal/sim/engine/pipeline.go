@@ -1,6 +1,9 @@
 package engine
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Phase is one named stage of a tick: generate, refill, plan, serve,
 // deliver, playback, churn, record. Run executes the stage over the whole
@@ -11,13 +14,17 @@ type Phase struct {
 }
 
 // Pipeline executes a fixed sequence of phases once per tick and
-// accumulates wall-clock time per phase. The timing instrumentation is
-// observational only — it never feeds back into simulation state, so it
-// cannot perturb determinism.
+// accumulates wall-clock time per phase — and, when memory capture is
+// enabled, heap bytes and allocation counts per phase. The
+// instrumentation is observational only — it never feeds back into
+// simulation state, so it cannot perturb determinism.
 type Pipeline struct {
 	phases []Phase
 	nanos  []int64
+	bytes  []uint64
+	allocs []uint64
 	ticks  int64
+	mem    bool
 }
 
 // NewPipeline assembles a pipeline from its phases, in execution order.
@@ -25,8 +32,27 @@ func NewPipeline(phases ...Phase) *Pipeline {
 	return &Pipeline{phases: phases, nanos: make([]int64, len(phases))}
 }
 
+// CaptureMem toggles per-phase allocation capture. Each phase boundary
+// then costs a runtime.ReadMemStats (a stop-the-world operation), so the
+// capture is off by default and meant for diagnostic runs — enabling it
+// perturbs wall-clock timings a little, never results.
+func (p *Pipeline) CaptureMem(on bool) {
+	p.mem = on
+	if on && p.bytes == nil {
+		p.bytes = make([]uint64, len(p.phases))
+		p.allocs = make([]uint64, len(p.phases))
+	}
+}
+
+// MemCaptured reports whether allocation capture is (or was) enabled.
+func (p *Pipeline) MemCaptured() bool { return p.bytes != nil }
+
 // Run executes every phase in order (one simulated tick).
 func (p *Pipeline) Run() {
+	if p.mem {
+		p.runWithMem()
+		return
+	}
 	for i := range p.phases {
 		start := time.Now()
 		p.phases[i].Run()
@@ -35,10 +61,33 @@ func (p *Pipeline) Run() {
 	p.ticks++
 }
 
-// PhaseTiming reports the accumulated cost of one phase.
+// runWithMem is the capture variant of Run: cumulative-counter deltas
+// (TotalAlloc, Mallocs) bracket each phase, so per-phase numbers add up
+// exactly to the tick's total allocation.
+func (p *Pipeline) runWithMem() {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range p.phases {
+		start := time.Now()
+		p.phases[i].Run()
+		p.nanos[i] += int64(time.Since(start))
+		runtime.ReadMemStats(&after)
+		p.bytes[i] += after.TotalAlloc - before.TotalAlloc
+		p.allocs[i] += after.Mallocs - before.Mallocs
+		before = after
+	}
+	p.ticks++
+}
+
+// PhaseTiming reports the accumulated cost of one phase. Bytes and
+// Allocs are zero unless memory capture was enabled on the pipeline.
 type PhaseTiming struct {
 	Name  string
 	Total time.Duration
+	// Bytes and Allocs are the phase's cumulative heap allocation over
+	// every captured tick (runtime.MemStats TotalAlloc/Mallocs deltas).
+	Bytes  uint64
+	Allocs uint64
 }
 
 // Timings returns the per-phase accumulated wall-clock costs, in phase
@@ -47,6 +96,10 @@ func (p *Pipeline) Timings() []PhaseTiming {
 	out := make([]PhaseTiming, len(p.phases))
 	for i, ph := range p.phases {
 		out[i] = PhaseTiming{Name: ph.Name, Total: time.Duration(p.nanos[i])}
+		if p.bytes != nil {
+			out[i].Bytes = p.bytes[i]
+			out[i].Allocs = p.allocs[i]
+		}
 	}
 	return out
 }

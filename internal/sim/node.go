@@ -92,7 +92,11 @@ type nodeState struct {
 	// discovery and missing-segment scan run once per period, not once per
 	// round). viewSuppliers holds the alive neighbors as core suppliers;
 	// viewSupAdj maps each of them back to its index in the adjacency list
-	// (the linkGrants/linkReqs slot).
+	// (the linkGrants/linkReqs slot). All four slices are read-only spans
+	// into the owning shard's plan-view arenas (shardScratch), valid for
+	// the period they were built in — a node that skips a period keeps a
+	// stale span but never reads it, because the view is only consumed by
+	// the rounds of the period that built it.
 	viewSuppliers []core.Supplier
 	viewSupAdj    []int32
 
@@ -159,11 +163,14 @@ func (n *nodeState) consumeLost(id segment.ID) bool {
 }
 
 // ensureLinkScratch sizes the per-neighbor counters to the node's current
-// degree (adjacency lists mutate under churn between periods).
+// degree (adjacency lists mutate under churn between periods). Both
+// counters share one backing allocation; the three-index slice keeps the
+// grant half from growing into the request half.
 func (n *nodeState) ensureLinkScratch(deg int) {
 	if cap(n.linkGrants) < deg {
-		n.linkGrants = make([]int32, deg)
-		n.linkReqs = make([]int32, deg)
+		backing := make([]int32, 2*deg)
+		n.linkGrants = backing[:deg:deg]
+		n.linkReqs = backing[deg:]
 		return
 	}
 	n.linkGrants = n.linkGrants[:deg]
@@ -172,13 +179,17 @@ func (n *nodeState) ensureLinkScratch(deg int) {
 
 func newNodeState(id overlay.NodeID, prof bandwidth.Profile, bufCap, joinTick int) *nodeState {
 	return &nodeState{
-		id:            id,
-		buf:           buffer.New(bufCap),
-		profile:       prof,
-		base:          prof,
-		in:            bandwidth.NewBudget(prof.In),
-		out:           bandwidth.NewBudget(prof.Out),
-		alive:         true,
+		id:      id,
+		buf:     buffer.New(bufCap),
+		profile: prof,
+		base:    prof,
+		in:      bandwidth.NewBudget(prof.In),
+		out:     bandwidth.NewBudget(prof.Out),
+		alive:   true,
+		// Pre-size the in-flight set to a period's worth of grants: the
+		// slice converges there anyway, and paying it at construction
+		// keeps the first scheduling periods growth-free.
+		granted:       make([]segment.ID, 0, 16),
 		joinTick:      joinTick,
 		maxSeen:       segment.None,
 		Playback:      NewPlayback(0, 0, 1),

@@ -92,6 +92,18 @@ func (pb *Playback) Discover(sessions []segment.Session, maxAdvert segment.ID) {
 // length zero first) and returned, so callers can reuse backing arrays
 // across periods.
 func (pb *Playback) NeedWindows(buf *buffer.Buffer, sessions []segment.Session, maxAdvert segment.ID, bufferCap, qs int, granted []segment.ID, needOld, needNew []segment.ID) ([]segment.ID, []segment.ID) {
+	dst, split := pb.NeedWindowsInto(buf, sessions, maxAdvert, bufferCap, qs, granted, needOld[:0])
+	needNew = append(needNew[:0], dst[split:]...)
+	return dst[:split:split], needNew
+}
+
+// NeedWindowsInto is the arena form of NeedWindows: both windows are
+// appended to dst — the old-stream window first — and the returned split
+// index separates them (needOld = dst[base:split], needNew = dst[split:],
+// where base is len(dst) at the call). The simulator points many nodes'
+// windows into one per-shard arena this way, paying append growth once
+// per shard instead of once per node.
+func (pb *Playback) NeedWindowsInto(buf *buffer.Buffer, sessions []segment.Session, maxAdvert segment.ID, bufferCap, qs int, granted, dst []segment.ID) ([]segment.ID, int) {
 	cur := sessions[pb.SessionIdx]
 
 	lo := pb.WindowLo()
@@ -102,21 +114,20 @@ func (pb *Playback) NeedWindows(buf *buffer.Buffer, sessions []segment.Session, 
 	if winHi := lo + segment.ID(bufferCap) - 1; hi > winHi {
 		hi = winHi
 	}
-	needOld = needOld[:0]
 	if hi >= lo {
-		needOld = appendMissing(needOld, buf, granted, lo, hi)
+		dst = appendMissing(dst, buf, granted, lo, hi)
 	}
 
-	needNew = needNew[:0]
+	split := len(dst)
 	if next := pb.SessionIdx + 1; next < pb.Known {
 		ns := sessions[next]
 		nhi := ns.Begin + segment.ID(qs) - 1
 		if !ns.Open() && nhi > ns.End {
 			nhi = ns.End
 		}
-		needNew = appendMissing(needNew, buf, granted, ns.Begin, nhi)
+		dst = appendMissing(dst, buf, granted, ns.Begin, nhi)
 	}
-	return needOld, needNew
+	return dst, split
 }
 
 // appendMissing appends the ids in [lo, hi] absent from the buffer and

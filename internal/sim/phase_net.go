@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"math/rand"
-
 	"gossipstream/internal/netmodel"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/sim/engine"
@@ -45,10 +43,10 @@ func (s *Sim) phaseTransit() {
 	shards := s.ensureShards(n)
 	popped := 0
 	quantized := s.net.Quantized()
-	s.pool.Run(shards, func(_, shard int) {
+	s.pool.Run(shards, func(worker, shard int) {
 		sh := &s.shards[shard]
 		sh.netDelivered, sh.netLost, sh.netDelayTicks, sh.netDelayMS, sh.netPopped = 0, 0, 0, 0, 0
-		rng := rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngNet, s.tick, 0, shard)))
+		rng := s.workers[worker].seedRNG(engine.SeedFor(s.cfg.Seed, rngNet, s.tick, 0, shard))
 		loss := s.net.LossProb(s.tick)
 		sh.netPopped = s.net.PopDue(shard, s.tick, func(msg netmodel.Message) {
 			to := s.nodes[msg.To]

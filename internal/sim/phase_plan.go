@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math/rand"
+	"slices"
+	"sort"
 
 	"gossipstream/internal/bitfield"
 	"gossipstream/internal/core"
@@ -13,9 +15,15 @@ import (
 // The plan phase runs every alive non-source node's scheduler and routes
 // the resulting pull requests to their suppliers. Nodes are sharded on
 // the engine grid; each shard plans its nodes with a dedicated RNG stream
-// and buffers its requests in a per-shard outbox, which the serial merge
-// step routes into the suppliers' queues in shard order — so the queue
-// contents are identical at any worker count.
+// and buffers its requests in a per-shard outbox, which the merge step
+// routes into the suppliers' queues in shard order — so the queue
+// contents are identical at any worker count. On the serial engine the
+// merge is one walk; on the parallel engine each outbox is stably
+// bucketed by destination shard and a second sharded pass gathers each
+// supplier shard's slice of every outbox in source-shard order, which
+// reproduces the serial queue contents exactly (a supplier's requests
+// within one outbox keep their planning order — stable bucketing — and
+// outboxes are visited in the same shard order).
 
 // phaseSchedule drives the per-period plan/serve rounds: planning and
 // serving repeat up to ServeRounds times, because the period is one
@@ -24,8 +32,11 @@ import (
 // Budgets persist across rounds (capacity is per period), and segments
 // granted in any round land at period end (one overlay hop per period).
 func (s *Sim) phaseSchedule() {
-	s.sessions = s.tl.Sessions()
-	s.delivered = s.delivered[:0]
+	s.sessions = s.tl.SessionsInto(s.sessions)
+	s.ensureShards(len(s.nodes))
+	for i := range s.shards {
+		s.shards[i].landed = s.shards[i].landed[:0]
+	}
 	s.diagRequests, s.diagCandidates, s.diagPlanned = 0, 0, 0
 	for s.round = 0; s.round < s.cfg.ServeRounds; s.round++ {
 		s.granted = false
@@ -45,8 +56,11 @@ func (s *Sim) planRound() {
 	n := len(s.nodes)
 	shards := s.ensureShards(n)
 	round := s.round
-	for i := range s.incoming {
-		s.incoming[i] = s.incoming[i][:0]
+	parallel := s.pool.Workers() > 1
+	if !parallel {
+		for i := range s.incoming {
+			s.incoming[i] = s.incoming[i][:0]
+		}
 	}
 	s.pool.Run(shards, func(worker, shard int) {
 		ws := s.workers[worker]
@@ -54,7 +68,14 @@ func (s *Sim) planRound() {
 		sh.requests = sh.requests[:0]
 		sh.controlBits = 0
 		sh.diagRequests, sh.diagCandidates, sh.diagPlanned = 0, 0, 0
-		rng := rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngPlan, s.tick, round, shard)))
+		if round == 0 {
+			// New period: the plan-view arenas are rebuilt from scratch
+			// (buildView repopulates them for every planning node below).
+			sh.supArena = sh.supArena[:0]
+			sh.supAdjArena = sh.supAdjArena[:0]
+			sh.needArena = sh.needArena[:0]
+		}
+		rng := ws.seedRNG(engine.SeedFor(s.cfg.Seed, rngPlan, s.tick, round, shard))
 		wire := int64(bitfield.WireBits(s.cfg.BufferCap))
 		lo, hi := engine.ShardSpan(n, shard)
 		for i := lo; i < hi; i++ {
@@ -76,25 +97,67 @@ func (s *Sim) planRound() {
 			}
 			s.planNode(ws, sh, nd, round, rng)
 		}
+		if parallel {
+			// Stable bucketing by destination shard: a supplier's requests
+			// keep their planning order, so the sharded gather below
+			// reproduces the serial merge's queue contents exactly.
+			slices.SortStableFunc(sh.requests, func(a, b routedRequest) int {
+				return engine.ShardOf(int(a.sup)) - engine.ShardOf(int(b.sup))
+			})
+		}
 	})
-	// Serial merge: route every shard's requests in shard order.
+	// Scalar reduce in shard order (identical on both engines).
 	for si := 0; si < shards; si++ {
 		sh := &s.shards[si]
 		s.controlBits += sh.controlBits
 		s.diagRequests += sh.diagRequests
 		s.diagCandidates += sh.diagCandidates
 		s.diagPlanned += sh.diagPlanned
-		for _, rr := range sh.requests {
-			s.incoming[rr.sup] = append(s.incoming[rr.sup], rr.req)
-		}
 	}
+	if !parallel {
+		// Serial merge: route every shard's requests in shard order.
+		for si := 0; si < shards; si++ {
+			for _, rr := range s.shards[si].requests {
+				s.incoming[rr.sup] = append(s.incoming[rr.sup], rr.req)
+			}
+		}
+		return
+	}
+	// Parallel gather, sharded over *suppliers*: each worker fills its own
+	// shard's queues by visiting every outbox's slice for that shard in
+	// source-shard order — same contents, same order, no write conflicts.
+	s.pool.Run(shards, func(_, d int) {
+		lo, hi := engine.ShardSpan(n, d)
+		for i := lo; i < hi; i++ {
+			s.incoming[i] = s.incoming[i][:0]
+		}
+		for si := 0; si < shards; si++ {
+			sh := &s.shards[si]
+			rlo, rhi := destShardRange(sh.requests, d)
+			for _, rr := range sh.requests[rlo:rhi] {
+				s.incoming[rr.sup] = append(s.incoming[rr.sup], rr.req)
+			}
+		}
+	})
+}
+
+// destShardRange returns the subrange of a destination-sorted outbox
+// addressed to suppliers in shard d.
+func destShardRange(reqs []routedRequest, d int) (lo, hi int) {
+	lo = sort.Search(len(reqs), func(i int) bool {
+		return engine.ShardOf(int(reqs[i].sup)) >= d
+	})
+	hi = lo + sort.Search(len(reqs)-lo, func(i int) bool {
+		return engine.ShardOf(int(reqs[lo+i].sup)) > d
+	})
+	return lo, hi
 }
 
 // planNode runs one node's scheduler for the round and queues its
 // requests in the shard outbox.
 func (s *Sim) planNode(ws *workerScratch, sh *shardScratch, n *nodeState, round int, rng *rand.Rand) {
 	if round == 0 {
-		s.buildView(n)
+		s.buildView(sh, n)
 	}
 	for i := range n.linkReqs {
 		n.linkReqs[i] = 0 // per-round prefetch request counters
@@ -182,9 +245,13 @@ func filterSeen(dst, src []segment.ID, seen *segSet) []segment.ID {
 // boundaries; rounds re-filter it for busy suppliers and in-flight
 // segments. Discovery of a new session happens here — the node notices
 // neighbors advertising segments past the current session's end.
-func (s *Sim) buildView(n *nodeState) {
-	n.viewSuppliers = n.viewSuppliers[:0]
-	n.viewSupAdj = n.viewSupAdj[:0]
+//
+// The view lives as spans of the shard's arenas (the node fields are
+// windows into them), appended shard-locally by the worker that owns the
+// node — so the arena layout, like the view contents, is a pure function
+// of shard state and the determinism contract is untouched.
+func (s *Sim) buildView(sh *shardScratch, n *nodeState) {
+	supBase := len(sh.supArena)
 	maxAdvert := segment.None
 	for ni, v := range s.g.Neighbors(n.id) {
 		nb := s.nodes[v]
@@ -193,7 +260,7 @@ func (s *Sim) buildView(n *nodeState) {
 			// no requests, no supply until the partition heals.
 			continue
 		}
-		if len(n.viewSuppliers) == core.MaxSuppliers {
+		if len(sh.supArena)-supBase == core.MaxSuppliers {
 			// Hubs created by the random augmentation can exceed the
 			// scheduler's supplier mask; a node evaluates at most
 			// MaxSuppliers neighbors per period (far beyond the M=5 a
@@ -207,15 +274,17 @@ func (s *Sim) buildView(n *nodeState) {
 		if s.cfg.SharedOutbound {
 			rate = nb.out.Rate()
 		}
-		n.viewSuppliers = append(n.viewSuppliers, core.Supplier{
+		sh.supArena = append(sh.supArena, core.Supplier{
 			ID:   core.SupplierID(v),
 			Rate: rate,
 			View: nb.buf,
 		})
-		n.viewSupAdj = append(n.viewSupAdj, int32(ni))
+		sh.supAdjArena = append(sh.supAdjArena, int32(ni))
 	}
+	n.viewSuppliers = sh.supArena[supBase:len(sh.supArena):len(sh.supArena)]
+	n.viewSupAdj = sh.supAdjArena[supBase:len(sh.supAdjArena):len(sh.supAdjArena)]
 	if maxAdvert == segment.None {
-		n.needOld, n.needNew = n.needOld[:0], n.needNew[:0]
+		n.needOld, n.needNew = nil, nil
 		return
 	}
 
@@ -223,8 +292,12 @@ func (s *Sim) buildView(n *nodeState) {
 	// per-node protocol core (peercore.go), driven here against same-tick
 	// buffer state and in the live runtime against decoded wire maps.
 	n.Discover(s.sessions, maxAdvert)
-	n.needOld, n.needNew = n.NeedWindows(n.buf, s.sessions, maxAdvert,
-		s.cfg.BufferCap, s.cfg.Qs, n.granted, n.needOld, n.needNew)
+	needBase := len(sh.needArena)
+	arena, split := n.NeedWindowsInto(n.buf, s.sessions, maxAdvert,
+		s.cfg.BufferCap, s.cfg.Qs, n.granted, sh.needArena)
+	sh.needArena = arena
+	n.needOld = arena[needBase:split:split]
+	n.needNew = arena[split:len(arena):len(arena)]
 }
 
 // prefetch spends the node's leftover inbound budget on uniformly random

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math/rand"
+	"slices"
+	"sort"
 
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/overlay"
@@ -19,11 +21,16 @@ import (
 //     parallel step), so proposals depend solely on round-start state and
 //     supplier-local state: deterministic at any worker count.
 //
-//   - commit (serial, shard order): each proposal is re-validated against
-//     the requester's live inbound budget, which competing suppliers may
-//     have oversubscribed during propose. Winners become deliveries;
-//     losers refund the supplier's spent capacity so it is available to
-//     the next round (capacity is per period).
+//   - commit: each proposal is re-validated against the requester's live
+//     inbound budget, which competing suppliers may have oversubscribed
+//     during propose. Winners become deliveries; losers refund the
+//     supplier's spent capacity so it is available to the next round
+//     (capacity is per period). On the serial engine the commit is one
+//     walk in (shard, proposal) order. On the parallel engine it is
+//     sharded over *requesters*: a proposal's fate depends only on its
+//     requester's inbound budget and per-requester arrival order, so
+//     workers that own disjoint requester shards make the identical
+//     decisions — see commitParallel for the exact argument.
 //
 // In the paper's per-link model (the default) a supplier answers each
 // neighbor independently at rate R(j): the only caps are the per-link
@@ -46,13 +53,14 @@ func (s *Sim) serveRound() {
 	n := len(s.nodes)
 	shards := s.ensureShards(n)
 	round := s.round
+	parallel := s.pool.Workers() > 1
 	s.pool.Run(shards, func(worker, shard int) {
 		ws := s.workers[worker]
 		sh := &s.shards[shard]
 		sh.proposals = sh.proposals[:0]
 		var rng *rand.Rand
 		if s.cfg.SharedOutbound {
-			rng = rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngServe, s.tick, round, shard)))
+			rng = ws.seedRNG(engine.SeedFor(s.cfg.Seed, rngServe, s.tick, round, shard))
 		}
 		lo, hi := engine.ShardSpan(n, shard)
 		for sid := lo; sid < hi; sid++ {
@@ -66,17 +74,39 @@ func (s *Sim) serveRound() {
 				s.proposePerLink(ws, sh, overlay.NodeID(sid), reqs)
 			}
 		}
+		if parallel {
+			sh.buildCommitIndex()
+		}
 	})
-
-	// Serial commit in shard order. Under the netmodel transport the
-	// committed grant becomes an in-flight message instead of an
-	// end-of-tick delivery; its jitter draw comes from a dedicated
-	// per-(tick, round) stream, deterministic because the commit walk
-	// itself is serial and shard-ordered.
-	var jitterRNG *rand.Rand
-	if s.net != nil && s.net.JitterMS() > 0 {
-		jitterRNG = rand.New(rand.NewSource(engine.SeedFor(s.cfg.Seed, rngNetJit, s.tick, round, 0)))
+	if parallel {
+		s.commitParallel(shards, round)
+	} else {
+		s.commitSerial(shards, round)
 	}
+}
+
+// serveJitterRNG returns the round's jitter stream (nil when the transport
+// draws no jitter), reseeding the Sim's reusable generator.
+func (s *Sim) serveJitterRNG(round int) *rand.Rand {
+	if s.net == nil || s.net.JitterMS() <= 0 {
+		return nil
+	}
+	seed := engine.SeedFor(s.cfg.Seed, rngNetJit, s.tick, round, 0)
+	if s.jitterRNG == nil {
+		s.jitterRNG = rand.New(rand.NewSource(seed))
+	} else {
+		s.jitterRNG.Seed(seed)
+	}
+	return s.jitterRNG
+}
+
+// commitSerial is the single-worker commit: one walk over every shard's
+// proposals in (shard, position) order. Under the netmodel transport the
+// committed grant becomes an in-flight message instead of an end-of-tick
+// delivery; its jitter draw comes from a dedicated per-(tick, round)
+// stream, deterministic because the walk is shard-ordered.
+func (s *Sim) commitSerial(shards, round int) {
+	jitterRNG := s.serveJitterRNG(round)
 	granted := false
 	for si := 0; si < shards; si++ {
 		for _, p := range s.shards[si].proposals {
@@ -103,7 +133,8 @@ func (s *Sim) serveRound() {
 				}
 				s.net.Send(s.tick, p.sup, p.from, p.seg, jitter)
 			} else {
-				s.delivered = append(s.delivered, delivery{to: p.from, seg: p.seg})
+				dst := &s.shards[engine.ShardOf(int(p.from))]
+				dst.landed = append(dst.landed, delivery{to: p.from, seg: p.seg})
 			}
 			if s.win.active {
 				s.dataBits += bandwidth.BitsForSegments(1)
@@ -111,6 +142,136 @@ func (s *Sim) serveRound() {
 		}
 	}
 	s.granted = granted
+}
+
+// commitParallel is the multi-worker commit. A proposal's fate depends on
+// exactly two things: its requester's inbound budget and the order the
+// requester's proposals arrive in the global (shard, position) commit
+// walk. Both are requester-local, so the decisions can be sharded over
+// requesters: each worker replays, for its own requesters only, the same
+// subsequence of the global walk the serial commit would visit (source
+// shards ascending, original proposal order within each — the per-source
+// commit index is a *stable* sort by requester shard, so intra-shard
+// order survives the bucketing). Identical per-requester order plus
+// untouched cross-requester state means bit-identical Take/markGranted
+// decisions at any worker count.
+//
+// Writes stay disjoint: requester state (inbound budget, granted set,
+// linkGrants refunds) belongs to the worker owning the requester's shard;
+// accept flags land at distinct indexes of the source shards' flag
+// arrays; deliveries and counters buffer in the requester shard's
+// scratch. The two cross-shard effects — shared-mode supplier refunds and
+// the global window counters — are deferred to a serial shard-ordered
+// reduce. Refunds only influence the *next* round's planning (commit
+// decisions never read supplier budgets), so deferring them is
+// behavior-identical to the serial commit's in-walk refunds.
+//
+// Under the netmodel transport the message sends themselves stay serial:
+// a final pass walks the accept flags in the original (shard, position)
+// order, so jitter draws and transport sequence numbers match the serial
+// engine exactly.
+func (s *Sim) commitParallel(shards, round int) {
+	s.pool.Run(shards, func(_, d int) {
+		dsh := &s.shards[d]
+		dsh.refundSup = dsh.refundSup[:0]
+		dsh.committed, dsh.reRequests = 0, 0
+		for si := 0; si < shards; si++ {
+			src := &s.shards[si]
+			lo, hi := src.reqShardRange(d)
+			for _, idx := range src.propOrder[lo:hi] {
+				p := src.proposals[idx]
+				req := s.nodes[p.from]
+				if !req.in.Take(1) {
+					if s.cfg.SharedOutbound {
+						dsh.refundSup = append(dsh.refundSup, p.sup)
+					} else {
+						req.linkGrants[p.nbIdx]--
+					}
+					continue
+				}
+				req.markGranted(p.seg)
+				src.accept[idx] = true
+				dsh.committed++
+				if s.net != nil {
+					if req.consumeLost(p.seg) && s.win.active {
+						dsh.reRequests++
+					}
+				} else {
+					dsh.landed = append(dsh.landed, delivery{to: p.from, seg: p.seg})
+				}
+			}
+		}
+	})
+
+	// Serial reduce in shard order: supplier refunds and window counters.
+	granted := false
+	for d := 0; d < shards; d++ {
+		dsh := &s.shards[d]
+		if dsh.committed > 0 {
+			granted = true
+		}
+		for _, sup := range dsh.refundSup {
+			s.nodes[sup].out.Refund(1)
+		}
+		if s.win.active {
+			s.dataBits += int64(dsh.committed) * bandwidth.BitsForSegments(1)
+			s.netReRequests += int64(dsh.reRequests)
+		}
+	}
+	s.granted = granted
+
+	// Netmodel landing: serial sends in the original commit order.
+	if s.net != nil {
+		jitterRNG := s.serveJitterRNG(round)
+		for si := 0; si < shards; si++ {
+			src := &s.shards[si]
+			for idx, p := range src.proposals {
+				if !src.accept[idx] {
+					continue
+				}
+				var jitter float64
+				if jitterRNG != nil {
+					jitter = jitterRNG.Float64() * s.net.JitterMS()
+				}
+				s.net.Send(s.tick, p.sup, p.from, p.seg, jitter)
+			}
+		}
+	}
+}
+
+// buildCommitIndex prepares the shard's proposals for the parallel
+// commit: propOrder is the proposal indexes stably sorted by requester
+// shard (so one requester shard's slice is a contiguous range, in
+// original proposal order), accept the cleared per-proposal win flags.
+func (sh *shardScratch) buildCommitIndex() {
+	n := len(sh.proposals)
+	if cap(sh.propOrder) < n {
+		sh.propOrder = make([]int32, 0, n+n/2+8)
+	}
+	sh.propOrder = sh.propOrder[:0]
+	if cap(sh.accept) < n {
+		sh.accept = make([]bool, n)
+	}
+	sh.accept = sh.accept[:n]
+	for i := 0; i < n; i++ {
+		sh.propOrder = append(sh.propOrder, int32(i))
+		sh.accept[i] = false
+	}
+	slices.SortStableFunc(sh.propOrder, func(a, b int32) int {
+		return engine.ShardOf(int(sh.proposals[a].from)) - engine.ShardOf(int(sh.proposals[b].from))
+	})
+}
+
+// reqShardRange returns the propOrder subrange whose proposals address
+// requesters in shard d (binary search over the sorted index).
+func (sh *shardScratch) reqShardRange(d int) (lo, hi int) {
+	lo = sort.Search(len(sh.propOrder), func(i int) bool {
+		return engine.ShardOf(int(sh.proposals[sh.propOrder[i]].from)) >= d
+	})
+	hi = lo + sort.Search(len(sh.propOrder)-lo, func(i int) bool {
+		return engine.ShardOf(int(sh.proposals[sh.propOrder[lo+i]].from)) > d
+	})
+	return lo, hi
 }
 
 // proposePerLink proposes grants under the paper's link-capacity

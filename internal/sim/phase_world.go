@@ -75,12 +75,17 @@ func (s *Sim) phaseRefill() {
 
 // phaseDeliver lands this tick's granted transfers (store-and-forward: a
 // segment received in period t becomes visible to neighbors in t+1).
+// Sharded: the commit step buckets deliveries by recipient shard, and a
+// node's buffer is touched only by the worker owning its shard.
 func (s *Sim) phaseDeliver() {
-	for _, d := range s.delivered {
-		n := s.nodes[d.to]
-		n.receive(d.seg)
-		n.clearGranted()
-	}
+	shards := s.ensureShards(len(s.nodes))
+	s.pool.Run(shards, func(_, shard int) {
+		for _, d := range s.shards[shard].landed {
+			n := s.nodes[d.to]
+			n.receive(d.seg)
+			n.clearGranted()
+		}
+	})
 }
 
 // phasePlayback advances every alive non-source node's playback state

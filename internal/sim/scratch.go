@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+
 	"gossipstream/internal/core"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
@@ -124,18 +126,63 @@ type workerScratch struct {
 	retry []int32
 	// pool is the prefetch candidate pool (the former poolScratch).
 	pool []segment.ID
+	// rng is the worker's reusable generator. Every sharded phase that
+	// draws randomness reseeds it with its (phase, tick, round, shard)
+	// stream before use — Rand.Seed resets the source to exactly the
+	// state rand.New(rand.NewSource(seed)) would build, so reuse is
+	// stream-identical to a fresh generator while skipping the ~5 KB
+	// rngSource allocation per shard per round.
+	rng *rand.Rand
 }
 
-// shardScratch buffers one shard's phase output until the serial merge.
-// Indexed by shard on the fixed grid; contents are valid only within the
+// seedRNG returns the worker's generator reseeded to the given stream.
+func (ws *workerScratch) seedRNG(seed int64) *rand.Rand {
+	if ws.rng == nil {
+		ws.rng = rand.New(rand.NewSource(seed))
+		return ws.rng
+	}
+	ws.rng.Seed(seed)
+	return ws.rng
+}
+
+// shardScratch buffers one shard's phase output until the shard-ordered
+// reduce (serial in-order walk on the serial engine, sorted-outbox
+// parallel gather at Workers>1 — bit-identical by construction). Indexed
+// by shard on the fixed grid; contents are valid only within the
 // producing round.
 type shardScratch struct {
 	// requests is the plan phase outbox: requests routed to suppliers
-	// during the serial merge, in planning order.
+	// during the reduce, in planning order (the parallel gather stably
+	// re-sorts them by destination shard first).
 	requests []routedRequest
 	// proposals is the serve phase outbox: tentative grants awaiting the
-	// serial commit.
+	// commit step.
 	proposals []proposal
+	// Parallel-commit index over proposals (multi-worker engine only):
+	// propOrder is the proposal indexes stably sorted by requester shard,
+	// accept the per-proposal win flags the requester-shard workers set
+	// (distinct indexes, so the concurrent writes are race-free).
+	propOrder []int32
+	accept    []bool
+	// Requester-side commit output, reduced serially in shard order:
+	// deliveries landing at this shard's nodes (classic substrate),
+	// shared-mode capacity refunds owed to suppliers, and the shard's
+	// committed-grant / loss-induced re-request counts.
+	landed     []delivery
+	refundSup  []overlay.NodeID
+	committed  int
+	reRequests int
+	// Plan-view arenas: the per-period views of the shard's nodes
+	// (suppliers, adjacency slots, undelivered windows) live as spans of
+	// these backing arrays instead of per-node slices. Reset at round 0 of
+	// each period, right before buildView repopulates them shard-locally —
+	// so in steady state a whole period's views cost zero allocations,
+	// where per-node slices kept paying append-growth during warm-up. A
+	// mid-build realloc strands earlier spans on the old backing, which is
+	// harmless: spans are read through the node fields, not the arena.
+	supArena    []core.Supplier
+	supAdjArena []int32
+	needArena   []segment.ID
 	// controlBits accumulates the round-0 buffer-map exchange cost.
 	controlBits int64
 	// Per-tick diagnostics, merged into the Sim's counters.

@@ -33,6 +33,9 @@ type Sim struct {
 	rng      *rand.Rand // structural decisions (source pick)
 	churnRNG *rand.Rand
 	profRNG  *rand.Rand
+	// jitterRNG is the serve commit's reusable jitter generator, reseeded
+	// to its per-(tick, round) stream before each serial commit walk.
+	jitterRNG *rand.Rand
 
 	g     *overlay.Graph
 	dir   *membership.Directory
@@ -101,10 +104,9 @@ type Sim struct {
 	sessions []segment.Session // per-tick snapshot of the timeline
 
 	// Sharded scratch, reused across ticks.
-	workers   []*workerScratch
-	shards    []shardScratch
-	incoming  [][]pullRequest
-	delivered []delivery
+	workers  []*workerScratch
+	shards   []shardScratch
+	incoming [][]pullRequest
 
 	// per-tick diagnostics (tests and the debug CLI read these)
 	diagRequests   int
@@ -182,6 +184,10 @@ func New(cfg Config) (*Sim, error) {
 	s.lastRetired = -1
 	if cfg.Net != nil {
 		s.net = netmodel.New(*cfg.Net, cfg.Tau)
+		// Reserve room for a few grants in flight per node — the
+		// steady-state population under sub-period link delays — so the
+		// warm-up ticks never grow the transport's heaps.
+		s.net.Reserve(len(s.nodes), 4)
 	}
 
 	script := cfg.Script
@@ -260,6 +266,15 @@ func (s *Sim) autoDuration() int {
 // Workers returns the engine concurrency the simulation runs with (1 for
 // the serial engine).
 func (s *Sim) Workers() int { return s.pool.Workers() }
+
+// CapturePhaseMem toggles per-phase allocation capture on both the tick
+// pipeline and the plan/serve sub-pipeline (see engine.Pipeline.
+// CaptureMem — a diagnostic mode; each phase boundary pays a
+// stop-the-world ReadMemStats). Call before Run.
+func (s *Sim) CapturePhaseMem(on bool) {
+	s.pipeline.CaptureMem(on)
+	s.sched.CaptureMem(on)
+}
 
 // PhaseTimings returns the accumulated wall-clock cost per pipeline
 // phase, with the schedule phase broken down into its plan and serve

@@ -166,13 +166,15 @@ func TestTickInvariants(t *testing.T) {
 		perTick := int(s.cfg.P * s.cfg.Tau)
 		seen := map[[2]int64]bool{}
 		perNode := map[overlay.NodeID]int{}
-		for _, d := range s.delivered {
-			key := [2]int64{int64(d.to), int64(d.seg)}
-			if seen[key] {
-				t.Fatalf("tick %d: duplicate delivery %v", s.tick, key)
+		for si := range s.shards {
+			for _, d := range s.shards[si].landed {
+				key := [2]int64{int64(d.to), int64(d.seg)}
+				if seen[key] {
+					t.Fatalf("tick %d: duplicate delivery %v", s.tick, key)
+				}
+				seen[key] = true
+				perNode[d.to]++
 			}
-			seen[key] = true
-			perNode[d.to]++
 		}
 		for id, got := range perNode {
 			n := s.nodes[id]
