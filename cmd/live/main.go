@@ -14,6 +14,16 @@
 //	live -f conf.scn -algo both
 //	live -name paper-single-switch -n 150 -compare  # sim vs live
 //	live -list
+//
+// A scenario can also span several OS processes: one starter runs the
+// coordinator plus shard 0, and each -join process takes another shard
+// of the peer population. Joiners bootstrap entirely from the starter —
+// the scenario text, the shard assignment and the address directory all
+// arrive over the authenticated control plane, and peer socket
+// addresses spread by gossip:
+//
+//	live -name paper-single-switch -serve 127.0.0.1:9310 -workers 2
+//	live -join 127.0.0.1:9310   # run twice, in two other terminals
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"gossipstream/internal/cluster"
 	"gossipstream/internal/runtime"
 	"gossipstream/internal/scenario"
 	"gossipstream/internal/sim"
@@ -38,6 +49,10 @@ func main() {
 		timescale = flag.Float64("timescale", 0, "scenario seconds per wall second (0 = default 50; 1 = real time)")
 		compare   = flag.Bool("compare", false, "run the simulator first, then the live system, and print both")
 		stats     = flag.Bool("stats", false, "print the wall-clock execution stats (periods, overruns, transport counters)")
+		serve     = flag.String("serve", "", "run as a cluster starter node listening on this address (host:port)")
+		join      = flag.String("join", "", "join a cluster starter at this address and host one shard")
+		workers   = flag.Int("workers", 2, "with -serve: joining processes to wait for")
+		token     = flag.String("token", "gossipstream", "shared control-plane secret (all processes must agree)")
 	)
 	flag.Parse()
 
@@ -48,12 +63,22 @@ func main() {
 		return
 	}
 
+	if *join != "" {
+		runJoin(*join, *token, *seed)
+		return
+	}
+
 	sc := load(*file, *name)
 	if *n > 0 {
 		sc = sc.Scaled(*n)
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+
+	if *serve != "" {
+		runServe(sc, *serve, *algo, *workers, *token, *timescale, *stats)
+		return
 	}
 
 	factories := map[string]sim.AlgorithmFactory{}
@@ -119,6 +144,54 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runServe drives a multi-process run from the starter side and prints
+// the merged result.
+func runServe(sc *scenario.Scenario, listen, algo string, workers int, token string, timescale float64, stats bool) {
+	if algo != "fast" && algo != "normal" {
+		fmt.Fprintf(os.Stderr, "live: -serve needs -algo fast or normal (got %q)\n", algo)
+		os.Exit(2)
+	}
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Desc)
+	fmt.Printf("  nodes=%d seed=%d events=%d shards=%d transport=udp\n\n", sc.Nodes, sc.Seed, len(sc.Events), workers+1)
+	res, ls, err := cluster.Serve(cluster.Config{
+		Scenario:  sc,
+		Algo:      algo,
+		Workers:   workers,
+		TimeScale: timescale,
+		Token:     token,
+		Listen:    listen,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	printResult("cluster/"+algo, res)
+	if stats {
+		fmt.Printf("  wall: %v for %d periods (%d overruns); transport: %d data frames sent, %d delivered, %d lost\n",
+			ls.WallDuration.Round(1000000), ls.Periods, ls.Overruns,
+			ls.Transport.DataSent, ls.Transport.DataDelivered, ls.Transport.DataLost)
+	}
+}
+
+// runJoin runs one joining process; everything else (scenario, shard,
+// pacing) arrives from the starter.
+func runJoin(starter, token string, seed int64) {
+	res, err := cluster.Join(cluster.JoinConfig{
+		Starter: starter,
+		Token:   token,
+		Seed:    seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	printResult("shard-local", res)
 }
 
 // makeTransport builds a fresh transport per run (a runner owns and

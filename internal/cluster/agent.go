@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/runtime"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+// JoinConfig parameterizes a joining process.
+type JoinConfig struct {
+	Starter string // the starter node's control address (host:port)
+	Token   string // shared HMAC secret
+	Seed    int64  // control-plane socket seed (any value; 0 is fine)
+	Logf    func(format string, args ...any)
+}
+
+func (c *JoinConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Join runs one joining process end to end: knock on the starter until
+// welcomed, compile the scenario the welcome carries, drive the
+// assigned shard tick by tick applying broadcast directives, gossip
+// the address directory, and ship the shard's windows back. Returns
+// the shard-local result (the merged run lives at the starter).
+func Join(cfg JoinConfig) (*sim.Result, error) {
+	book := NewDirectory(cfg.Seed ^ 0x0d1c7)
+	l, err := newLink("", -1, cfg.Token, book, cfg.Seed^0xa6e27)
+	if err != nil {
+		return nil, err
+	}
+	defer l.close()
+
+	w, ackWelcome, err := awaitWelcome(cfg, l)
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("cluster: joined %s as shard %d/%d", cfg.Starter, w.Shard, w.Shards)
+
+	sc, err := scenario.Parse(strings.NewReader(w.Scenario))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: welcome scenario: %w", err)
+	}
+	l.setShard(w.Shard)
+	book.MergeWire(w.Dir)
+
+	tr := runtime.NewUDPTransport(sc.Seed ^ 0x11fe ^ int64(w.Shard))
+	tr.SetAddrBook(book)
+	r, err := runtime.FromScenario(sc, algoFactory(w.Algo), runtime.Options{
+		Transport: tr, TimeScale: w.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tick atomic.Int64
+	l.setPolicy(func() netmodel.LinkPolicy { return r.Policy() },
+		func() int { return int(tick.Load()) }, 1/w.TimeScale)
+	ackWelcome()
+
+	if err := awaitStart(l); err != nil {
+		return nil, err
+	}
+	if err := r.StartShard(w.Shard, w.Shards); err != nil {
+		return nil, err
+	}
+	a := &agent{cfg: cfg, l: l, book: book, r: r, shard: w.Shard,
+		shards: w.Shards, timeScale: w.TimeScale, tick: &tick,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x905517)),
+	}
+	return a.run()
+}
+
+// awaitWelcome retries the hello until the coordinator's welcome
+// arrives; the returned ack closure must be called once the agent is
+// ready to receive sequenced traffic under its assigned shard.
+func awaitWelcome(cfg JoinConfig, l *link) (*Welcome, func(), error) {
+	hello := &Hello{Addr: l.addr()}
+	deadline := time.After(5 * time.Minute)
+	t := time.NewTicker(helloEvery)
+	defer t.Stop()
+	if err := l.sendHello(cfg.Starter, hello); err != nil {
+		return nil, nil, err
+	}
+	for {
+		select {
+		case m := <-l.inbox:
+			if m.P.Kind == "welcome" && m.P.Welcome != nil {
+				ack := func() {}
+				if m.Ack != nil {
+					ack = func() { m.Ack(nil) }
+				}
+				return m.P.Welcome, ack, nil
+			}
+		case <-t.C:
+			if err := l.sendHello(cfg.Starter, hello); err != nil {
+				return nil, nil, err
+			}
+		case <-deadline:
+			return nil, nil, fmt.Errorf("cluster: no welcome from %s", cfg.Starter)
+		}
+	}
+}
+
+// awaitStart waits for the coordinator's opening gun (sent once every
+// worker joined).
+func awaitStart(l *link) error {
+	deadline := time.After(5 * time.Minute)
+	for {
+		select {
+		case m := <-l.inbox:
+			if m.Ack != nil {
+				m.Ack(nil)
+			}
+			if m.P.Kind == "start" {
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("cluster: run never started")
+		}
+	}
+}
+
+// agent is a joined worker's run loop state.
+type agent struct {
+	cfg       JoinConfig
+	l         *link
+	book      *Directory
+	r         *runtime.Runner
+	shard     int
+	shards    int
+	timeScale float64
+	tick      *atomic.Int64
+	rng       *rand.Rand
+
+	appliedSeq uint64
+	finishing  bool
+}
+
+// run drives the shard: apply queued directives in sequence, tick the
+// owned peers, report status, gossip the directory — until the finish
+// directive (or the scripted duration as the severed-control-plane
+// fallback).
+func (a *agent) run() (*sim.Result, error) {
+	r := a.r
+	periodWall := time.Duration(float64(time.Second) * r.Tau() / a.timeScale)
+	wallPer := 1 / a.timeScale
+	// The fallback deadline: well past the scripted duration, so a
+	// coordinator that died partitioned cannot wedge the process.
+	fallback := time.Now().Add(time.Duration(r.Duration()+60)*periodWall + time.Minute)
+	next := time.Now()
+	for r.CurrentTick() < r.Duration() && !a.finishing {
+		a.tick.Store(int64(r.CurrentTick()))
+		if err := a.drainDirectives(); err != nil {
+			return nil, err
+		}
+		if a.finishing {
+			break
+		}
+		if err := r.TickShard(wallPer); err != nil {
+			return nil, err
+		}
+		a.l.cast(0, &Payload{Kind: "status", Status: &Status{
+			Shard:      a.shard,
+			Tick:       r.CurrentTick(),
+			Idle:       r.Idle(),
+			AppliedSeq: a.appliedSeq,
+			Nodes:      r.ShardStatus(),
+		}})
+		a.gossipRound()
+		if time.Now().After(fallback) {
+			a.cfg.logf("cluster: shard %d hit its fallback deadline", a.shard)
+			break
+		}
+		next = next.Add(periodWall)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		} else {
+			next = time.Now()
+		}
+	}
+	if !a.finishing {
+		// Scripted duration reached without a finish directive: wait a
+		// grace period for one (the coordinator may simply be behind),
+		// then finish alone.
+		a.awaitFinish(30 * time.Second)
+	}
+	res := a.r.FinishShard()
+	a.cfg.logf("cluster: shard %d finished at tick %d (%d windows)", a.shard, r.CurrentTick(), len(res.Windows))
+	a.sendReport(res)
+	return res, nil
+}
+
+// drainDirectives applies every queued control message without
+// blocking. Sequenced messages arrive in order; each is acked after it
+// is applied, so the coordinator's drain check sees applied state.
+func (a *agent) drainDirectives() error {
+	for {
+		select {
+		case m := <-a.l.inbox:
+			if err := a.handle(m); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// handle applies one control message.
+func (a *agent) handle(m inMsg) error {
+	d := m.P.Dir
+	if m.P.Kind != "directive" || d == nil {
+		if m.Ack != nil {
+			m.Ack(nil)
+		}
+		return nil
+	}
+	switch d.Kind {
+	case runtime.DirStopSource:
+		// The targeted stop round trip: close the owned source's session
+		// and return the closing segment id in the ack.
+		seg, ok := a.r.StopSource(d.Old)
+		a.appliedSeq = m.Seq
+		if m.Ack != nil {
+			m.Ack(&Payload{Kind: "s1end", S1End: &S1End{Seg: seg, OK: ok}})
+		}
+		return nil
+	case runtime.DirFinish:
+		a.finishing = true
+		a.appliedSeq = m.Seq
+		if m.Ack != nil {
+			m.Ack(nil)
+		}
+		return nil
+	}
+	err := a.r.Apply(d)
+	a.appliedSeq = m.Seq
+	if m.Ack != nil {
+		m.Ack(nil)
+	}
+	return err
+}
+
+// gossipRound pushes a directory batch to the coordinator and to one
+// random sibling — the spoke half of the anti-entropy epidemic that
+// spreads peer socket addresses without any static list.
+func (a *agent) gossipRound() {
+	a.l.gossip(0, a.book.DeltaBatch(gossipBatch))
+	if a.shards > 2 {
+		sib := a.rng.Intn(a.shards-2) + 1
+		if sib >= a.shard {
+			sib++
+		}
+		a.l.gossip(sib, a.book.DeltaBatch(gossipBatch))
+	}
+}
+
+// awaitFinish blocks on the inbox for a finish directive for at most
+// the grace period.
+func (a *agent) awaitFinish(grace time.Duration) {
+	deadline := time.After(grace)
+	for !a.finishing {
+		select {
+		case m := <-a.l.inbox:
+			if a.handle(m) != nil {
+				return
+			}
+		case <-deadline:
+			a.cfg.logf("cluster: shard %d: no finish directive within %v, finishing alone", a.shard, grace)
+			return
+		}
+	}
+}
+
+// sendReport ships every window back to the coordinator reliably (the
+// retry loop carries them through whatever the policy still blocks).
+func (a *agent) sendReport(res *sim.Result) {
+	count := len(res.Windows)
+	if count == 0 {
+		a.l.send(0, &Payload{Kind: "report", Report: &Report{
+			Shard: a.shard, Algo: res.Algorithm, Count: 0,
+		}})
+	}
+	for i, w := range res.Windows {
+		a.l.send(0, &Payload{Kind: "report", Report: &Report{
+			Shard: a.shard, Algo: res.Algorithm, WindowIdx: i, Count: count, Window: w,
+		}})
+	}
+	a.awaitAcks(reportTimeout)
+}
+
+// awaitAcks polls until every reliable send toward the coordinator is
+// acknowledged (or the timeout passes — nothing more to do then).
+func (a *agent) awaitAcks(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if a.l.pendingEmpty(0) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/runtime"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+// Config parameterizes a multi-process run from the starter side.
+type Config struct {
+	Scenario  *scenario.Scenario
+	Algo      string  // algorithm name ("fast" or "normal"), shipped in the welcome
+	Workers   int     // joining processes expected; the run spans Workers+1 shards
+	TimeScale float64 // 0: runtime.DefaultTimeScale
+	Token     string  // shared HMAC secret; every process must agree
+	Listen    string  // starter control address (the one configured address)
+
+	// Logf, when set, receives progress lines (worker joins, event
+	// resolutions, the finish).
+	Logf func(format string, args ...any)
+
+	// Ready, when set, is called with the bound control address once the
+	// starter is listening (tests and scripts joining against an
+	// ephemeral port).
+	Ready func(addr string)
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// algoFactory maps the wire algorithm name back to a factory — the
+// same names cmd/live accepts.
+func algoFactory(name string) sim.AlgorithmFactory {
+	if name == "normal" {
+		return sim.Normal
+	}
+	return sim.Fast
+}
+
+// callTimeout bounds the coordinator's blocking round trips (the
+// remote stop-source call). Generous: a partitioned control plane must
+// be able to out-wait the scripted heal.
+const callTimeout = 2 * time.Minute
+
+// reportTimeout bounds the wait for worker reports after the finish
+// directive.
+const reportTimeout = 30 * time.Second
+
+// Serve runs the starter node: listen for Workers joining processes,
+// welcome each with the scenario and a directory seed, release the
+// shards, drive shard 0 locally while resolving every scenario event
+// and broadcasting the resolved directives, and finally merge the
+// workers' windows with the local ones. Blocks for the whole run.
+func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
+	var stats runtime.LiveStats
+	if cfg.Scenario == nil {
+		return nil, stats, fmt.Errorf("cluster: nil scenario")
+	}
+	if cfg.Workers < 1 {
+		return nil, stats, fmt.Errorf("cluster: need at least one worker (got %d)", cfg.Workers)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = runtime.DefaultTimeScale
+	}
+	sc := cfg.Scenario
+	shards := cfg.Workers + 1
+
+	book := NewDirectory(sc.Seed ^ 0xd1c7)
+	l, err := newLink(cfg.Listen, 0, cfg.Token, book, sc.Seed^0xc771)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer l.close()
+	cfg.logf("cluster: coordinator listening on %s (%d shards)", l.addr(), shards)
+	if cfg.Ready != nil {
+		cfg.Ready(l.addr())
+	}
+
+	workerShards, err := awaitWorkers(cfg, sc, l, book, shards)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	tr := runtime.NewUDPTransport(sc.Seed ^ 0x11fe)
+	tr.SetAddrBook(book)
+	r, err := runtime.FromScenario(sc, algoFactory(cfg.Algo), runtime.Options{
+		Transport: tr, TimeScale: cfg.TimeScale,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	var tick atomic.Int64
+	l.setPolicy(func() netmodel.LinkPolicy { return r.Policy() },
+		func() int { return int(tick.Load()) }, 1/cfg.TimeScale)
+
+	// Release the shards: every worker acked its welcome, so the start
+	// broadcast is the run's opening gun.
+	for _, w := range workerShards {
+		l.send(w, &Payload{Kind: "start", Start: &Start{Workers: cfg.Workers}})
+	}
+	if err := r.StartShard(0, shards); err != nil {
+		return nil, stats, err
+	}
+
+	co := &coordinator{cfg: cfg, l: l, book: book, r: r, shards: shards,
+		workers: workerShards, tick: &tick,
+		lastStatus: make(map[int]*Status),
+	}
+	start := time.Now()
+	res, err := co.run()
+	stats = r.Stats()
+	stats.WallDuration = time.Since(start)
+	return res, stats, err
+}
+
+// awaitWorkers accepts hellos until every expected worker is welcomed,
+// assigning shards in join order (stably per address, so a retried
+// hello keeps its slot).
+func awaitWorkers(cfg Config, sc *scenario.Scenario, l *link, book *Directory, shards int) ([]int, error) {
+	var text bytes.Buffer
+	if err := sc.Write(&text); err != nil {
+		return nil, err
+	}
+	assigned := make(map[string]int)
+	var workers []int
+	deadline := time.After(5 * time.Minute)
+	for len(workers) < shards-1 {
+		select {
+		case m := <-l.inbox:
+			if m.P.Kind != "hello" || m.P.Hello == nil {
+				continue
+			}
+			addr := m.P.Hello.Addr
+			if _, ok := assigned[addr]; ok {
+				continue // duplicate hello: the pending welcome retry covers it
+			}
+			shard := len(workers) + 1
+			assigned[addr] = shard
+			workers = append(workers, shard)
+			book.Publish(CtrlIDBase+overlay.NodeID(shard), addr)
+			l.send(shard, &Payload{Kind: "welcome", Welcome: &Welcome{
+				Shard:     shard,
+				Shards:    shards,
+				Scenario:  text.String(),
+				TimeScale: cfg.TimeScale,
+				Algo:      cfg.Algo,
+				Dir:       book.Snapshot(maxDirSnapshot),
+			}})
+			cfg.logf("cluster: worker %s joined as shard %d/%d", addr, shard, shards)
+		case <-deadline:
+			return nil, fmt.Errorf("cluster: only %d of %d workers joined", len(workers), shards-1)
+		}
+	}
+	return workers, nil
+}
+
+// maxDirSnapshot bounds the welcome's directory seed; the rest of the
+// directory arrives by gossip like everything else.
+const maxDirSnapshot = 128
+
+// coordinator is the starter's run loop state.
+type coordinator struct {
+	cfg     Config
+	l       *link
+	book    *Directory
+	r       *runtime.Runner
+	shards  int
+	workers []int
+	tick    *atomic.Int64
+
+	lastStatus map[int]*Status
+
+	// earlyReports buffers report messages that raced the finish (a
+	// worker on its fallback deadline), so collectReports still sees
+	// them after their ack.
+	earlyReports []*Report
+
+	// pendingStop holds the event queue while a remote stop-source round
+	// trip is in flight (its ack carries the closing segment id).
+	pendingStop chan *Payload
+	stopEvent   sim.Event
+	stopOld     overlay.NodeID
+	stopNew     overlay.NodeID
+}
+
+// run drives shard 0 tick by tick, resolving events and broadcasting
+// directives, until the duration (or the early exit) and then collects
+// the merge.
+func (c *coordinator) run() (*sim.Result, error) {
+	r := c.r
+	periodWall := time.Duration(float64(time.Second) * r.Tau() / c.cfg.TimeScale)
+	wallPer := 1 / c.cfg.TimeScale
+	next := time.Now()
+	for r.CurrentTick() < r.Duration() {
+		c.tick.Store(int64(r.CurrentTick()))
+		c.drainInbox()
+		if err := c.fireEvents(); err != nil {
+			return nil, err
+		}
+		if err := r.TickShard(wallPer); err != nil {
+			return nil, err
+		}
+		if d := r.ResolveChurnStep(); d != nil {
+			c.broadcastApply(d)
+		}
+		c.gossipRound()
+		if r.EarlyExit() && c.drained() {
+			break
+		}
+		next = next.Add(periodWall)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		} else {
+			next = time.Now()
+		}
+	}
+	// The finish travels reliably: a worker that is still partitioned
+	// receives it from the retry loop once its heal directive (queued
+	// ahead in sequence) lands.
+	for _, w := range c.workers {
+		c.l.send(w, &Payload{Kind: "directive", Dir: &runtime.Directive{Kind: runtime.DirFinish}})
+	}
+	local := r.FinishShard()
+	c.cfg.logf("cluster: shard 0 finished at tick %d, collecting reports", r.CurrentTick())
+	parts, err := c.collectReports()
+	if err != nil {
+		return nil, err
+	}
+	return runtime.MergeWindows(append([]*sim.Result{local}, parts...)), nil
+}
+
+// drainInbox folds queued worker messages (statuses, stray hellos)
+// into the coordinator's view without blocking.
+func (c *coordinator) drainInbox() {
+	for {
+		select {
+		case m := <-c.l.inbox:
+			c.handle(m)
+		default:
+			return
+		}
+	}
+}
+
+func (c *coordinator) handle(m inMsg) {
+	switch m.P.Kind {
+	case "status":
+		if st := m.P.Status; st != nil {
+			c.lastStatus[st.Shard] = st
+			c.r.MergeStatus(st.Nodes)
+		}
+	case "report":
+		// A report can race the finish when a worker hits its fallback
+		// deadline; buffer it so collectReports still sees it.
+		if m.P.Report != nil {
+			c.earlyReports = append(c.earlyReports, m.P.Report)
+		}
+	}
+	if m.Ack != nil {
+		m.Ack(nil)
+	}
+}
+
+// fireEvents resolves due events into directives and broadcasts them.
+// A planned switch whose old source lives on another shard turns into
+// an asynchronous stop-source call; the queue holds until the closing
+// segment id comes back.
+func (c *coordinator) fireEvents() error {
+	r := c.r
+	if c.pendingStop != nil {
+		select {
+		case reply := <-c.pendingStop:
+			c.pendingStop = nil
+			if reply == nil || reply.S1End == nil || !reply.S1End.OK {
+				return fmt.Errorf("cluster: stop-source round trip for node %d failed", c.stopOld)
+			}
+			d := r.ResolveSwitch(c.stopEvent, c.stopOld, c.stopNew, reply.S1End.Seg)
+			r.PopEvent()
+			c.broadcastApply(d)
+		default:
+			return nil // still waiting: hold the queue
+		}
+	}
+	for {
+		ev, due := r.DueEvent()
+		if !due {
+			return nil
+		}
+		d, needStop, err := r.ResolveEvent(ev)
+		if err != nil {
+			return err
+		}
+		if needStop != nil {
+			c.stopEvent = ev
+			c.stopOld = needStop.Old
+			c.stopNew = needStop.New
+			owner := int(needStop.Old) % c.shards
+			ch := make(chan *Payload, 1)
+			c.pendingStop = ch
+			go func(dest int, d runtime.Directive) {
+				reply, err := c.l.call(dest, &Payload{Kind: "directive", Dir: &d}, callTimeout)
+				if err != nil {
+					reply = nil
+				}
+				ch <- reply
+			}(owner, *needStop)
+			c.cfg.logf("cluster: tick %d: stop-source call to shard %d (node %d)", r.CurrentTick(), owner, needStop.Old)
+			return nil // hold until the reply
+		}
+		r.PopEvent()
+		if d == nil {
+			continue // resolution-local (churn burst bounds)
+		}
+		c.broadcastApply(d)
+	}
+}
+
+// broadcastApply ships one resolved directive to every worker and then
+// applies it locally. The broadcast goes first for severing directives
+// (the local partition would gate the send), and a heal applies
+// locally first so the retry loop can reach still-partitioned workers;
+// both orders are safe for everything else because resolution is
+// already done.
+func (c *coordinator) broadcastApply(d *runtime.Directive) {
+	c.cfg.logf("cluster: tick %d: %v directive", c.r.CurrentTick(), d.Kind)
+	wire := *d
+	wire.Resolved = false // workers must replay the structural mutations
+	if d.Kind == runtime.DirHeal {
+		c.r.Apply(d)
+		for _, w := range c.workers {
+			c.l.send(w, &Payload{Kind: "directive", Dir: &wire})
+		}
+		return
+	}
+	for _, w := range c.workers {
+		c.l.send(w, &Payload{Kind: "directive", Dir: &wire})
+	}
+	c.r.Apply(d)
+}
+
+// gossipRound pushes one directory delta batch to every worker — the
+// hub half of the anti-entropy epidemic (workers push back to the
+// coordinator and to one random sibling each tick).
+func (c *coordinator) gossipRound() {
+	for _, w := range c.workers {
+		c.l.gossip(w, c.book.DeltaBatch(gossipBatch))
+	}
+}
+
+// drained reports whether the whole run is idle: local events and
+// windows done, and every worker's last status idle with every
+// broadcast directive applied (the sequence check defeats the
+// stale-idle race where a worker reports idle just before a directive
+// lands).
+func (c *coordinator) drained() bool {
+	if !c.r.Idle() || !c.r.EventsDone() || c.pendingStop != nil {
+		return false
+	}
+	for _, w := range c.workers {
+		st := c.lastStatus[w]
+		if st == nil || !st.Idle || st.AppliedSeq != c.l.lastSeq(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectReports gathers every worker's windows (one message each,
+// reliable) and reassembles per-shard results for the merge.
+func (c *coordinator) collectReports() ([]*sim.Result, error) {
+	type shardReport struct {
+		algo    string
+		count   int // -1 until the first message names it
+		windows map[int]*sim.SwitchMetrics
+	}
+	got := make(map[int]*shardReport)
+	for _, w := range c.workers {
+		got[w] = &shardReport{count: -1, windows: make(map[int]*sim.SwitchMetrics)}
+	}
+	absorb := func(rep *Report) {
+		if sr, ok := got[rep.Shard]; ok {
+			sr.algo = rep.Algo
+			sr.count = rep.Count
+			if rep.Window != nil {
+				sr.windows[rep.WindowIdx] = rep.Window
+			}
+		}
+	}
+	for _, rep := range c.earlyReports {
+		absorb(rep)
+	}
+	complete := func() bool {
+		for _, sr := range got {
+			if sr.count < 0 || len(sr.windows) < sr.count {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.After(reportTimeout)
+	for !complete() {
+		select {
+		case m := <-c.l.inbox:
+			if m.P.Kind != "report" || m.P.Report == nil {
+				c.handle(m)
+				continue
+			}
+			absorb(m.P.Report)
+			if m.Ack != nil {
+				m.Ack(nil)
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("cluster: worker reports incomplete after %v", reportTimeout)
+		}
+	}
+	var parts []*sim.Result
+	for _, w := range c.workers {
+		sr := got[w]
+		res := &sim.Result{Algorithm: sr.algo}
+		res.Windows = make([]*sim.SwitchMetrics, sr.count)
+		for i := 0; i < sr.count; i++ {
+			win, ok := sr.windows[i]
+			if !ok {
+				return nil, fmt.Errorf("cluster: shard %d window %d missing from report", w, i)
+			}
+			res.Windows[i] = win
+		}
+		parts = append(parts, res)
+	}
+	return parts, nil
+}

@@ -1,0 +1,579 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"gossipstream/internal/netmodel"
+	"gossipstream/internal/overlay"
+	"gossipstream/internal/runtime"
+	"gossipstream/internal/segment"
+)
+
+// Control-plane timing (wall clock; the control plane does not stretch
+// with TimeScale — retransmission pace is an implementation property,
+// not a scenario property).
+const (
+	retryEvery  = 50 * time.Millisecond
+	helloEvery  = 200 * time.Millisecond
+	reorderMax  = 64 // held out-of-order frames per source before dropping
+	gossipBatch = 64 // directory entries per anti-entropy push
+)
+
+// inMsg is one authenticated control message as the link delivers it:
+// decoded, deduplicated and — for sequenced messages — in order per
+// source. Ack must be called after the message is applied (nil for
+// unsequenced messages); its reply travels in the ack frame back to a
+// waiting call.
+type inMsg struct {
+	From int // source shard
+	Seq  uint64
+	P    *Payload
+	Ack  func(reply *Payload)
+}
+
+// link is one process's control endpoint: a UDP socket speaking sealed
+// runtime frames, with a reliable sequenced channel per peer shard on
+// top (retry until acked, in-order delivery, duplicate suppression)
+// and unsequenced fire-and-forget for per-tick status.
+//
+// Frames carry From/To as shard anchor node ids (shard k ↔ node id k,
+// which shard k owns by the id-mod-shards split), so the run's shared
+// LinkPolicy can judge control traffic exactly as it judges peer
+// traffic: a partition that separates the anchor nodes severs the
+// control plane. The policy applies on the way OUT only — each process
+// polices its own sends — so a coordinator that heals its own policy
+// first can always re-reach workers whose policies still carry the
+// partition; their acks start flowing once the heal directive lands.
+type link struct {
+	shard int
+	token []byte
+	book  *Directory
+	conn  *net.UDPConn
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	policy  func() netmodel.LinkPolicy // nil or returning nil: unshaped
+	tickFn  func() int
+	wallPer float64 // wall ms per scenario ms, for shaped control delay
+	nextSeq map[int]uint64
+	pending map[pendKey]*pendFrame
+	waiters map[pendKey]chan []byte
+	inNext  map[int]uint64
+	held    map[int]map[uint64]runtime.Frame
+	replies map[pendKey][]byte // sealed ack datagrams, for dup re-ack
+	remote  map[string]*net.UDPAddr
+	closed  bool
+
+	inbox chan inMsg
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type pendKey struct {
+	shard int
+	seq   uint64
+}
+
+type pendFrame struct {
+	data []byte
+	to   int
+}
+
+// newLink binds a control socket on listen ("" for an ephemeral
+// loopback port) and, when the shard is already known (the
+// coordinator), publishes it in the directory under CtrlIDBase+shard
+// so gossip spreads it. A joiner binds with shard -1 and calls
+// setShard once the welcome assigns one.
+func newLink(listen string, shard int, token string, book *Directory, seed int64) (*link, error) {
+	laddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+	if listen != "" {
+		var err error
+		if laddr, err = net.ResolveUDPAddr("udp", listen); err != nil {
+			return nil, fmt.Errorf("cluster: bad listen address %q: %w", listen, err)
+		}
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: control bind: %w", err)
+	}
+	conn.SetReadBuffer(udpCtrlBuf)
+	conn.SetWriteBuffer(udpCtrlBuf)
+	l := &link{
+		shard:   shard,
+		token:   []byte(token),
+		book:    book,
+		conn:    conn,
+		rng:     rand.New(rand.NewSource(seed)),
+		wallPer: 1,
+		nextSeq: make(map[int]uint64),
+		pending: make(map[pendKey]*pendFrame),
+		waiters: make(map[pendKey]chan []byte),
+		inNext:  make(map[int]uint64),
+		held:    make(map[int]map[uint64]runtime.Frame),
+		replies: make(map[pendKey][]byte),
+		remote:  make(map[string]*net.UDPAddr),
+		inbox:   make(chan inMsg, 256),
+		done:    make(chan struct{}),
+	}
+	if shard >= 0 {
+		book.Publish(CtrlIDBase+overlay.NodeID(shard), conn.LocalAddr().String())
+	}
+	l.wg.Add(2)
+	go l.read()
+	go l.retryLoop()
+	return l, nil
+}
+
+// setShard records a joiner's welcome-assigned shard and publishes its
+// control socket under the corresponding directory id. Must run before
+// the welcome is acked (the ack carries the shard's anchor id).
+func (l *link) setShard(shard int) {
+	l.mu.Lock()
+	l.shard = shard
+	l.mu.Unlock()
+	l.book.Publish(CtrlIDBase+overlay.NodeID(shard), l.conn.LocalAddr().String())
+}
+
+// udpCtrlBuf sizes the control socket; modest next to the data plane's
+// buffers, but explicit for the same reason.
+const udpCtrlBuf = 1 << 20
+
+// setPolicy installs the run's policy seam: the accessor is consulted
+// per send, so mid-run mutations (partitions, loss bursts) apply
+// immediately.
+func (l *link) setPolicy(p func() netmodel.LinkPolicy, tick func() int, wallPerScenarioMS float64) {
+	l.mu.Lock()
+	l.policy = p
+	l.tickFn = tick
+	l.wallPer = wallPerScenarioMS
+	l.mu.Unlock()
+}
+
+// addr is the bound control address.
+func (l *link) addr() string { return l.conn.LocalAddr().String() }
+
+// close shuts the socket and reaps the goroutines.
+func (l *link) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	l.conn.Close()
+	l.wg.Wait()
+}
+
+// pendingEmpty reports whether every reliable send toward the shard
+// has been acknowledged.
+func (l *link) pendingEmpty(dest int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for k := range l.pending {
+		if k.shard == dest {
+			return false
+		}
+	}
+	return true
+}
+
+// lastSeq is the highest sequence number handed to the peer shard —
+// the mark a worker's AppliedSeq must reach before the coordinator may
+// declare it drained.
+func (l *link) lastSeq(dest int) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq[dest]
+}
+
+// send ships a payload on the reliable channel to a peer shard: it is
+// retried until acknowledged and delivered in sequence order. Returns
+// the assigned sequence number.
+func (l *link) send(dest int, p *Payload) uint64 {
+	data, seq := l.sealSequenced(dest, p)
+	l.transmit(dest, data)
+	return seq
+}
+
+// call ships reliably and blocks until the acknowledgement arrives (the
+// retry loop keeps transmitting meanwhile), returning the ack's reply
+// payload (nil when the ack was bare). The error is only ever the
+// timeout — a severed control plane that outlasts the caller's
+// patience.
+func (l *link) call(dest int, p *Payload, timeout time.Duration) (*Payload, error) {
+	data, seq := l.sealSequenced(dest, p)
+	ch := make(chan []byte, 1)
+	key := pendKey{dest, seq}
+	l.mu.Lock()
+	l.waiters[key] = ch
+	l.mu.Unlock()
+	l.transmit(dest, data)
+	select {
+	case reply := <-ch:
+		if len(reply) == 0 {
+			return nil, nil
+		}
+		return decodePayload(reply)
+	case <-time.After(timeout):
+		l.mu.Lock()
+		delete(l.waiters, key)
+		l.mu.Unlock()
+		return nil, fmt.Errorf("cluster: no ack from shard %d for seq %d within %v", dest, seq, timeout)
+	case <-l.done:
+		return nil, fmt.Errorf("cluster: link closed")
+	}
+}
+
+// cast ships an unsequenced fire-and-forget payload (per-tick status):
+// no retry, no ack, losable by design.
+func (l *link) cast(dest int, p *Payload) {
+	f := runtime.Frame{
+		Kind: runtime.FrameEvent,
+		Msg:  netmodel.Message{From: l.anchor(), To: overlay.NodeID(dest)},
+		Ctrl: encodePayload(p),
+	}
+	seal(&f, l.token)
+	l.transmit(dest, runtime.EncodeFrame(f))
+}
+
+// gossip pushes a directory delta batch to a peer shard's control
+// socket — the agent-to-agent anti-entropy round.
+func (l *link) gossip(dest int, entries []runtime.DirEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	f := runtime.Frame{
+		Kind: runtime.FrameDirDelta,
+		Msg:  netmodel.Message{From: l.anchor(), To: overlay.NodeID(dest)},
+		Dir:  entries,
+	}
+	seal(&f, l.token)
+	l.transmit(dest, runtime.EncodeFrame(f))
+}
+
+// sendHello knocks on an explicit address (the starter, known from the
+// command line — the only address that is ever configured rather than
+// gossiped).
+func (l *link) sendHello(to string, h *Hello) error {
+	addr, err := l.resolve(to)
+	if err != nil {
+		return err
+	}
+	f := runtime.Frame{
+		Kind: runtime.FrameHello,
+		// The joiner has no shard yet; the anchor is out of the policy's
+		// id range and hellos skip shaping (pure pre-run bootstrap).
+		Msg:  netmodel.Message{From: CtrlIDBase, To: CtrlIDBase},
+		Ctrl: encodePayload(&Payload{Kind: "hello", Hello: h}),
+	}
+	seal(&f, l.token)
+	_, err = l.conn.WriteToUDP(runtime.EncodeFrame(f), addr)
+	return err
+}
+
+// anchor is this shard's policy-visible node id (the joiner's shard is
+// assigned by the welcome, so it is read under the lock).
+func (l *link) anchor() overlay.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return overlay.NodeID(l.shard)
+}
+
+// sealSequenced assigns the next sequence number toward dest, seals the
+// frame and registers it for retry.
+func (l *link) sealSequenced(dest int, p *Payload) ([]byte, uint64) {
+	l.mu.Lock()
+	l.nextSeq[dest]++
+	seq := l.nextSeq[dest]
+	l.mu.Unlock()
+	f := runtime.Frame{
+		Kind: runtime.FrameEvent,
+		Msg: netmodel.Message{
+			From: l.anchor(), To: overlay.NodeID(dest),
+			Sent: int(seq),
+		},
+		Ctrl: encodePayload(p),
+	}
+	seal(&f, l.token)
+	data := runtime.EncodeFrame(f)
+	l.mu.Lock()
+	l.pending[pendKey{dest, seq}] = &pendFrame{data: data, to: dest}
+	l.mu.Unlock()
+	return data, seq
+}
+
+// transmit puts one sealed datagram toward a shard through the policy
+// gate: blocked links drop it, shaped links may lose or delay it. The
+// reliable layer's retries (not the wire) provide delivery.
+func (l *link) transmit(dest int, data []byte) {
+	addrStr, ok := l.book.Resolve(CtrlIDBase + overlay.NodeID(dest))
+	if !ok {
+		return // address not yet gossiped: a later retry will find it
+	}
+	addr, err := l.resolve(addrStr)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	var delay time.Duration
+	if l.policy != nil {
+		if p := l.policy(); p != nil {
+			from, to := overlay.NodeID(l.shard), overlay.NodeID(dest)
+			if p.Blocked(from, to) {
+				l.mu.Unlock()
+				return
+			}
+			tick := 0
+			if l.tickFn != nil {
+				tick = l.tickFn()
+			}
+			if loss := p.LossProb(tick); loss > 0 && l.rng.Float64() < loss {
+				l.mu.Unlock()
+				return
+			}
+			jitter := 0.0
+			if j := p.JitterMS(); j > 0 {
+				jitter = l.rng.Float64() * j
+			}
+			delay = time.Duration(p.DelayMS(from, to, jitter) * l.wallPer * float64(time.Millisecond))
+		}
+	}
+	l.mu.Unlock()
+	if delay <= 0 {
+		l.conn.WriteToUDP(data, addr)
+		return
+	}
+	time.AfterFunc(delay, func() {
+		l.mu.Lock()
+		closed := l.closed
+		l.mu.Unlock()
+		if !closed {
+			l.conn.WriteToUDP(data, addr)
+		}
+	})
+}
+
+// resolve parses and caches a socket address.
+func (l *link) resolve(s string) (*net.UDPAddr, error) {
+	l.mu.Lock()
+	addr, hit := l.remote[s]
+	l.mu.Unlock()
+	if hit {
+		return addr, nil
+	}
+	addr, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad control address %q: %w", s, err)
+	}
+	l.mu.Lock()
+	l.remote[s] = addr
+	l.mu.Unlock()
+	return addr, nil
+}
+
+// retryLoop retransmits every unacknowledged sequenced frame, oldest
+// sequence first per destination, until acked or closed.
+func (l *link) retryLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(retryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-t.C:
+		}
+		l.mu.Lock()
+		keys := make([]pendKey, 0, len(l.pending))
+		for k := range l.pending {
+			keys = append(keys, k)
+		}
+		frames := make([]*pendFrame, len(keys))
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].shard != keys[j].shard {
+				return keys[i].shard < keys[j].shard
+			}
+			return keys[i].seq < keys[j].seq
+		})
+		for i, k := range keys {
+			frames[i] = l.pending[k]
+		}
+		l.mu.Unlock()
+		for i, k := range keys {
+			l.transmit(k.shard, frames[i].data)
+		}
+	}
+}
+
+// read decodes, authenticates and dispatches inbound control datagrams
+// until the socket closes. Inbound frames are never policy-checked —
+// the sender's gate already ruled — which is what lets a healed
+// coordinator re-reach still-partitioned workers.
+func (l *link) read() {
+	defer l.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		f, err := runtime.DecodeFrame(buf[:sz])
+		if err != nil || !f.Kind.Control() {
+			continue
+		}
+		if !open(&f, l.token) {
+			continue // forged or corrupted: drop silently
+		}
+		switch f.Kind {
+		case runtime.FrameDirDelta:
+			l.book.MergeWire(f.Dir)
+		case runtime.FrameAck:
+			l.handleAck(f)
+		case runtime.FrameHello, runtime.FrameEvent:
+			l.handleMsg(f)
+		}
+	}
+}
+
+// handleAck completes the pending entry and wakes any caller.
+func (l *link) handleAck(f runtime.Frame) {
+	key := pendKey{int(f.Msg.From), uint64(f.Msg.Seg)}
+	l.mu.Lock()
+	_, had := l.pending[key]
+	delete(l.pending, key)
+	ch := l.waiters[key]
+	delete(l.waiters, key)
+	l.mu.Unlock()
+	if !had || ch == nil {
+		return
+	}
+	ch <- append([]byte(nil), f.Ctrl...)
+}
+
+// handleMsg runs the sequenced-delivery state machine (and passes
+// hellos and unsequenced events straight through).
+func (l *link) handleMsg(f runtime.Frame) {
+	p, err := decodePayload(f.Ctrl)
+	if err != nil {
+		return
+	}
+	from := int(f.Msg.From)
+	seq := uint64(f.Msg.Sent)
+	if f.Kind == runtime.FrameHello || seq == 0 {
+		l.deliver(inMsg{From: from, P: p})
+		return
+	}
+	l.mu.Lock()
+	next := l.inNext[from]
+	if next == 0 {
+		next = 1
+		l.inNext[from] = 1
+	}
+	switch {
+	case seq < next:
+		// Duplicate of an applied message: re-send the retained ack so
+		// the sender stops retrying (the original ack may have been
+		// severed on its way out).
+		reply := l.replies[pendKey{from, seq}]
+		l.mu.Unlock()
+		if reply != nil {
+			l.transmit(from, reply)
+		}
+		return
+	case seq > next:
+		h := l.held[from]
+		if h == nil {
+			h = make(map[uint64]runtime.Frame)
+			l.held[from] = h
+		}
+		if len(h) < reorderMax {
+			h[seq] = f
+		}
+		l.mu.Unlock()
+		return
+	}
+	// In sequence: deliver, then drain any held successors.
+	l.inNext[from] = next + 1
+	ready := []runtime.Frame{f}
+	for {
+		nf, ok := l.held[from][l.inNext[from]]
+		if !ok {
+			break
+		}
+		delete(l.held[from], l.inNext[from])
+		l.inNext[from]++
+		ready = append(ready, nf)
+	}
+	l.mu.Unlock()
+	for i, rf := range ready {
+		rp := p
+		if i > 0 {
+			var err error
+			if rp, err = decodePayload(rf.Ctrl); err != nil {
+				continue
+			}
+		}
+		seq := uint64(rf.Msg.Sent)
+		if !l.deliver(l.sequencedMsg(from, seq, rp)) {
+			// Inbox full: rewind so the sender's retry re-enters the
+			// sequence window here, and discard the rest of the batch
+			// (unacked, so it is retried too).
+			l.mu.Lock()
+			l.inNext[from] = seq
+			l.mu.Unlock()
+			return
+		}
+	}
+}
+
+// sequencedMsg builds the delivery with its apply-then-ack closure.
+func (l *link) sequencedMsg(from int, seq uint64, p *Payload) inMsg {
+	return inMsg{
+		From: from,
+		Seq:  seq,
+		P:    p,
+		Ack: func(reply *Payload) {
+			af := runtime.Frame{
+				Kind: runtime.FrameAck,
+				Msg: netmodel.Message{
+					From: l.anchor(), To: overlay.NodeID(from),
+					Seg: segment.ID(seq),
+				},
+			}
+			if reply != nil {
+				af.Ctrl = encodePayload(reply)
+			}
+			seal(&af, l.token)
+			data := runtime.EncodeFrame(af)
+			l.mu.Lock()
+			l.replies[pendKey{from, seq}] = data
+			l.mu.Unlock()
+			l.transmit(from, data)
+		},
+	}
+}
+
+// deliver hands one message to the application without ever blocking
+// the reader (a blocked reader would stall ack processing and deadlock
+// a waiting call). A full inbox drops the message: the caller rewinds
+// sequenced ones for redelivery; unsequenced ones are losable by
+// contract.
+func (l *link) deliver(m inMsg) bool {
+	select {
+	case l.inbox <- m:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,14 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports that this binary was built with the race
+// detector: the full-cluster wall-clock runs gate on raceEnabled &&
+// runtime.NumCPU() < 2, for the same reason the runtime's parity
+// scenarios do — a race build saturating a single CPU stretches
+// periods and overflows socket buffers, turning timing tolerances
+// into noise. On multi-CPU machines they run under race like
+// everywhere else. The link-level tests (lossy ordering, partition,
+// forgery) run under race on every machine size and exercise every
+// concurrent path in this package.
+const raceEnabled = true

@@ -82,6 +82,12 @@ func (r *Runner) windowObserve(rep report) {
 	// simulator's global bit counters.
 	m.ControlBits += rep.mapBits
 	m.DataBits += rep.dataBits
+	if r.policy != nil {
+		// Loss-induced re-requests, counted at the supplier's re-grant
+		// like the simulator's serve phase (and like the Net* counters,
+		// only meaningful under a shaping policy).
+		m.NetReRequests += int64(rep.reReqs)
+	}
 	cs, inCohort := r.win.cohort[rep.id]
 	if !inCohort {
 		return

@@ -1,22 +1,19 @@
 package runtime
 
 import (
-	"fmt"
-
-	"gossipstream/internal/bandwidth"
-	"gossipstream/internal/netmodel"
 	"gossipstream/internal/overlay"
-	"gossipstream/internal/segment"
-	"gossipstream/internal/sim"
 )
 
 // Event firing: the scenario's tick-scheduled timeline executed on the
-// wall clock. Role changes and membership travel over the in-process
-// control plane (a deployment would use an authenticated control
-// channel); network conditions — latency storms, loss bursts,
-// partitions — mutate the transport's LinkPolicy, which severs and
-// shapes traffic at the transport level exactly where the simulator's
-// transit phase applies the same Model.
+// wall clock. Every event is resolved into an explicit Directive (see
+// directive.go) and applied — in a single-process run the two happen
+// back to back here; in a multi-process run the cluster coordinator
+// resolves and every shard applies the broadcast directive. Role
+// changes and membership travel over the control plane; network
+// conditions — latency storms, loss bursts, partitions — mutate the
+// transport's LinkPolicy, which severs and shapes traffic at the
+// transport level exactly where the simulator's transit phase applies
+// the same Model.
 
 // fireEvents applies every event scheduled at or before the current
 // tick, in timeline order — the live counterpart of the simulator's
@@ -25,113 +22,29 @@ func (r *Runner) fireEvents() {
 	for r.err == nil && r.nextEvent < len(r.events) && r.events[r.nextEvent].Tick <= r.tick {
 		ev := r.events[r.nextEvent]
 		r.nextEvent++
-		r.fire(ev)
+		d, _, err := r.ResolveEvent(ev)
+		if err != nil {
+			r.err = err
+			return
+		}
+		if d == nil {
+			continue // resolution-local (churn burst bounds)
+		}
+		if err := r.Apply(d); err != nil {
+			r.err = err
+			return
+		}
 	}
 }
 
-func (r *Runner) fire(ev sim.Event) {
-	switch ev.Kind {
-	case sim.EvSwitchSource:
-		r.applySwitch(ev)
-	case sim.EvMeasureWindow:
-		r.closeWindow(r.tick-r.win.openTick, false, true)
-		r.openWindow(false, ev.Ticks, ev)
-	case sim.EvChurnBurst:
-		r.burst = &sim.ChurnConfig{LeaveFraction: ev.Leave, JoinFraction: ev.Join}
-		r.burstUntil = r.tick + ev.Ticks
-	case sim.EvFlashCrowd:
-		r.flashCrowd(ev)
-	case sim.EvBandwidthShift:
-		r.bwFactor = ev.Factor
-		for _, h := range r.peers {
-			if h.running {
-				h.p.ctrlCh <- ctrlMsg{kind: ctrlBandwidth, factor: ev.Factor}
-			}
-		}
-	case sim.EvLatencyShift:
-		r.policy.mutate(func(m *netmodel.Model) { m.SetLatencyFactor(ev.Factor) })
-	case sim.EvLossBurst:
-		until := r.tick + ev.Ticks
-		r.policy.mutate(func(m *netmodel.Model) { m.SetLossBurst(ev.Prob, until) })
-	case sim.EvPartition:
-		seed := r.rng.Int63()
-		r.policy.mutate(func(m *netmodel.Model) {
-			if ev.ByPing {
-				m.PartitionByPing(ev.Frac, seed)
-			} else {
-				m.Partition(ev.Frac, seed)
-			}
-		})
-	case sim.EvHeal:
-		r.policy.mutate(func(m *netmodel.Model) { m.Heal() })
-	case sim.EvDemoteSource:
-		r.applyDemote(ev)
+// churnStep resolves and applies the baseline (or burst-overridden)
+// churn at tick end, mirroring the simulator's churn phase: departures
+// repair the mesh through the directory, joiners adopt their neighbors'
+// current playback position.
+func (r *Runner) churnStep() {
+	if d := r.resolveChurn(); d != nil {
+		r.applyMembership(d)
 	}
-}
-
-// applySwitch executes one source handoff (or crash): close the old
-// session through the control plane, promote the successor, open the
-// switch measurement window. This is the same choreography as the
-// simulator's applySwitch, with control round-trips in place of shared
-// memory — the paper's assumed synchronization (the new source learns
-// S1's ending id) is the stop-reply/become pair.
-func (r *Runner) applySwitch(ev sim.Event) {
-	cur := r.timeline[len(r.timeline)-1]
-	old := overlay.NodeID(cur.Source)
-
-	to := ev.To
-	if to >= 0 {
-		h, ok := r.peers[to]
-		if !ok || !h.running || !h.active || h.isSource {
-			to = -1 // pinned target unusable: fall back to the random pick
-		}
-	}
-	if to < 0 {
-		to = r.pickNewSource(old)
-	}
-	if to < 0 {
-		r.err = fmt.Errorf("runtime: switch at tick %d: no eligible new source (every active peer is or was a source)", r.tick)
-		return
-	}
-
-	r.closeWindow(r.tick-r.win.openTick, false, true)
-
-	var s1End segment.ID
-	oldH := r.peers[old]
-	if ev.Failure {
-		// The speaker crashes mid-stream: segments that never left its
-		// machine are lost. The stream truncates at the highest id any
-		// other active peer reported holding (the membership service's
-		// best knowledge — one period stale, like any failure detector).
-		s1End = cur.Begin - 1
-		for id, rep := range r.lastRep {
-			if r.activeListener(id) && rep.maxSeen > s1End {
-				s1End = rep.maxSeen
-			}
-		}
-		r.quitPeer(old)
-		r.refreshNeighbors()
-	} else {
-		reply := make(chan segment.ID, 1)
-		oldH.p.ctrlCh <- ctrlMsg{kind: ctrlStopSource, reply: reply}
-		s1End = <-reply
-	}
-	r.timeline[len(r.timeline)-1].End = s1End
-	r.timeline = append(r.timeline, segment.Session{
-		Source: segment.SourceID(to), Begin: s1End + 1, End: segment.None,
-	})
-
-	newH := r.peers[to]
-	newH.isSource = true
-	newH.active = true
-	newH.p.ctrlCh <- ctrlMsg{kind: ctrlBecomeSource, sessions: append([]segment.Session(nil), r.timeline...)}
-	r.lastRetired = old
-
-	horizon := ev.Horizon
-	if horizon <= 0 {
-		horizon = r.horizonDefault()
-	}
-	r.openWindow(true, horizon, ev)
 }
 
 // pickNewSource draws a uniformly random active peer that never held
@@ -142,7 +55,7 @@ func (r *Runner) pickNewSource(old overlay.NodeID) overlay.NodeID {
 		if cand < 0 {
 			return -1
 		}
-		if h, ok := r.peers[cand]; ok && h.running && h.active && !h.isSource {
+		if r.sourceEligible(cand) {
 			return cand
 		}
 	}
@@ -150,165 +63,9 @@ func (r *Runner) pickNewSource(old overlay.NodeID) overlay.NodeID {
 		if cand == old {
 			continue
 		}
-		if h, ok := r.peers[cand]; ok && h.running && h.active && !h.isSource {
+		if r.sourceEligible(cand) {
 			return cand
 		}
 	}
 	return -1
-}
-
-// applyDemote returns an ex-source to listener duty, rejoining playback
-// at its neighbors' current position — the simulator's demote rule over
-// the control plane.
-func (r *Runner) applyDemote(ev sim.Event) {
-	id := ev.To
-	if id < 0 {
-		id = r.lastRetired
-	}
-	h, ok := r.peers[id]
-	switch {
-	case id < 0 || !ok:
-		r.err = fmt.Errorf("runtime: demote at tick %d: no ex-source to demote", r.tick)
-		return
-	case !h.isSource:
-		r.err = fmt.Errorf("runtime: demote at tick %d: node %d never held the source role or was already demoted", r.tick, id)
-		return
-	case overlay.NodeID(r.timeline[len(r.timeline)-1].Source) == id && r.timeline[len(r.timeline)-1].Open():
-		r.err = fmt.Errorf("runtime: demote at tick %d: node %d is the current source", r.tick, id)
-		return
-	case !h.running:
-		r.err = fmt.Errorf("runtime: demote at tick %d: ex-source %d is dead", r.tick, id)
-		return
-	}
-	anchor := segment.ID(0)
-	for _, v := range r.g.Neighbors(id) {
-		if rep, ok := r.lastRep[v]; ok && rep.alive {
-			if rep.windowLo > anchor {
-				anchor = rep.windowLo
-			}
-		}
-	}
-	h.isSource = false
-	h.p.ctrlCh <- ctrlMsg{
-		kind:     ctrlDemote,
-		sessions: append([]segment.Session(nil), r.timeline...),
-		anchor:   anchor,
-	}
-	if id == r.lastRetired {
-		r.lastRetired = -1
-	}
-}
-
-// flashCrowd joins a batch of fresh peers through the membership
-// directory; like the simulator's crowd members they anchor at the
-// current session's beginning (bounded by the backlog cap).
-func (r *Runner) flashCrowd(ev sim.Event) {
-	curIdx := len(r.timeline) - 1
-	anchor := r.timeline[curIdx].Begin
-	if ev.Backlog > 0 {
-		// The stream head, as last reported by the current source.
-		if rep, ok := r.lastRep[overlay.NodeID(r.timeline[curIdx].Source)]; ok {
-			if a := rep.maxSeen + 1 - segment.ID(ev.Backlog); a > anchor {
-				anchor = a
-			}
-		}
-	}
-	for i := 0; i < ev.Count; i++ {
-		r.join(anchor, curIdx)
-	}
-	r.refreshNeighbors()
-}
-
-// join spawns one fresh peer wired through the membership protocol.
-func (r *Runner) join(anchor segment.ID, sessionIdx int) {
-	id, _ := r.dir.Join()
-	prof := bandwidth.Profile{In: bandwidth.DrawRate(r.churnRNG), Out: bandwidth.DrawRate(r.churnRNG)}
-	spec := spawnSpec{
-		id:         id,
-		profile:    prof,
-		bwFactor:   r.bwFactor,
-		neighbors:  r.g.Neighbors(id),
-		sessions:   r.timeline,
-		anchor:     anchor,
-		sessionIdx: sessionIdx,
-		known:      sessionIdx + 1,
-		mySession:  -1,
-		seed:       r.sc.Seed ^ (int64(id)+1)*0x9e37_79b9,
-	}
-	if err := r.spawn(spec); err != nil {
-		r.err = err
-	}
-}
-
-// churnStep applies the baseline (or burst-overridden) churn at tick
-// end, mirroring the simulator's churn phase: departures repair the
-// mesh through the directory, joiners adopt their neighbors' current
-// playback position.
-func (r *Runner) churnStep() {
-	cc := r.cfg.Churn
-	if r.burst != nil {
-		if r.tick < r.burstUntil {
-			cc = r.burst
-		} else {
-			r.burst = nil
-		}
-	}
-	if cc == nil {
-		return
-	}
-	alive := r.dir.AliveCount()
-	changed := false
-	leaves := int(cc.LeaveFraction * float64(alive))
-	curSrc := overlay.NodeID(r.timeline[len(r.timeline)-1].Source)
-	for i := 0; i < leaves; i++ {
-		victim := r.dir.RandomAlive(curSrc, r.lastRetired)
-		if victim < 0 {
-			break
-		}
-		h, ok := r.peers[victim]
-		if !ok || !h.running || h.isSource {
-			continue
-		}
-		r.quitPeer(victim)
-		changed = true
-	}
-	joins := int(cc.JoinFraction * float64(alive))
-	for i := 0; i < joins; i++ {
-		// "A new joining node ... starts its media playback by following
-		// its neighbors' current steps" (Section 5.4).
-		id, neighbors := r.dir.Join()
-		anchor := segment.ID(0)
-		for _, v := range neighbors {
-			if rep, ok := r.lastRep[v]; ok && rep.alive && rep.windowLo > anchor {
-				anchor = rep.windowLo
-			}
-		}
-		idx, known := 0, 1
-		for si, s := range r.timeline {
-			if s.Contains(anchor) {
-				idx, known = si, si+1
-			}
-		}
-		prof := bandwidth.Profile{In: bandwidth.DrawRate(r.churnRNG), Out: bandwidth.DrawRate(r.churnRNG)}
-		spec := spawnSpec{
-			id:         id,
-			profile:    prof,
-			bwFactor:   r.bwFactor,
-			neighbors:  r.g.Neighbors(id),
-			sessions:   r.timeline,
-			anchor:     anchor,
-			sessionIdx: idx,
-			known:      known,
-			mySession:  -1,
-			seed:       r.sc.Seed ^ (int64(id)+1)*0x9e37_79b9,
-		}
-		if err := r.spawn(spec); err != nil {
-			r.err = err
-			return
-		}
-		changed = true
-	}
-	if changed {
-		r.refreshNeighbors()
-	}
 }

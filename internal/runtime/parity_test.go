@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"runtime"
 	"testing"
 
 	"gossipstream/internal/scenario"
@@ -28,8 +29,8 @@ func TestLiveSimParityPaperSingleSwitch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("parity run takes a few seconds")
 	}
-	if raceEnabled {
-		t.Skip("wall-clock parity is a timing pin, not a race target (see race_on_test.go)")
+	if raceEnabled && runtime.NumCPU() < 2 {
+		t.Skip("race build on a single CPU saturates the pacer (see race_on_test.go)")
 	}
 	sc := scenario.PaperSingleSwitch().Scaled(150)
 

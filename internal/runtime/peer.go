@@ -99,6 +99,7 @@ type report struct {
 	prepared          []int // session indices newly prepared this period
 
 	dupes, denies int // diagnostics
+	reReqs        int // granted loss-induced re-requests (supplier side)
 }
 
 // neighborView is the last decoded advertisement from one neighbor.
@@ -142,6 +143,11 @@ type peer struct {
 	requested map[segment.ID]int
 	deniedBy  map[segment.ID][]overlay.NodeID
 	reqPer    map[overlay.NodeID]int
+	// Segments whose request timed out without data or deny — on a lossy
+	// link, the request or its answer was lost. The next request for one
+	// of these carries the wire-level re-request bit, the live
+	// counterpart of the simulator's NetReRequests accounting.
+	timedOut map[segment.ID]int
 	// Per-period grant counts per requester (the per-link serve cap).
 	grantsOut map[overlay.NodeID]int
 
@@ -152,6 +158,7 @@ type peer struct {
 	preparedDone      map[int]bool
 	newlyPrepared     []int
 	dupes, denies     int
+	reReqs            int
 
 	// Scratch reused across periods.
 	env     core.Env
@@ -210,6 +217,7 @@ func newPeer(spec spawnSpec, par peerParams, algo core.Algorithm, ep Endpoint, r
 		views:        make(map[overlay.NodeID]*neighborView),
 		requested:    make(map[segment.ID]int),
 		deniedBy:     make(map[segment.ID][]overlay.NodeID),
+		timedOut:     make(map[segment.ID]int),
 		reqPer:       make(map[overlay.NodeID]int),
 		grantsOut:    make(map[overlay.NodeID]int),
 		preparedDone: make(map[int]bool),
@@ -305,10 +313,18 @@ func (p *peer) refill() {
 	// A request stays "in flight" for the period it was issued plus one
 	// (the response may be crossing the wire); older ones are forgotten
 	// and the segment becomes requestable again — the live counterpart
-	// of the simulator clearing grants at delivery.
+	// of the simulator clearing grants at delivery. A forgotten request
+	// got neither data nor a deny: remember the segment so its next
+	// request is tagged as a loss-induced re-request.
 	for seg, at := range p.requested {
 		if at < p.tick-1 {
 			delete(p.requested, seg)
+			p.timedOut[seg] = p.tick
+		}
+	}
+	for seg, at := range p.timedOut {
+		if at < p.tick-8 {
+			delete(p.timedOut, seg) // long-gone: playback moved past it
 		}
 	}
 }
@@ -490,12 +506,17 @@ func (p *peer) plan_() {
 	}
 }
 
-// request spends one inbound token on a pull request.
+// request spends one inbound token on a pull request, tagging the
+// retry of a timed-out (lost) exchange with the wire re-request bit.
 func (p *peer) request(seg segment.ID, sup overlay.NodeID) {
 	p.in.Take(1)
 	p.requested[seg] = p.tick
 	p.reqPer[sup]++
-	p.ep.Send(Frame{Kind: FrameRequest, Msg: netmodel.Message{To: sup, Seg: seg, Sent: p.tick}})
+	_, re := p.timedOut[seg]
+	if re {
+		delete(p.timedOut, seg)
+	}
+	p.ep.Send(Frame{Kind: FrameRequest, ReReq: re, Msg: netmodel.Message{To: sup, Seg: seg, Sent: p.tick}})
 }
 
 // prefetch spends leftover inbound budget on uniformly random missing
@@ -555,7 +576,7 @@ func (p *peer) handleFrame(f Frame) {
 	case FrameMap:
 		p.handleMap(f)
 	case FrameRequest:
-		p.serve(f.Msg.From, f.Msg.Seg)
+		p.serve(f.Msg.From, f.Msg.Seg, f.ReReq)
 	case FrameDeny:
 		p.handleDeny(f.Msg.From, f.Msg.Seg)
 	case FrameData:
@@ -596,7 +617,7 @@ func (p *peer) mergeSessions(remote []SessionInfo) {
 // the simulator's serve phase, a live supplier cannot read the
 // requester's budget, so over-subscription resolves at the requester
 // (duplicate data is dropped on arrival).
-func (p *peer) serve(from overlay.NodeID, seg segment.ID) {
+func (p *peer) serve(from overlay.NodeID, seg segment.ID, reReq bool) {
 	grant := p.buf.Has(seg)
 	if grant {
 		if p.par.sharedOut {
@@ -606,6 +627,11 @@ func (p *peer) serve(from overlay.NodeID, seg segment.ID) {
 		} else {
 			grant = false
 		}
+	}
+	if grant && reReq {
+		// A loss-induced re-request re-granted: the counter the
+		// simulator's serve phase keeps as NetReRequests.
+		p.reReqs++
 	}
 	kind := FrameData
 	if !grant {
@@ -762,6 +788,7 @@ func (p *peer) makeReport(tick int) report {
 		finished: p.finished,
 		dupes:    p.dupes,
 		denies:   p.denies,
+		reReqs:   p.reReqs,
 	}
 	if len(p.newlyPrepared) > 0 {
 		r.prepared = append([]int(nil), p.newlyPrepared...)
@@ -771,5 +798,6 @@ func (p *peer) makeReport(tick int) report {
 	p.started, p.finished = -1, -1
 	p.newlyPrepared = p.newlyPrepared[:0]
 	p.dupes, p.denies = 0, 0
+	p.reReqs = 0
 	return r
 }

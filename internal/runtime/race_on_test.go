@@ -3,10 +3,13 @@
 package runtime
 
 // raceEnabled reports that this binary was built with the race
-// detector: the wall-clock parity and UDP end-to-end scenarios skip
-// themselves there (a saturated 1-CPU race build overflows kernel
-// socket buffers and stretches every period — a load artifact, not a
-// concurrency question; the event-alphabet smoke covers the
-// concurrent machinery under race, and CI runs these scenarios in a
-// race-free step).
+// detector. The wall-clock parity and UDP end-to-end scenarios gate on
+// raceEnabled && runtime.NumCPU() < 2: a race build's 5-10× slowdown
+// on a single CPU saturates the pacer and overflows kernel socket
+// buffers — a load artifact, not a concurrency question — and that
+// failure mode was reproduced empirically on a 1-CPU container. With
+// two or more CPUs the goroutine population gets real parallelism and
+// the scenarios run under race like everywhere else (CI's main race
+// job covers them). The event-alphabet smoke exercises the same
+// concurrent machinery under race on every machine size.
 const raceEnabled = true

@@ -91,6 +91,16 @@ type Runner struct {
 	lastRep map[overlay.NodeID]report
 	reports chan report
 
+	// Sharding: a single-process run owns every node (shard 0 of 1); a
+	// multi-process run owns ids congruent to shard mod shards and is
+	// driven tick by tick through the StartShard/TickShard/Apply API.
+	// roles and dead are the resolver's global ledger of source-role
+	// holders and departed nodes — the state that substitutes for
+	// peerHandle flags when the node lives in another process.
+	shard, shards int
+	roles         map[overlay.NodeID]bool
+	dead          map[overlay.NodeID]bool
+
 	lastRetired overlay.NodeID
 	burst       *sim.ChurnConfig
 	burstUntil  int
@@ -168,6 +178,9 @@ func FromScenario(sc *scenario.Scenario, factory sim.AlgorithmFactory, opt Optio
 		peers:       make(map[overlay.NodeID]*peerHandle),
 		lastRep:     make(map[overlay.NodeID]report),
 		reports:     make(chan report, 4096),
+		shards:      1,
+		roles:       make(map[overlay.NodeID]bool),
+		dead:        make(map[overlay.NodeID]bool),
 		lastRetired: -1,
 		bwFactor:    1,
 		res:         &sim.Result{Algorithm: factory().Name()},
@@ -226,6 +239,17 @@ func (r *Runner) horizonDefault() int { return r.cfg.HorizonTicks }
 
 // Stats returns the wall-clock execution account (valid after Run).
 func (r *Runner) Stats() LiveStats { return r.stats }
+
+// Policy exposes the run's shared LinkPolicy (nil without a network
+// model) — the cluster control plane shapes its own frames against the
+// same policy object scenario events mutate, so a partition severs the
+// control plane exactly when it severs the data plane.
+func (r *Runner) Policy() netmodel.LinkPolicy {
+	if r.policy == nil {
+		return nil
+	}
+	return r.policy
+}
 
 // Run spins the peers up, executes the event timeline on the wall
 // clock, and returns the collected Result. Like the simulator, the run
@@ -312,12 +336,19 @@ func (r *Runner) spawnInitial() error {
 		first = minDegreeNode(r.g)
 	}
 	r.timeline = []segment.Session{{Source: segment.SourceID(first), Begin: 0, End: segment.None}}
+	r.roles[first] = true
 
 	for i := 0; i < n; i++ {
 		id := overlay.NodeID(i)
+		// The stagger draw runs for every node regardless of ownership,
+		// so every shard's RNG stream stays aligned and any process can
+		// recompute any node's start tick.
 		startTick := 0
 		if spread > 0 {
 			startTick = stagger.Intn(spread + 1)
+		}
+		if !r.owns(id) {
+			continue
 		}
 		spec := spawnSpec{
 			id:        id,
@@ -360,9 +391,12 @@ func (r *Runner) spawn(spec spawnSpec) error {
 	return nil
 }
 
-// quitPeer stops a peer and removes it from the overlay (membership
-// repair included). The caller refreshes neighbor lists afterwards.
-func (r *Runner) quitPeer(id overlay.NodeID) {
+// stopPeer stops an owned peer's goroutine and marks its cohort slot
+// dead. The structural overlay repair happens at resolution time
+// (Directory.Leave on the resolving process, a replayed graph delta on
+// the others); the caller refreshes neighbor lists afterwards. Unowned
+// ids are a no-op — their shard applies the same directive.
+func (r *Runner) stopPeer(id overlay.NodeID) {
 	h, ok := r.peers[id]
 	if !ok || !h.running {
 		return
@@ -370,7 +404,6 @@ func (r *Runner) quitPeer(id overlay.NodeID) {
 	h.running = false
 	h.active = false
 	h.p.ctrlCh <- ctrlMsg{kind: ctrlQuit}
-	r.dir.Leave(id)
 	r.cohortDied(id)
 }
 

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"runtime"
 	"testing"
 
 	"gossipstream/internal/scenario"
@@ -95,8 +96,8 @@ func TestLiveUDPScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("udp scenario run takes a few seconds")
 	}
-	if raceEnabled {
-		t.Skip("udp under the race detector drops datagrams to kernel-buffer pressure (see race_on_test.go)")
+	if raceEnabled && runtime.NumCPU() < 2 {
+		t.Skip("race build on a single CPU overflows the socket buffers (see race_on_test.go)")
 	}
 	sc := scenario.PaperSingleSwitch().Scaled(40)
 	tr := NewUDPTransport(9)

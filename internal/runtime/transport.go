@@ -32,6 +32,30 @@ const (
 	// FrameData lands one granted segment — the live counterpart of the
 	// simulator's in-flight Message popping due.
 	FrameData
+
+	// The control-plane alphabet (internal/cluster): frames exchanged
+	// between process agents, not peers. They share the codec and the
+	// shaped transports with the data plane, so a partition or loss
+	// burst severs membership and event delivery as realistically as it
+	// severs segments.
+
+	// FrameHello bootstraps a joining process against the starter node:
+	// an authenticated Ctrl payload carrying the joiner's control
+	// address. The starter answers with a FrameAck whose payload is the
+	// welcome (shard assignment, scenario, directory seed).
+	FrameHello
+	// FrameDirDelta is directory anti-entropy: a batch of address
+	// directory entries (Dir), pushed between agents and piggybacked in
+	// small batches on FrameMap advertisements.
+	FrameDirDelta
+	// FrameEvent carries one control-plane message (a resolved scenario
+	// directive, a status report, a metrics report chunk) as an
+	// authenticated Ctrl payload, sequenced by Msg.Sent.
+	FrameEvent
+	// FrameAck acknowledges a FrameHello or FrameEvent by sequence
+	// number (Msg.Seg carries the acked sequence) and may carry a reply
+	// payload (the welcome, a stop-source's closing segment id).
+	FrameAck
 )
 
 // String implements fmt.Stringer.
@@ -45,15 +69,39 @@ func (k FrameKind) String() string {
 		return "deny"
 	case FrameData:
 		return "data"
+	case FrameHello:
+		return "hello"
+	case FrameDirDelta:
+		return "dir-delta"
+	case FrameEvent:
+		return "event"
+	case FrameAck:
+		return "ack"
 	}
 	return "frame(?)"
 }
+
+// Control reports whether the kind belongs to the cluster control plane
+// (agent-to-agent traffic) rather than the peer protocol.
+func (k FrameKind) Control() bool { return k >= FrameHello }
 
 // SessionInfo is one timeline session as gossiped on map frames.
 type SessionInfo struct {
 	Source overlay.NodeID
 	Begin  segment.ID
 	End    segment.ID // segment.None while the session is open
+}
+
+// DirEntry is one address-directory record as it travels on the wire:
+// a node (or agent) id bound to a transport address, versioned so
+// receivers keep the newest binding. Entries ride FrameDirDelta batches
+// between cluster agents and piggyback in small batches on FrameMap
+// advertisements — the anti-entropy path that spreads the directory
+// without any static address list.
+type DirEntry struct {
+	ID   overlay.NodeID
+	Ver  uint32
+	Addr string
 }
 
 // Frame is one unit on a live transport. Msg carries the shared
@@ -64,12 +112,31 @@ type Frame struct {
 	Kind FrameKind
 	Msg  netmodel.Message
 
+	// ReReq marks a FrameRequest as a re-request: the requester already
+	// asked for this segment and the exchange timed out without data or
+	// deny — on a lossy link, the loss-induced retry the simulator
+	// counts as NetReRequests. One bit on the wire (the kind byte's high
+	// bit).
+	ReReq bool
+
 	// Map payload (FrameMap only). The availability window's anchor id
 	// rides inside MapImg (the wire image's 20-bit anchor field).
 	MapImg   []byte // buffer.Map wire image (620 bits for B=600)
 	MaxSeen  segment.ID
 	Rate     float64 // advertised supplier rate R(j), segments/second
 	Sessions []SessionInfo
+
+	// Dir is the address-directory payload: the batch of a
+	// FrameDirDelta, or the piggybacked entries of a FrameMap (the
+	// transport attaches them on send and merges+strips them on
+	// receive; peers never see them).
+	Dir []DirEntry
+
+	// Ctrl is the opaque control payload of FrameHello, FrameEvent and
+	// FrameAck — sealed (HMAC-authenticated) by internal/cluster; the
+	// codec only moves the bytes. Msg.Sent carries the control sequence
+	// number; FrameAck's Msg.Seg carries the acked sequence.
+	Ctrl []byte
 }
 
 // Endpoint is one node's attachment to a Transport: an outbox that
@@ -123,15 +190,25 @@ type TransportStats struct {
 	DataDelivered   int64
 	DataLost        int64 // policy loss draws + severed links
 	DelayScenarioMS float64
+
+	// Drop accounting across every frame kind (not just data): frames
+	// lost to a full inbox, datagrams that failed to decode, and — on
+	// the UDP transport — receive drops the kernel reported against the
+	// transport's sockets (the buffer-pressure artifact explicit socket
+	// sizing is meant to shrink).
+	InboxDropped int64
+	Malformed    int64
+	KernelDrops  int64
 }
 
 // shaper applies a netmodel.LinkPolicy to frames on the wall clock: the
-// transit seam's second consumer. Data frames are delayed by
-// DelayMS (compressed into wall time) and subjected to the loss draw;
-// every frame kind respects partitions, mirroring the simulator (buffer
-// maps and requests stop crossing a severed link, but only data
-// messages are lossy). The zero shaper (nil policy) delivers everything
-// immediately.
+// transit seam's second consumer. Data frames and control-plane frames
+// are delayed by DelayMS (compressed into wall time) and subjected to
+// the loss draw; every frame kind respects partitions, mirroring the
+// simulator (buffer maps and requests stop crossing a severed link, but
+// only data messages are lossy — and the control plane, whose
+// reliability comes from the cluster layer's retries, not the wire).
+// The zero shaper (nil policy) delivers everything immediately.
 type shaper struct {
 	mu      sync.Mutex
 	policy  netmodel.LinkPolicy
@@ -178,7 +255,7 @@ func (s *shaper) route(f Frame, deliver func(Frame)) (sent bool) {
 		return false
 	}
 	var wallDelay time.Duration
-	if p != nil && f.Kind == FrameData {
+	if p != nil && (f.Kind == FrameData || f.Kind.Control()) {
 		jitter := 0.0
 		if j := p.JitterMS(); j > 0 {
 			jitter = s.rng.Float64() * j
@@ -209,7 +286,7 @@ func (s *shaper) land(f Frame, deliver func(Frame)) {
 	if !stopped && p != nil {
 		if p.Blocked(f.Msg.From, f.Msg.To) {
 			dropped = true
-		} else if f.Kind == FrameData {
+		} else if f.Kind == FrameData || f.Kind.Control() {
 			if loss := p.LossProb(s.tick); loss > 0 && s.rng.Float64() < loss {
 				dropped = true
 			}

@@ -10,14 +10,34 @@ import (
 	"gossipstream/internal/overlay"
 )
 
+// udpSocketBuf is the explicit kernel buffer request for every node
+// socket. A time-compressed run bursts a whole period's frames at once
+// and a reader goroutine on a loaded host may lag far behind the
+// socket; the kernel clamps the request to net.core.rmem_max, so this
+// asks for plenty and takes what it gets.
+const udpSocketBuf = 4 << 20
+
+// AddrBook resolves node ids to socket addresses beyond the locally
+// opened sockets — the seam through which a cluster's gossiped address
+// directory plugs into the transport. Publish announces a socket this
+// process bound; Resolve answers where a remote node's socket lives;
+// Piggyback and MergeWire attach and absorb the small directory batches
+// that ride every map advertisement, spreading the directory epidemic
+// along the same links the data plane uses.
+type AddrBook interface {
+	Resolve(id overlay.NodeID) (string, bool)
+	Publish(id overlay.NodeID, addr string)
+	Piggyback(max int) []DirEntry
+	MergeWire(entries []DirEntry)
+}
+
 // UDPTransport carries frames as binary datagrams over real UDP
 // sockets: one loopback socket per node, an address book mapping node
 // ids to socket addresses, and a reader goroutine per socket decoding
-// datagrams into the node's inbox. It is the deployment-shaped
-// transport — everything that crosses a node boundary is a real
-// serialized datagram subject to the kernel's network stack — while the
-// peers themselves still run as goroutines of one process (the address
-// book is in-process state; a multi-host runtime would distribute it).
+// datagrams into the node's inbox. With an AddrBook installed the
+// transport spans processes: locally unknown destinations resolve
+// through the gossiped directory, locally bound sockets are published
+// into it, and map frames carry directory piggybacks both ways.
 //
 // Shaping composes: with a LinkPolicy installed, data frames are
 // delayed before the socket write and the loss/partition draws apply on
@@ -29,12 +49,16 @@ type UDPTransport struct {
 	mu     sync.RWMutex
 	nodes  map[overlay.NodeID]*udpNode
 	addrs  map[overlay.NodeID]*net.UDPAddr
+	remote map[string]*net.UDPAddr // resolved AddrBook endpoints, by string form
+	book   AddrBook
 	shape  *shaper
 	closed bool
 
 	dataSent      atomic.Int64
 	dataDelivered atomic.Int64
 	dataLost      atomic.Int64
+	inboxDropped  atomic.Int64
+	malformed     atomic.Int64
 	delayMu       sync.Mutex
 	delaySum      float64 // scenario ms
 
@@ -50,10 +74,19 @@ type udpNode struct {
 // shaping draws.
 func NewUDPTransport(seed int64) *UDPTransport {
 	return &UDPTransport{
-		nodes: make(map[overlay.NodeID]*udpNode),
-		addrs: make(map[overlay.NodeID]*net.UDPAddr),
-		shape: newShaper(seed),
+		nodes:  make(map[overlay.NodeID]*udpNode),
+		addrs:  make(map[overlay.NodeID]*net.UDPAddr),
+		remote: make(map[string]*net.UDPAddr),
+		shape:  newShaper(seed),
 	}
+}
+
+// SetAddrBook installs the gossiped address directory (nil: purely
+// local, the single-process configuration). Must be set before Open.
+func (t *UDPTransport) SetAddrBook(b AddrBook) {
+	t.mu.Lock()
+	t.book = b
+	t.mu.Unlock()
 }
 
 // Open binds a loopback UDP socket for the node and starts its reader.
@@ -62,11 +95,8 @@ func (t *UDPTransport) Open(id overlay.NodeID) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runtime: udp bind for node %d: %w", id, err)
 	}
-	// Generous kernel buffers: a time-compressed run bursts a whole
-	// period's frames at once, and a reader goroutine on a loaded host
-	// may lag behind the socket.
-	conn.SetReadBuffer(1 << 20)
-	conn.SetWriteBuffer(1 << 20)
+	conn.SetReadBuffer(udpSocketBuf)
+	conn.SetWriteBuffer(udpSocketBuf)
 	n := &udpNode{conn: conn, inbox: make(chan Frame, inboxCap)}
 	t.mu.Lock()
 	if t.closed {
@@ -77,10 +107,15 @@ func (t *UDPTransport) Open(id overlay.NodeID) (Endpoint, error) {
 	if old, ok := t.nodes[id]; ok {
 		old.conn.Close()
 	}
+	addr := conn.LocalAddr().(*net.UDPAddr)
 	t.nodes[id] = n
-	t.addrs[id] = conn.LocalAddr().(*net.UDPAddr)
+	t.addrs[id] = addr
+	book := t.book
 	t.mu.Unlock()
 
+	if book != nil {
+		book.Publish(id, addr.String())
+	}
 	t.wg.Add(1)
 	go t.read(n)
 	return &udpEndpoint{t: t, id: id, node: n}, nil
@@ -92,7 +127,7 @@ func (t *UDPTransport) read(n *udpNode) {
 	// Sized for the largest legal frame: a map datagram at the
 	// maxWireSessions bound plus image (loopback carries datagrams far
 	// beyond one physical MTU).
-	buf := make([]byte, 32*1024)
+	buf := make([]byte, 64*1024)
 	for {
 		sz, _, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -100,7 +135,18 @@ func (t *UDPTransport) read(n *udpNode) {
 		}
 		f, err := DecodeFrame(buf[:sz])
 		if err != nil {
+			t.malformed.Add(1)
 			continue // malformed datagram: drop
+		}
+		if len(f.Dir) > 0 {
+			// Absorb the directory piggyback; peers never see it.
+			t.mu.RLock()
+			book := t.book
+			t.mu.RUnlock()
+			if book != nil {
+				book.MergeWire(f.Dir)
+			}
+			f.Dir = nil
 		}
 		select {
 		case n.inbox <- f:
@@ -113,6 +159,7 @@ func (t *UDPTransport) read(n *udpNode) {
 				}
 			}
 		default:
+			t.inboxDropped.Add(1)
 			if f.Kind == FrameData {
 				t.dataLost.Add(1) // inbox overflow: datagram semantics
 			}
@@ -128,16 +175,26 @@ func (t *UDPTransport) SetTick(tick int, wallPerScenarioMS float64) {
 	t.shape.setTick(tick, wallPerScenarioMS)
 }
 
-// Stats returns cumulative data-plane counters.
+// Stats returns cumulative data-plane counters plus the kernel's own
+// receive-drop account for the transport's live sockets.
 func (t *UDPTransport) Stats() TransportStats {
 	t.delayMu.Lock()
 	delay := t.delaySum
 	t.delayMu.Unlock()
+	t.mu.RLock()
+	ports := make(map[int]bool, len(t.nodes))
+	for _, a := range t.addrs {
+		ports[a.Port] = true
+	}
+	t.mu.RUnlock()
 	return TransportStats{
 		DataSent:        t.dataSent.Load(),
 		DataDelivered:   t.dataDelivered.Load(),
 		DataLost:        t.dataLost.Load(),
 		DelayScenarioMS: delay,
+		InboxDropped:    t.inboxDropped.Load(),
+		Malformed:       t.malformed.Load(),
+		KernelDrops:     kernelUDPDrops(ports),
 	}
 }
 
@@ -166,7 +223,9 @@ func (t *UDPTransport) send(from *udpNode, f Frame) {
 	}
 }
 
-// write serializes the frame and puts it on the sender's socket.
+// write serializes the frame and puts it on the sender's socket,
+// resolving cross-process destinations through the address book and
+// attaching the directory piggyback to map frames.
 func (t *UDPTransport) write(from *udpNode, f Frame) {
 	if f.Kind == frameDropped {
 		t.dataLost.Add(1)
@@ -174,12 +233,47 @@ func (t *UDPTransport) write(from *udpNode, f Frame) {
 	}
 	t.mu.RLock()
 	addr, ok := t.addrs[f.Msg.To]
+	book := t.book
 	closed := t.closed
 	t.mu.RUnlock()
-	if !ok || closed {
-		return // destination detached: the datagram evaporates
+	if closed {
+		return
+	}
+	if !ok && book != nil {
+		addr, ok = t.resolveRemote(book, f.Msg.To)
+	}
+	if !ok {
+		return // destination unknown everywhere: the datagram evaporates
+	}
+	if f.Kind == FrameMap && book != nil {
+		f.Dir = book.Piggyback(maxMapDirEntries)
 	}
 	from.conn.WriteToUDP(EncodeFrame(f), addr)
+}
+
+// resolveRemote answers a cross-process destination from the address
+// book, caching the parsed socket address by its string form (a node
+// that rebinds publishes a new string, so the cache never serves a
+// stale binding).
+func (t *UDPTransport) resolveRemote(book AddrBook, id overlay.NodeID) (*net.UDPAddr, bool) {
+	s, ok := book.Resolve(id)
+	if !ok || s == "" {
+		return nil, false
+	}
+	t.mu.RLock()
+	addr, hit := t.remote[s]
+	t.mu.RUnlock()
+	if hit {
+		return addr, true
+	}
+	addr, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	t.remote[s] = addr
+	t.mu.Unlock()
+	return addr, true
 }
 
 type udpEndpoint struct {

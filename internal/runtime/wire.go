@@ -11,17 +11,20 @@ import (
 
 // The binary wire format of one frame, little-endian. Request, deny
 // and data frames are a fixed 29-byte header; a map frame adds the
-// availability image (80 bytes for B=600) and the gossiped session
-// timeline at 20 bytes per session, so it fits a 1500-byte MTU up to
-// ~66 sessions and a loopback datagram up to the maxWireSessions
-// bound, which EncodeFrame enforces by truncating the newest sessions
-// (the prefix must survive — receivers merge timelines by index):
+// availability image (80 bytes for B=600), the gossiped session
+// timeline at 20 bytes per session, and a small piggybacked directory
+// batch, so it fits a 1500-byte MTU up to ~60 sessions and a loopback
+// datagram up to the maxWireSessions bound, which EncodeFrame enforces
+// by truncating the newest sessions (the prefix must survive —
+// receivers merge timelines by index):
 //
-//	kind     uint8
+//	kind     uint8   (bit 7 = re-request flag, FrameRequest only)
 //	from     uint32
 //	to       uint32
-//	seg      int64   (segment.None = -1 encoded two's-complement)
-//	sent     int32   (sender's scheduling period)
+//	seg      int64   (segment.None = -1 encoded two's-complement;
+//	                  FrameAck: the acked sequence number)
+//	sent     int32   (sender's scheduling period; control frames: the
+//	                  control sequence number)
 //	arrival  float64 (shaped scenario-ms delay; 0 unshaped)
 //	--- FrameMap only ---
 //	maxSeen  int64
@@ -30,8 +33,26 @@ import (
 //	nsess ×  { source int32, begin int64, end int64 }
 //	maplen   uint16
 //	maplen × bytes   (buffer.Map wire image)
+//	ndir     uint8   (piggybacked directory entries)
+//	ndir  ×  dir entry
+//	--- FrameDirDelta only ---
+//	ndir     uint16
+//	ndir  ×  dir entry
+//	ctrllen  uint16  (authentication tag)
+//	ctrllen × bytes
+//	--- FrameHello / FrameEvent / FrameAck only ---
+//	ctrllen  uint16
+//	ctrllen × bytes  (sealed control payload, internal/cluster)
+//
+// A dir entry is { id uint32, ver uint32, addrlen uint8, addrlen ×
+// bytes }.
 
 const wireHeaderLen = 1 + 4 + 4 + 8 + 4 + 8
+
+// wireReReqBit flags a FrameRequest as a loss-induced re-request in the
+// kind byte's high bit — the wire-level counterpart of the simulator's
+// NetReRequests accounting.
+const wireReReqBit = 0x80
 
 // maxWireSessions bounds the gossiped timeline length on the wire
 // (enforced on both encode and decode): a live event passes the floor
@@ -41,36 +62,102 @@ const wireHeaderLen = 1 + 4 + 4 + 8 + 4 + 8
 // loopback datagram.
 const maxWireSessions = 1024
 
+// maxWireDirEntries bounds a directory batch on the wire (FrameDirDelta
+// anti-entropy rounds rotate through larger directories across rounds);
+// maxMapDirEntries bounds the FrameMap piggyback so advertisements stay
+// near one MTU.
+const (
+	maxWireDirEntries = 256
+	maxMapDirEntries  = 8
+)
+
+// maxWireCtrl bounds a sealed control payload (a resolved directive, a
+// status batch or a report chunk plus its authentication tag) to one
+// comfortable loopback datagram.
+const maxWireCtrl = 60000
+
 // EncodeFrame serializes a frame into the binary wire format.
 func EncodeFrame(f Frame) []byte {
 	if len(f.Sessions) > maxWireSessions {
 		f.Sessions = f.Sessions[:maxWireSessions]
 	}
+	switch f.Kind {
+	case FrameMap:
+		if len(f.Dir) > maxMapDirEntries {
+			f.Dir = f.Dir[:maxMapDirEntries]
+		}
+	case FrameDirDelta:
+		if len(f.Dir) > maxWireDirEntries {
+			f.Dir = f.Dir[:maxWireDirEntries]
+		}
+	}
 	n := wireHeaderLen
 	if f.Kind == FrameMap {
-		n += 8 + 8 + 2 + len(f.Sessions)*20 + 2 + len(f.MapImg)
+		n += 8 + 8 + 2 + len(f.Sessions)*20 + 2 + len(f.MapImg) + 1 + dirWireLen(f.Dir)
 	}
 	b := make([]byte, 0, n)
-	b = append(b, byte(f.Kind))
+	kind := byte(f.Kind)
+	if f.ReReq && f.Kind == FrameRequest {
+		kind |= wireReReqBit
+	}
+	b = append(b, kind)
 	b = binary.LittleEndian.AppendUint32(b, uint32(f.Msg.From))
 	b = binary.LittleEndian.AppendUint32(b, uint32(f.Msg.To))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.Msg.Seg)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(f.Msg.Sent)))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Msg.ArrivalMS))
-	if f.Kind != FrameMap {
-		return b
+	switch f.Kind {
+	case FrameMap:
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.MaxSeen)))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Rate))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Sessions)))
+		for _, s := range f.Sessions {
+			b = binary.LittleEndian.AppendUint32(b, uint32(int32(s.Source)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(s.Begin)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(s.End)))
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(f.MapImg)))
+		b = append(b, f.MapImg...)
+		b = append(b, byte(len(f.Dir)))
+		b = appendDirEntries(b, f.Dir)
+	case FrameDirDelta:
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Dir)))
+		b = appendDirEntries(b, f.Dir)
+		b = appendCtrl(b, f.Ctrl)
+	case FrameHello, FrameEvent, FrameAck:
+		b = appendCtrl(b, f.Ctrl)
 	}
-	b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.MaxSeen)))
-	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Rate))
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Sessions)))
-	for _, s := range f.Sessions {
-		b = binary.LittleEndian.AppendUint32(b, uint32(int32(s.Source)))
-		b = binary.LittleEndian.AppendUint64(b, uint64(int64(s.Begin)))
-		b = binary.LittleEndian.AppendUint64(b, uint64(int64(s.End)))
-	}
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(f.MapImg)))
-	b = append(b, f.MapImg...)
 	return b
+}
+
+func dirWireLen(entries []DirEntry) int {
+	n := 0
+	for _, e := range entries {
+		n += 4 + 4 + 1 + len(e.Addr)
+	}
+	return n
+}
+
+func appendDirEntries(b []byte, entries []DirEntry) []byte {
+	for _, e := range entries {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.ID))
+		b = binary.LittleEndian.AppendUint32(b, e.Ver)
+		addr := e.Addr
+		if len(addr) > 255 {
+			addr = addr[:255]
+		}
+		b = append(b, byte(len(addr)))
+		b = append(b, addr...)
+	}
+	return b
+}
+
+func appendCtrl(b, ctrl []byte) []byte {
+	if len(ctrl) > maxWireCtrl {
+		ctrl = ctrl[:maxWireCtrl]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(ctrl)))
+	return append(b, ctrl...)
 }
 
 // DecodeFrame parses the binary wire format. The returned frame owns
@@ -80,19 +167,63 @@ func DecodeFrame(b []byte) (Frame, error) {
 	if len(b) < wireHeaderLen {
 		return f, fmt.Errorf("runtime: frame of %d bytes, want >= %d", len(b), wireHeaderLen)
 	}
-	f.Kind = FrameKind(b[0])
-	if f.Kind < FrameMap || f.Kind > FrameData {
+	f.Kind = FrameKind(b[0] &^ wireReReqBit)
+	f.ReReq = b[0]&wireReReqBit != 0
+	if f.Kind < FrameMap || f.Kind > FrameAck {
 		return f, fmt.Errorf("runtime: unknown frame kind %d", b[0])
+	}
+	if f.ReReq && f.Kind != FrameRequest {
+		return f, fmt.Errorf("runtime: re-request flag on a %s frame", f.Kind)
 	}
 	f.Msg.From = overlay.NodeID(binary.LittleEndian.Uint32(b[1:]))
 	f.Msg.To = overlay.NodeID(binary.LittleEndian.Uint32(b[5:]))
 	f.Msg.Seg = segment.ID(int64(binary.LittleEndian.Uint64(b[9:])))
 	f.Msg.Sent = int(int32(binary.LittleEndian.Uint32(b[17:])))
 	f.Msg.ArrivalMS = math.Float64frombits(binary.LittleEndian.Uint64(b[21:]))
-	if f.Kind != FrameMap {
+	rest := b[wireHeaderLen:]
+	switch f.Kind {
+	case FrameMap:
+		return decodeMapPayload(f, rest)
+	case FrameDirDelta:
+		if len(rest) < 2 {
+			return f, fmt.Errorf("runtime: truncated dir-delta frame")
+		}
+		ndir := int(binary.LittleEndian.Uint16(rest[0:]))
+		if ndir > maxWireDirEntries {
+			return f, fmt.Errorf("runtime: dir-delta advertises %d entries (max %d)", ndir, maxWireDirEntries)
+		}
+		var err error
+		f.Dir, rest, err = decodeDirEntries(rest[2:], ndir)
+		if err != nil {
+			return f, err
+		}
+		f.Ctrl, rest, err = decodeCtrl(rest)
+		if err != nil {
+			return f, err
+		}
+		if len(rest) != 0 {
+			return f, fmt.Errorf("runtime: %d trailing bytes on a dir-delta frame", len(rest))
+		}
+		return f, nil
+	case FrameHello, FrameEvent, FrameAck:
+		var err error
+		f.Ctrl, rest, err = decodeCtrl(rest)
+		if err != nil {
+			return f, err
+		}
+		if len(rest) != 0 {
+			return f, fmt.Errorf("runtime: %d trailing bytes on a %s frame", len(rest), f.Kind)
+		}
+		return f, nil
+	default:
+		if len(rest) != 0 {
+			return f, fmt.Errorf("runtime: %d trailing bytes on a %s frame", len(rest), f.Kind)
+		}
 		return f, nil
 	}
-	rest := b[wireHeaderLen:]
+}
+
+func decodeMapPayload(f Frame, rest []byte) (Frame, error) {
 	if len(rest) < 8+8+2 {
 		return f, fmt.Errorf("runtime: truncated map frame (%d payload bytes)", len(rest))
 	}
@@ -119,11 +250,65 @@ func DecodeFrame(b []byte) (Frame, error) {
 	rest = rest[nsess*20:]
 	maplen := int(binary.LittleEndian.Uint16(rest[0:]))
 	rest = rest[2:]
-	if len(rest) != maplen {
+	if len(rest) < maplen+1 {
 		return f, fmt.Errorf("runtime: map image length %d, frame carries %d bytes", maplen, len(rest))
 	}
 	if maplen > 0 {
-		f.MapImg = append([]byte(nil), rest...)
+		f.MapImg = append([]byte(nil), rest[:maplen]...)
+	}
+	rest = rest[maplen:]
+	ndir := int(rest[0])
+	if ndir > maxMapDirEntries {
+		return f, fmt.Errorf("runtime: map frame piggybacks %d dir entries (max %d)", ndir, maxMapDirEntries)
+	}
+	var err error
+	f.Dir, rest, err = decodeDirEntries(rest[1:], ndir)
+	if err != nil {
+		return f, err
+	}
+	if len(rest) != 0 {
+		return f, fmt.Errorf("runtime: %d trailing bytes on a map frame", len(rest))
 	}
 	return f, nil
+}
+
+func decodeDirEntries(b []byte, n int) ([]DirEntry, []byte, error) {
+	if n == 0 {
+		return nil, b, nil
+	}
+	entries := make([]DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 9 {
+			return nil, b, fmt.Errorf("runtime: truncated dir entry %d of %d", i, n)
+		}
+		e := DirEntry{
+			ID:  overlay.NodeID(binary.LittleEndian.Uint32(b[0:])),
+			Ver: binary.LittleEndian.Uint32(b[4:]),
+		}
+		alen := int(b[8])
+		b = b[9:]
+		if len(b) < alen {
+			return nil, b, fmt.Errorf("runtime: truncated dir entry address (%d of %d bytes)", len(b), alen)
+		}
+		e.Addr = string(b[:alen])
+		b = b[alen:]
+		entries = append(entries, e)
+	}
+	return entries, b, nil
+}
+
+func decodeCtrl(b []byte) ([]byte, []byte, error) {
+	if len(b) < 2 {
+		return nil, b, fmt.Errorf("runtime: truncated control payload length")
+	}
+	clen := int(binary.LittleEndian.Uint16(b[0:]))
+	b = b[2:]
+	if len(b) < clen {
+		return nil, b, fmt.Errorf("runtime: control payload %d bytes, frame carries %d", clen, len(b))
+	}
+	var ctrl []byte
+	if clen > 0 {
+		ctrl = append([]byte(nil), b[:clen]...)
+	}
+	return ctrl, b[clen:], nil
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -35,6 +36,31 @@ func TestWireRoundTrip(t *testing.T) {
 			},
 		},
 		{Kind: FrameMap, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None}, MaxSeen: segment.None},
+		{Kind: FrameRequest, Msg: netmodel.Message{From: 3, To: 9, Seg: 1234, Sent: 44}, ReReq: true},
+		{
+			Kind:    FrameMap,
+			Msg:     netmodel.Message{From: 7, To: 8, Seg: segment.None, Sent: 99},
+			MapImg:  img,
+			MaxSeen: 179,
+			Dir: []DirEntry{
+				{ID: 7, Ver: 3, Addr: "127.0.0.1:40107"},
+				{ID: 12, Ver: 1, Addr: "127.0.0.1:40112"},
+			},
+		},
+		{Kind: FrameHello, Msg: netmodel.Message{From: 1001, To: 1000, Seg: segment.None, Sent: 1},
+			Ctrl: []byte("sealed-hello-payload")},
+		{Kind: FrameDirDelta, Msg: netmodel.Message{From: 1000, To: 1001, Seg: segment.None, Sent: 4},
+			Dir: []DirEntry{
+				{ID: 0, Ver: 9, Addr: "127.0.0.1:40100"},
+				{ID: 1, Ver: 2, Addr: "[::1]:40101"},
+				{ID: 250, Ver: 1, Addr: ""},
+			},
+			Ctrl: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Kind: FrameEvent, Msg: netmodel.Message{From: 1000, To: 1002, Seg: segment.None, Sent: 17},
+			Ctrl: make([]byte, 2000)},
+		{Kind: FrameAck, Msg: netmodel.Message{From: 1002, To: 1000, Seg: 17, Sent: 0},
+			Ctrl: []byte("reply")},
+		{Kind: FrameAck, Msg: netmodel.Message{From: 1002, To: 1000, Seg: 3}},
 	}
 	for i, f := range frames {
 		got, err := DecodeFrame(EncodeFrame(f))
@@ -62,16 +88,86 @@ func TestWireRoundTrip(t *testing.T) {
 func TestWireDecodeErrors(t *testing.T) {
 	good := EncodeFrame(Frame{Kind: FrameMap, Msg: netmodel.Message{From: 1, To: 2},
 		Sessions: []SessionInfo{{Source: 1, Begin: 0, End: segment.None}}})
+	delta := EncodeFrame(Frame{Kind: FrameDirDelta, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None},
+		Dir:  []DirEntry{{ID: 3, Ver: 1, Addr: "127.0.0.1:40103"}},
+		Ctrl: []byte("mac-bytes-here")})
+	event := EncodeFrame(Frame{Kind: FrameEvent, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None, Sent: 5},
+		Ctrl: []byte("sealed")})
+	deny := EncodeFrame(Frame{Kind: FrameDeny, Msg: netmodel.Message{From: 9, To: 3, Seg: 12}})
+
+	// A dir-delta claiming more entries than it carries.
+	shortDelta := append([]byte(nil), delta...)
+	shortDelta[wireHeaderLen] = 200
+
+	// A map frame whose piggyback count exceeds the wire bound.
+	fatMap := append([]byte(nil), good...)
+	fatMap[len(fatMap)-1] = maxMapDirEntries + 1
+
 	cases := map[string][]byte{
-		"empty":             nil,
-		"short header":      good[:10],
-		"bad kind":          append([]byte{0x7f}, good[1:]...),
-		"truncated payload": good[:len(good)-3],
-		"trailing junk":     append(append([]byte(nil), good...), 1, 2, 3),
+		"empty":                nil,
+		"short header":         good[:10],
+		"bad kind":             append([]byte{0x7f}, good[1:]...),
+		"truncated payload":    good[:len(good)-3],
+		"trailing junk":        append(append([]byte(nil), good...), 1, 2, 3),
+		"re-req on deny":       append([]byte{byte(FrameDeny) | wireReReqBit}, deny[1:]...),
+		"re-req on event":      append([]byte{byte(FrameEvent) | wireReReqBit}, event[1:]...),
+		"truncated dir entry":  shortDelta,
+		"truncated dir addr":   delta[:wireHeaderLen+2+5],
+		"oversized piggyback":  fatMap,
+		"truncated ctrl":       event[:len(event)-2],
+		"short ctrl length":    event[:wireHeaderLen+1],
+		"delta trailing junk":  append(append([]byte(nil), delta...), 9),
+		"event trailing junk":  append(append([]byte(nil), event...), 9),
+		"headerless dir-delta": EncodeFrame(Frame{Kind: FrameHello, Msg: netmodel.Message{From: 1, To: 2}})[:wireHeaderLen],
 	}
 	for name, b := range cases {
 		if _, err := DecodeFrame(b); err == nil {
 			t.Errorf("%s: decoded without error", name)
 		}
+	}
+}
+
+// TestWireGarbageFuzz hammers the decoder with mutated valid frames and
+// raw noise: it must never panic, and whatever decodes must re-encode
+// (the decoder's bounds checks are the only defense the UDP read loop
+// has against a hostile or corrupted datagram).
+func TestWireGarbageFuzz(t *testing.T) {
+	seeds := [][]byte{
+		EncodeFrame(Frame{Kind: FrameRequest, Msg: netmodel.Message{From: 3, To: 9, Seg: 77, Sent: 4}, ReReq: true}),
+		EncodeFrame(Frame{Kind: FrameMap, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None},
+			MaxSeen: 50, Rate: 5,
+			Sessions: []SessionInfo{{Source: 1, Begin: 0, End: segment.None}},
+			MapImg:   make([]byte, 80),
+			Dir:      []DirEntry{{ID: 1, Ver: 1, Addr: "127.0.0.1:1"}}}),
+		EncodeFrame(Frame{Kind: FrameDirDelta, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None},
+			Dir:  []DirEntry{{ID: 3, Ver: 1, Addr: "addr"}, {ID: 4, Ver: 2, Addr: "other"}},
+			Ctrl: []byte("tag")}),
+		EncodeFrame(Frame{Kind: FrameEvent, Msg: netmodel.Message{From: 1, To: 2, Seg: segment.None, Sent: 9},
+			Ctrl: []byte("payload-bytes")}),
+	}
+	rng := rand.New(rand.NewSource(0xf022))
+	for round := 0; round < 20000; round++ {
+		b := append([]byte(nil), seeds[round%len(seeds)]...)
+		switch round % 3 {
+		case 0: // flip random bytes
+			for i := 0; i < 1+round%4; i++ {
+				b[rng.Intn(len(b))] ^= byte(rng.Intn(256))
+			}
+		case 1: // truncate
+			b = b[:rng.Intn(len(b)+1)]
+		case 2: // extend with noise
+			extra := make([]byte, rng.Intn(40))
+			for i := range extra {
+				extra[i] = byte(rng.Intn(256))
+			}
+			b = append(b, extra...)
+		}
+		f, err := DecodeFrame(b)
+		if err != nil {
+			continue
+		}
+		// Whatever survives decode must be internally consistent enough
+		// to encode again without panicking.
+		_ = EncodeFrame(f)
 	}
 }
