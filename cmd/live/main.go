@@ -30,8 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"gossipstream/internal/cluster"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/runtime"
 	"gossipstream/internal/scenario"
 	"gossipstream/internal/sim"
@@ -53,6 +55,10 @@ func main() {
 		join      = flag.String("join", "", "join a cluster starter at this address and host one shard")
 		workers   = flag.Int("workers", 2, "with -serve: joining processes to wait for")
 		token     = flag.String("token", "gossipstream", "shared control-plane secret (all processes must agree)")
+
+		debugAddr  = flag.String("debug", "", "serve the debug HTTP endpoint on this address during the run (/metrics, /healthz, /runz, /debug/pprof)")
+		traceFile  = flag.String("trace", "", "write a structured JSONL run trace to this file (schema: docs/OBSERVABILITY.md)")
+		statsEvery = flag.Int("stats-every", 0, "print a periodic stats line (transport counters, kernel UDP drops) every N scheduling periods")
 	)
 	flag.Parse()
 
@@ -64,7 +70,7 @@ func main() {
 	}
 
 	if *join != "" {
-		runJoin(*join, *token, *seed)
+		runJoin(*join, *token, *seed, *debugAddr, *traceFile, *statsEvery)
 		return
 	}
 
@@ -77,7 +83,8 @@ func main() {
 	}
 
 	if *serve != "" {
-		runServe(sc, *serve, *algo, *workers, *token, *timescale, *stats)
+		runServe(sc, *serve, *algo, *workers, *token, *timescale, *stats,
+			*debugAddr, *traceFile, *statsEvery)
 		return
 	}
 
@@ -93,6 +100,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "live: unknown -algo %q (want fast, normal or both)\n", *algo)
 		os.Exit(2)
+	}
+
+	o, dbg, holder, err := setupObs(*debugAddr, *traceFile)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Desc)
@@ -121,11 +133,17 @@ func main() {
 		}
 
 		r, err := runtime.FromScenario(sc, factory, runtime.Options{
-			Transport: makeTransport(*transport, sc.Seed),
-			TimeScale: *timescale,
+			Transport:  makeTransport(*transport, sc.Seed),
+			TimeScale:  *timescale,
+			Obs:        o,
+			StatsEvery: *statsEvery,
+			Logf:       statsLogf(*statsEvery),
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if holder != nil {
+			holder.p.Store(r)
 		}
 		label := algoName
 		if *compare {
@@ -137,22 +155,111 @@ func main() {
 		}
 		printResult(label, res)
 		if *stats || *compare {
-			ls := r.Stats()
-			fmt.Printf("  wall: %v for %d periods (%d overruns); transport: %d data frames sent, %d delivered, %d lost\n",
-				ls.WallDuration.Round(1000000), ls.Periods, ls.Overruns,
-				ls.Transport.DataSent, ls.Transport.DataDelivered, ls.Transport.DataLost)
+			printLiveStats(r.Stats())
 		}
 		fmt.Println()
 	}
+	if err := o.Close(); err != nil {
+		fatal(err)
+	}
+	dbg.Close()
+}
+
+// printLiveStats renders the wall-clock execution account, drop
+// counters included (kernel drops stay zero on the channel transport).
+func printLiveStats(ls runtime.LiveStats) {
+	fmt.Printf("  wall: %v for %d periods (%d overruns); transport: %d data frames sent, %d delivered, %d lost, %d inbox-dropped, %d kernel-dropped\n",
+		ls.WallDuration.Round(1000000), ls.Periods, ls.Overruns,
+		ls.Transport.DataSent, ls.Transport.DataDelivered, ls.Transport.DataLost,
+		ls.Transport.InboxDropped, ls.Transport.KernelDrops)
+}
+
+// statsLogf is the sink for the runner's periodic stats lines.
+func statsLogf(statsEvery int) func(string, ...any) {
+	if statsEvery <= 0 {
+		return nil
+	}
+	return func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}
+
+// runHolder publishes the currently executing runner to the debug
+// endpoint's handlers (atomically — the HTTP server reads it from its
+// own goroutines).
+type runHolder struct {
+	p atomic.Pointer[runtime.Runner]
+}
+
+// setupObs assembles the observability bundle and, when -debug is set,
+// binds the debug HTTP endpoint. Both flags empty means disabled.
+func setupObs(debugAddr, traceFile string) (*obs.Obs, *obs.DebugServer, *runHolder, error) {
+	if debugAddr == "" && traceFile == "" {
+		return nil, nil, nil, nil
+	}
+	o := &obs.Obs{Reg: obs.NewRegistry()}
+	if traceFile != "" {
+		tr, err := obs.OpenTrace(traceFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		o.Trace = tr
+	}
+	holder := &runHolder{}
+	if debugAddr == "" {
+		return o, nil, holder, nil
+	}
+	healthz := func() any {
+		if r := holder.p.Load(); r != nil {
+			if snap := r.Snapshot(); snap != nil {
+				return map[string]any{"status": "ok", "tick": snap.Tick,
+					"duration": snap.Duration, "active_peers": snap.ActivePeers}
+			}
+		}
+		return map[string]any{"status": "starting"}
+	}
+	runz := func() any {
+		if r := holder.p.Load(); r != nil {
+			if snap := r.Snapshot(); snap != nil {
+				return map[string]any{"run": snap, "metrics": o.Reg.Snapshot()}
+			}
+		}
+		return map[string]any{"status": "no run"}
+	}
+	dbg, err := obs.StartDebug(debugAddr, o.Reg, healthz, runz)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "live: debug endpoint on http://%s\n", dbg.Addr())
+	return o, dbg, holder, nil
+}
+
+// clusterObs builds the obs bundle a cluster process hands to
+// cluster.Serve/Join (the debug server itself is started inside the
+// cluster package, where the merged health view lives).
+func clusterObs(debugAddr, traceFile string) *obs.Obs {
+	if debugAddr == "" && traceFile == "" {
+		return nil
+	}
+	o := &obs.Obs{Reg: obs.NewRegistry()}
+	if traceFile != "" {
+		tr, err := obs.OpenTrace(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		o.Trace = tr
+	}
+	return o
 }
 
 // runServe drives a multi-process run from the starter side and prints
 // the merged result.
-func runServe(sc *scenario.Scenario, listen, algo string, workers int, token string, timescale float64, stats bool) {
+func runServe(sc *scenario.Scenario, listen, algo string, workers int, token string, timescale float64, stats bool, debugAddr, traceFile string, statsEvery int) {
 	if algo != "fast" && algo != "normal" {
 		fmt.Fprintf(os.Stderr, "live: -serve needs -algo fast or normal (got %q)\n", algo)
 		os.Exit(2)
 	}
+	o := clusterObs(debugAddr, traceFile)
 	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Desc)
 	fmt.Printf("  nodes=%d seed=%d events=%d shards=%d transport=udp\n\n", sc.Nodes, sc.Seed, len(sc.Events), workers+1)
 	res, ls, err := cluster.Serve(cluster.Config{
@@ -165,21 +272,26 @@ func runServe(sc *scenario.Scenario, listen, algo string, workers int, token str
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+		Obs:        o,
+		Debug:      debugAddr,
+		StatsEvery: statsEvery,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	printResult("cluster/"+algo, res)
 	if stats {
-		fmt.Printf("  wall: %v for %d periods (%d overruns); transport: %d data frames sent, %d delivered, %d lost\n",
-			ls.WallDuration.Round(1000000), ls.Periods, ls.Overruns,
-			ls.Transport.DataSent, ls.Transport.DataDelivered, ls.Transport.DataLost)
+		printLiveStats(ls)
+	}
+	if err := o.Close(); err != nil {
+		fatal(err)
 	}
 }
 
 // runJoin runs one joining process; everything else (scenario, shard,
 // pacing) arrives from the starter.
-func runJoin(starter, token string, seed int64) {
+func runJoin(starter, token string, seed int64, debugAddr, traceFile string, statsEvery int) {
+	o := clusterObs(debugAddr, traceFile)
 	res, err := cluster.Join(cluster.JoinConfig{
 		Starter: starter,
 		Token:   token,
@@ -187,11 +299,17 @@ func runJoin(starter, token string, seed int64) {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+		Obs:        o,
+		Debug:      debugAddr,
+		StatsEvery: statsEvery,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	printResult("shard-local", res)
+	if err := o.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 // makeTransport builds a fresh transport per run (a runner owns and

@@ -16,11 +16,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gossipstream/internal/experiment"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/scenario"
 	"gossipstream/internal/sim"
 )
@@ -38,8 +40,27 @@ func main() {
 		timings = flag.Bool("timings", false, "print the per-phase wall-clock and allocation breakdown")
 		smoke   = flag.Bool("smoke", false, "run every bundled scenario at small scale and verify its windows (CI guard)")
 		compare = flag.Bool("compare", false, "sweep fast vs normal over the whole bundled library (experiment.ScenarioSweep)")
+
+		traceFile   = flag.String("trace", "", "write a structured JSONL run trace to this file (schema: docs/OBSERVABILITY.md)")
+		chromeFile  = flag.String("trace-chrome", "", "write engine per-phase spans in Chrome trace-event format (open in chrome://tracing or ui.perfetto.dev)")
+		timingsJSON = flag.String("timings-json", "", `write the per-phase timing breakdown as JSON to this file ("-" for stdout)`)
+		validate    = flag.String("validate-trace", "", "validate a JSONL trace file against the schema and exit (CI guard)")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := obs.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("trace ok: %d events\n", n)
+		return
+	}
 
 	if *list {
 		for _, sc := range scenario.Library() {
@@ -94,8 +115,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	o, err := buildObs(*traceFile, *chromeFile)
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Desc)
 	fmt.Printf("  nodes=%d seed=%d events=%d\n\n", sc.Nodes, sc.Seed, len(sc.Events))
+	var timingOut []runTimings
 	for _, algoName := range []string{"normal", "fast"} {
 		factory, ok := factories[algoName]
 		if !ok {
@@ -106,11 +133,16 @@ func main() {
 			fatal(err)
 		}
 		cfg.Workers = *workers
+		cfg.Obs = o
 		s, err := sim.New(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		s.CapturePhaseMem(*timings)
+		s.CapturePhaseMem(*timings || *timingsJSON != "")
+		// The run-start line carries the run's identity; the simulation
+		// emits the per-tick stream and the closing run-end itself.
+		o.Tracer().Emit(obs.TraceEvent{T: obs.EvRunStart,
+			Scenario: sc.Name, Algo: algoName, Nodes: sc.Nodes, Seed: sc.Seed})
 		res, err := s.Run()
 		if err != nil {
 			fatal(err)
@@ -122,8 +154,77 @@ func main() {
 				fmt.Printf("    %-10s %12v %14d B %10d allocs\n", t.Name, t.Total, t.Bytes, t.Allocs)
 			}
 		}
+		if *timingsJSON != "" {
+			rt := runTimings{Scenario: sc.Name, Algo: algoName, Workers: s.Workers()}
+			for _, t := range s.PhaseTimings() {
+				rt.Phases = append(rt.Phases, phaseTimingJSON{
+					Phase: t.Name, NS: t.Total.Nanoseconds(), Bytes: t.Bytes, Allocs: t.Allocs})
+			}
+			timingOut = append(timingOut, rt)
+		}
 		fmt.Println()
 	}
+	if err := o.Close(); err != nil {
+		fatal(err)
+	}
+	if *timingsJSON != "" {
+		if err := writeTimingsJSON(*timingsJSON, timingOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runTimings is the machine-readable form of one run's -timings table
+// (the -timings-json output is an array of these, one per algorithm).
+type runTimings struct {
+	Scenario string            `json:"scenario"`
+	Algo     string            `json:"algo"`
+	Workers  int               `json:"workers"`
+	Phases   []phaseTimingJSON `json:"phases"`
+}
+
+type phaseTimingJSON struct {
+	Phase  string `json:"phase"`
+	NS     int64  `json:"ns"`
+	Bytes  uint64 `json:"bytes"`
+	Allocs uint64 `json:"allocs"`
+}
+
+// buildObs assembles the run's observability bundle from the trace
+// flags; both empty means disabled (a nil *Obs).
+func buildObs(traceFile, chromeFile string) (*obs.Obs, error) {
+	if traceFile == "" && chromeFile == "" {
+		return nil, nil
+	}
+	o := &obs.Obs{Reg: obs.NewRegistry()}
+	if traceFile != "" {
+		tr, err := obs.OpenTrace(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		o.Trace = tr
+	}
+	if chromeFile != "" {
+		ch, err := obs.OpenChrome(chromeFile)
+		if err != nil {
+			return nil, err
+		}
+		o.Chrome = ch
+	}
+	return o, nil
+}
+
+func writeTimingsJSON(path string, out []runTimings) error {
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // load resolves the scenario source: a file, a bundled name, or an error.

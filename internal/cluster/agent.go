@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/runtime"
 	"gossipstream/internal/scenario"
 	"gossipstream/internal/sim"
@@ -19,6 +20,13 @@ type JoinConfig struct {
 	Token   string // shared HMAC secret
 	Seed    int64  // control-plane socket seed (any value; 0 is fine)
 	Logf    func(format string, args ...any)
+
+	// Obs, Debug and StatsEvery mirror Config: instrument the shard's
+	// runner and control link, serve the debug HTTP endpoint, print
+	// periodic stats lines.
+	Obs        *obs.Obs
+	Debug      string
+	StatsEvery int
 }
 
 func (c *JoinConfig) logf(format string, args ...any) {
@@ -33,12 +41,16 @@ func (c *JoinConfig) logf(format string, args ...any) {
 // the address directory, and ship the shard's windows back. Returns
 // the shard-local result (the merged run lives at the starter).
 func Join(cfg JoinConfig) (*sim.Result, error) {
+	if cfg.Debug != "" && cfg.Obs == nil {
+		cfg.Obs = &obs.Obs{Reg: obs.NewRegistry()}
+	}
 	book := NewDirectory(cfg.Seed ^ 0x0d1c7)
 	l, err := newLink("", -1, cfg.Token, book, cfg.Seed^0xa6e27)
 	if err != nil {
 		return nil, err
 	}
 	defer l.close()
+	l.setObs(cfg.Obs)
 
 	w, ackWelcome, err := awaitWelcome(cfg, l)
 	if err != nil {
@@ -57,9 +69,18 @@ func Join(cfg JoinConfig) (*sim.Result, error) {
 	tr.SetAddrBook(book)
 	r, err := runtime.FromScenario(sc, algoFactory(w.Algo), runtime.Options{
 		Transport: tr, TimeScale: w.TimeScale,
+		Obs: cfg.Obs, StatsEvery: cfg.StatsEvery, Logf: cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Debug != "" {
+		dbg, err := startClusterDebug(cfg.Debug, cfg.Obs, r, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer dbg.Close()
+		cfg.logf("cluster: debug endpoint on http://%s", dbg.Addr())
 	}
 	var tick atomic.Int64
 	l.setPolicy(func() netmodel.LinkPolicy { return r.Policy() },
@@ -168,12 +189,14 @@ func (a *agent) run() (*sim.Result, error) {
 		if err := r.TickShard(wallPer); err != nil {
 			return nil, err
 		}
+		hs := r.HealthSample()
 		a.l.cast(0, &Payload{Kind: "status", Status: &Status{
 			Shard:      a.shard,
 			Tick:       r.CurrentTick(),
 			Idle:       r.Idle(),
 			AppliedSeq: a.appliedSeq,
 			Nodes:      r.ShardStatus(),
+			Health:     &hs,
 		}})
 		a.gossipRound()
 		if time.Now().After(fallback) {

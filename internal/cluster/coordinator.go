@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/runtime"
 	"gossipstream/internal/scenario"
@@ -30,6 +31,19 @@ type Config struct {
 	// starter is listening (tests and scripts joining against an
 	// ephemeral port).
 	Ready func(addr string)
+
+	// Obs, when set, instruments the local shard and the control plane
+	// (metrics registry, trace stream).
+	Obs *obs.Obs
+
+	// Debug, when non-empty, serves the debug HTTP endpoint on this
+	// address for the duration of the run: /metrics, /healthz, /runz
+	// (including the merged cluster health table) and /debug/pprof.
+	Debug string
+
+	// StatsEvery, when positive, prints a periodic stats line through
+	// Logf every that many scheduling periods.
+	StatsEvery int
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -72,6 +86,9 @@ func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
 	if cfg.TimeScale == 0 {
 		cfg.TimeScale = runtime.DefaultTimeScale
 	}
+	if cfg.Debug != "" && cfg.Obs == nil {
+		cfg.Obs = &obs.Obs{Reg: obs.NewRegistry()}
+	}
 	sc := cfg.Scenario
 	shards := cfg.Workers + 1
 
@@ -81,6 +98,7 @@ func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
 		return nil, stats, err
 	}
 	defer l.close()
+	l.setObs(cfg.Obs)
 	cfg.logf("cluster: coordinator listening on %s (%d shards)", l.addr(), shards)
 	if cfg.Ready != nil {
 		cfg.Ready(l.addr())
@@ -95,6 +113,7 @@ func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
 	tr.SetAddrBook(book)
 	r, err := runtime.FromScenario(sc, algoFactory(cfg.Algo), runtime.Options{
 		Transport: tr, TimeScale: cfg.TimeScale,
+		Obs: cfg.Obs, StatsEvery: cfg.StatsEvery, Logf: cfg.Logf,
 	})
 	if err != nil {
 		return nil, stats, err
@@ -115,6 +134,15 @@ func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
 	co := &coordinator{cfg: cfg, l: l, book: book, r: r, shards: shards,
 		workers: workerShards, tick: &tick,
 		lastStatus: make(map[int]*Status),
+		health:     make(map[int]*shardHealth),
+	}
+	if cfg.Debug != "" {
+		dbg, err := startClusterDebug(cfg.Debug, cfg.Obs, r, &co.healthPub)
+		if err != nil {
+			return nil, stats, err
+		}
+		defer dbg.Close()
+		cfg.logf("cluster: debug endpoint on http://%s", dbg.Addr())
 	}
 	start := time.Now()
 	res, err := co.run()
@@ -180,6 +208,11 @@ type coordinator struct {
 
 	lastStatus map[int]*Status
 
+	// The merged cluster health view (see health.go): per-shard samples
+	// from the status stream, plus the published table /runz reads.
+	health    map[int]*shardHealth
+	healthPub atomic.Pointer[healthTable]
+
 	// earlyReports buffers report messages that raced the finish (a
 	// worker on its fallback deadline), so collectReports still sees
 	// them after their ack.
@@ -214,6 +247,7 @@ func (c *coordinator) run() (*sim.Result, error) {
 			c.broadcastApply(d)
 		}
 		c.gossipRound()
+		c.healthTick(false)
 		if r.EarlyExit() && c.drained() {
 			break
 		}
@@ -223,6 +257,15 @@ func (c *coordinator) run() (*sim.Result, error) {
 		} else {
 			next = time.Now()
 		}
+	}
+	// The final health table: the last word on every shard before the
+	// finish, including the cluster-wide drop totals the merged report
+	// quotes.
+	c.healthTick(true)
+	if t := c.healthPub.Load(); t != nil {
+		lost, inboxDropped, kernelDropped := t.dropTotals()
+		c.cfg.logf("cluster: drop totals across %d shards: %d lost, %d inbox-dropped, %d kernel-dropped",
+			c.shards, lost, inboxDropped, kernelDropped)
 	}
 	// The finish travels reliably: a worker that is still partitioned
 	// receives it from the retry loop once its heal directive (queued
@@ -258,6 +301,7 @@ func (c *coordinator) handle(m inMsg) {
 		if st := m.P.Status; st != nil {
 			c.lastStatus[st.Shard] = st
 			c.r.MergeStatus(st.Nodes)
+			c.noteHealth(st.Shard, st.Health)
 		}
 	case "report":
 		// A report can race the finish when a worker hits its fallback

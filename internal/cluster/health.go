@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"gossipstream/internal/obs"
+	"gossipstream/internal/runtime"
+)
+
+// The cluster health view: every shard's compact HealthSample, gossiped
+// piggyback on the per-tick status casts, merged at the coordinator
+// into one liveness table. Status casts are unreliable by design, so
+// each row records when its sample last landed and shards whose
+// heartbeats stopped are flagged stale rather than silently frozen.
+
+// staleLag is how many coordinator ticks without a fresh status before
+// a shard's row is flagged stale.
+const staleLag = 15
+
+// healthEvery is the coordinator's health-table print cadence in ticks.
+const healthEvery = 25
+
+// shardHealth is one row of the merged table.
+type shardHealth struct {
+	Shard    int                  `json:"shard"`
+	SeenTick int                  `json:"seen_tick"` // coordinator tick when the sample landed (-1: never)
+	Stale    bool                 `json:"stale"`
+	Sample   runtime.HealthSample `json:"sample"`
+}
+
+// healthTable is the merged per-worker liveness table, printed
+// periodically and exposed at /runz.
+type healthTable struct {
+	Tick   int           `json:"tick"`
+	Shards []shardHealth `json:"shards"`
+}
+
+// String renders the table as one greppable log line.
+func (t *healthTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: health @ tick %d:", t.Tick)
+	for _, row := range t.Shards {
+		fmt.Fprintf(&b, " | s%d", row.Shard)
+		if row.SeenTick < 0 {
+			b.WriteString(" never-reported")
+			continue
+		}
+		if row.Stale {
+			fmt.Fprintf(&b, " STALE(seen @%d)", row.SeenTick)
+		}
+		s := row.Sample
+		fmt.Fprintf(&b, " tick=%d peers=%d inbox=%d holes=%d rereq=%d overruns=%d lost=%d drops=%d/%d",
+			s.Tick, s.Peers, s.InboxDepth, s.Holes, s.ReRequests, s.Overruns,
+			s.DataLost, s.InboxDropped, s.KernelDrops)
+	}
+	return b.String()
+}
+
+// noteHealth folds one shard's piggybacked sample into the
+// coordinator's view (run-loop goroutine only).
+func (c *coordinator) noteHealth(shard int, h *runtime.HealthSample) {
+	if h == nil {
+		return
+	}
+	c.health[shard] = &shardHealth{Shard: shard, SeenTick: c.r.CurrentTick(), Sample: *h}
+}
+
+// healthTick refreshes shard 0's own row, publishes the merged table
+// for the debug endpoint's /runz, and prints it every healthEvery ticks
+// (always, when forced).
+func (c *coordinator) healthTick(force bool) {
+	tick := c.r.CurrentTick()
+	own := c.r.HealthSample()
+	c.health[0] = &shardHealth{Shard: 0, SeenTick: tick, Sample: own}
+	t := &healthTable{Tick: tick}
+	for shard := 0; shard < c.shards; shard++ {
+		row, ok := c.health[shard]
+		if !ok {
+			t.Shards = append(t.Shards, shardHealth{Shard: shard, SeenTick: -1, Stale: true})
+			continue
+		}
+		r := *row
+		r.Stale = tick-r.SeenTick > staleLag
+		t.Shards = append(t.Shards, r)
+	}
+	c.healthPub.Store(t)
+	if force || (tick > 0 && tick%healthEvery == 0) {
+		c.cfg.logf("%s", t)
+	}
+}
+
+// startClusterDebug binds the debug HTTP endpoint for a cluster
+// process. /healthz and /runz read the runner's atomic snapshot; on the
+// coordinator (pub non-nil) /runz additionally carries the merged
+// cluster health table.
+func startClusterDebug(addr string, o *obs.Obs, r *runtime.Runner, pub *atomic.Pointer[healthTable]) (*obs.DebugServer, error) {
+	healthz := func() any {
+		if snap := r.Snapshot(); snap != nil {
+			return map[string]any{"status": "ok", "tick": snap.Tick,
+				"shard": snap.Shard, "shards": snap.Shards}
+		}
+		if pub != nil {
+			if t := pub.Load(); t != nil {
+				return map[string]any{"status": "ok", "tick": t.Tick}
+			}
+		}
+		return map[string]any{"status": "starting"}
+	}
+	runz := func() any {
+		v := map[string]any{"metrics": o.Registry().Snapshot()}
+		if snap := r.Snapshot(); snap != nil {
+			v["run"] = snap
+		}
+		if pub != nil {
+			if t := pub.Load(); t != nil {
+				v["health"] = t
+			}
+		}
+		return v
+	}
+	return obs.StartDebug(addr, o.Registry(), healthz, runz)
+}
+
+// dropTotals sums the loss-and-drop counters across the table — the
+// cluster-wide tail of the merged report.
+func (t *healthTable) dropTotals() (lost, inboxDropped, kernelDropped int64) {
+	for _, row := range t.Shards {
+		if row.SeenTick < 0 {
+			continue
+		}
+		lost += row.Sample.DataLost
+		inboxDropped += row.Sample.InboxDropped
+		kernelDropped += row.Sample.KernelDrops
+	}
+	return
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/runtime"
 	"gossipstream/internal/segment"
@@ -72,6 +73,12 @@ type link struct {
 	inbox chan inMsg
 	done  chan struct{}
 	wg    sync.WaitGroup
+
+	// Control-plane telemetry (nil when observability is disabled; both
+	// sinks are nil-safe). Retransmissions are the control plane's
+	// leading distress signal, so they get a counter and a trace line.
+	obsRetries *obs.Counter
+	trace      *obs.Trace
 }
 
 type pendKey struct {
@@ -152,6 +159,16 @@ func (l *link) setPolicy(p func() netmodel.LinkPolicy, tick func() int, wallPerS
 	l.tickFn = tick
 	l.wallPer = wallPerScenarioMS
 	l.mu.Unlock()
+}
+
+// setObs attaches the control plane's telemetry sinks.
+func (l *link) setObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	l.obsRetries = o.Registry().Counter("gossip_ctrl_retries_total",
+		"control-plane retransmissions of unacknowledged sequenced frames")
+	l.trace = o.Tracer()
 }
 
 // addr is the bound control address.
@@ -412,6 +429,17 @@ func (l *link) retryLoop() {
 		l.mu.Unlock()
 		for i, k := range keys {
 			l.transmit(k.shard, frames[i].data)
+			l.obsRetries.Inc()
+			if l.trace != nil {
+				tick := 0
+				l.mu.Lock()
+				if l.tickFn != nil {
+					tick = l.tickFn()
+				}
+				l.mu.Unlock()
+				l.trace.Emit(obs.TraceEvent{T: obs.EvRetry, Tick: tick,
+					Dest: k.shard, Seq: k.seq})
+			}
 		}
 	}
 }

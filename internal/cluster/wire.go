@@ -78,12 +78,17 @@ type Start struct {
 // Status is one shard's per-tick heartbeat: where its clock is, whether
 // its windows are closed, the highest directive it has applied, and its
 // nodes' failure-detector state for the coordinator's resolutions.
+// Health piggybacks the shard's compact observability summary on the
+// same unreliable cast — the cluster's health gossip rides the existing
+// status stream rather than a second reporting channel. (Gob tolerates
+// the field being absent, so mixed-version processes interoperate.)
 type Status struct {
 	Shard      int
 	Tick       int
 	Idle       bool
 	AppliedSeq uint64
 	Nodes      []runtime.NodeStatus
+	Health     *runtime.HealthSample
 }
 
 // Report ships one window of a shard's finished result back for the

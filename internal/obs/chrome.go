@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ChromeTrace exports spans in the Chrome trace-event format (the JSON
+// array flavor), loadable in chrome://tracing or https://ui.perfetto.dev
+// — one complete ("ph":"X") event per engine phase execution, so a
+// tick's phase pipeline renders as a row of nested spans on a
+// microsecond timeline. A nil *ChromeTrace discards every span.
+type ChromeTrace struct {
+	mu    sync.Mutex
+	f     *os.File
+	start time.Time
+	first bool
+	err   error
+	spans int64
+}
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // µs since the trace epoch
+	Dur  int64          `json:"dur"` // µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// OpenChrome creates (truncates) a Chrome trace file.
+func OpenChrome(path string) (*ChromeTrace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: chrome trace file: %w", err)
+	}
+	if _, err := f.WriteString("[\n"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ChromeTrace{f: f, start: time.Now(), first: true}, nil
+}
+
+// Span records one completed span. tid groups spans into rows (the
+// engine uses tid 0 for the tick pipeline and 1 for the plan/serve
+// sub-pipeline); tick is attached as an argument for the inspector.
+func (c *ChromeTrace) Span(name string, tid int, tick int64, start time.Time, d time.Duration) {
+	if c == nil {
+		return
+	}
+	ev := chromeEvent{
+		Name: name, Ph: "X",
+		TS:  start.Sub(c.start).Microseconds(),
+		Dur: d.Microseconds(),
+		TID: tid,
+		Args: map[string]any{
+			"tick": tick,
+		},
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if !c.first {
+		if _, err := c.f.WriteString(",\n"); err != nil {
+			c.err = err
+			return
+		}
+	}
+	c.first = false
+	if _, err := c.f.Write(data); err != nil {
+		c.err = err
+		return
+	}
+	c.spans++
+}
+
+// Spans reports how many spans were recorded.
+func (c *ChromeTrace) Spans() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans
+}
+
+// Close terminates the JSON array and closes the file.
+func (c *ChromeTrace) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, werr := c.f.WriteString("\n]\n")
+	cerr := c.f.Close()
+	if c.err != nil {
+		return c.err
+	}
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,27 @@
+// Package obs is the runtime observability layer shared by all three
+// execution backends (the simulator's phase pipeline, the live
+// goroutine-peer runtime, and the multi-process cluster): a metrics
+// registry of atomic counters/gauges/histograms with a Prometheus text
+// exposition, a structured JSONL trace stream with a validated schema,
+// a Chrome trace-event exporter for per-phase spans, and a debug HTTP
+// endpoint (/metrics, /healthz, /runz, pprof).
+//
+// Two properties are load-bearing and pinned by tests:
+//
+//   - Free when disabled. Every sink type (Registry, Trace, ChromeTrace)
+//     is nil-safe: a nil receiver makes every update a no-op, so
+//     instrumented hot paths pay one nil check and nothing else.
+//     TestTickAllocations holds the steady-state allocation budget with
+//     the instrumentation compiled in, and TestTickAllocationsWithObs
+//     holds the same budget with a live registry attached — updates are
+//     pre-registered atomics, never allocations.
+//
+//   - Non-perturbing when enabled. Observability only reads run state;
+//     nothing flows back. TestTracedRunBitIdentical pins a traced,
+//     registry-enabled run bit-identical to a bare run at multiple
+//     worker counts — the determinism contract does not bend for
+//     telemetry.
+//
+// See docs/OBSERVABILITY.md for the metric catalog, the trace schema,
+// the endpoint table and the cluster health view.
+package obs

@@ -1,0 +1,48 @@
+package obs
+
+// Obs bundles the sinks a run threads through its layers: the metrics
+// registry, the JSONL trace stream and the Chrome span exporter. Any
+// field may be nil; a nil *Obs disables everything. The nil-safe
+// accessors let consumers hold a single possibly-nil *Obs and read
+// sinks without branching.
+type Obs struct {
+	Reg    *Registry
+	Trace  *Trace
+	Chrome *ChromeTrace
+}
+
+// Registry returns the metrics registry (nil when disabled).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Tracer returns the trace stream (nil when disabled).
+func (o *Obs) Tracer() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// ChromeSink returns the span exporter (nil when disabled).
+func (o *Obs) ChromeSink() *ChromeTrace {
+	if o == nil {
+		return nil
+	}
+	return o.Chrome
+}
+
+// Close flushes and closes every sink that needs it.
+func (o *Obs) Close() error {
+	if o == nil {
+		return nil
+	}
+	err := o.Trace.Close()
+	if cerr := o.Chrome.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

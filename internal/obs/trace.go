@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The structured trace stream: one JSON object per line (JSONL), each a
+// typed run event. The schema is documented in docs/OBSERVABILITY.md
+// and enforced by ValidateTrace — CI runs a traced scenario and
+// validates every line, so the doc and the emitter cannot drift.
+//
+// Tracing is observational only: emitters read run state and write
+// bytes, never feed anything back, so a traced run is bit-identical to
+// an untraced one (pinned by TestTracedRunBitIdentical).
+
+// Trace event types. Every line carries "t" (one of these) and "tick".
+const (
+	EvRunStart    = "run-start"    // scenario, algo, nodes, seed
+	EvTick        = "tick"         // ns: the tick's wall-clock duration
+	EvEvent       = "event"        // kind; node/to/seg where applicable
+	EvWindowOpen  = "window-open"  // window, kind, cohort
+	EvWindowClose = "window-close" // window, measured, unfinished, unprepared
+	EvSwitch      = "switch"       // kind: milestone (s1-end, become-source); seg, node
+	EvRetry       = "retry"        // dest, seq: a control-plane retransmission
+	EvPartition   = "partition"    // kind: sever|heal
+	EvRunEnd      = "run-end"      // windows: closed window count
+)
+
+// TraceEvent is one trace line. Optional fields are pointers (or
+// omitempty scalars that cannot legitimately be zero) so absent and
+// zero-valued never blur: node 0 and window 0 are real identities.
+type TraceEvent struct {
+	T    string `json:"t"`
+	Tick int    `json:"tick"`
+
+	NS       int64  `json:"ns,omitempty"`       // tick
+	Kind     string `json:"kind,omitempty"`     // event, window-open, switch, partition
+	Scenario string `json:"scenario,omitempty"` // run-start
+	Algo     string `json:"algo,omitempty"`     // run-start
+	Nodes    int    `json:"nodes,omitempty"`    // run-start
+	Seed     int64  `json:"seed,omitempty"`     // run-start
+
+	Window *int   `json:"window,omitempty"` // window-open, window-close
+	Node   *int64 `json:"node,omitempty"`   // event, switch
+	To     *int64 `json:"to,omitempty"`     // event
+	Seg    *int64 `json:"seg,omitempty"`    // event, switch
+
+	Cohort     int `json:"cohort,omitempty"`     // window-open
+	Measured   int `json:"measured,omitempty"`   // window-close
+	Unfinished int `json:"unfinished,omitempty"` // window-close
+	Unprepared int `json:"unprepared,omitempty"` // window-close
+	Windows    int `json:"windows,omitempty"`    // run-end
+
+	Dest  int    `json:"dest,omitempty"`  // retry
+	Seq   uint64 `json:"seq,omitempty"`   // retry
+	Shard int    `json:"shard,omitempty"` // any, in multi-process runs
+}
+
+// P returns a pointer to v — for the optional TraceEvent fields.
+func P[T any](v T) *T { return &v }
+
+// Trace is a concurrency-safe JSONL writer. A nil *Trace discards every
+// event, which is how a run disables tracing.
+type Trace struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	events int64
+	err    error
+}
+
+// NewTrace wraps a writer in a trace sink.
+func NewTrace(w io.Writer) *Trace {
+	t := &Trace{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// OpenTrace creates (truncates) a trace file.
+func OpenTrace(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	return NewTrace(f), nil
+}
+
+// Emit appends one event line. Safe from any goroutine; a nil Trace
+// drops the event.
+func (t *Trace) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return // unmarshalable event: a programming bug, not worth a panic mid-run
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Events reports how many lines were emitted.
+func (t *Trace) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Close flushes (and closes the underlying file, when Trace opened it).
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.w.Flush()
+	if t.err != nil {
+		err = t.err
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// traceRequired maps each event type to the extra keys it must carry
+// (beyond t and tick). Validation decodes into a map so it also rejects
+// lines whose required fields were omitted as zero values.
+var traceRequired = map[string][]string{
+	EvRunStart:    {"scenario", "nodes"},
+	EvTick:        {"ns"},
+	EvEvent:       {"kind"},
+	EvWindowOpen:  {"window", "kind"},
+	EvWindowClose: {"window"},
+	EvSwitch:      {"kind"},
+	EvRetry:       {"dest", "seq"},
+	EvPartition:   {"kind"},
+	EvRunEnd:      {},
+}
+
+// ValidateTraceLine checks one JSONL line against the schema: valid
+// JSON object, a known "t", a numeric "tick", and the type's required
+// fields present.
+func ValidateTraceLine(line []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		return fmt.Errorf("not a JSON object: %w", err)
+	}
+	t, _ := m["t"].(string)
+	req, known := traceRequired[t]
+	if !known {
+		return fmt.Errorf("unknown event type %q", t)
+	}
+	if _, ok := m["tick"].(float64); !ok {
+		return fmt.Errorf("%s event without a numeric tick", t)
+	}
+	for _, k := range req {
+		if _, ok := m[k]; !ok {
+			return fmt.Errorf("%s event missing required field %q", t, k)
+		}
+	}
+	return nil
+}
+
+// ValidateTrace checks a whole JSONL stream, returning the number of
+// valid lines or the first offending line's error.
+func ValidateTrace(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := ValidateTraceLine(line); err != nil {
+			return n, fmt.Errorf("line %d: %w", n+1, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("empty trace")
+	}
+	return n, nil
+}

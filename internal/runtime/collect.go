@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/sim"
 )
@@ -69,6 +70,11 @@ func (r *Runner) openWindow(isSwitch bool, horizon int, ev sim.Event) {
 		m:             m,
 		cohort:        cohort,
 		statsOpen:     r.tr.Stats(),
+	}
+	if ob := r.obs; ob != nil {
+		ob.windowOpen.Set(1)
+		ob.trace.Emit(obs.TraceEvent{T: obs.EvWindowOpen, Tick: r.tick,
+			Window: obs.P(m.Window), Kind: m.Kind, Cohort: m.Cohort})
 	}
 }
 
@@ -197,6 +203,13 @@ func (r *Runner) closeWindow(measured int, hitHorizon, interrupted bool) {
 	}
 	r.res.Windows = append(r.res.Windows, m)
 	r.win.active = false
+	if ob := r.obs; ob != nil {
+		ob.windows.Inc()
+		ob.windowOpen.Set(0)
+		ob.trace.Emit(obs.TraceEvent{T: obs.EvWindowClose, Tick: r.tick,
+			Window: obs.P(m.Window), Measured: m.MeasuredTicks,
+			Unfinished: m.UnfinishedS1, Unprepared: m.UnpreparedS2})
+	}
 }
 
 // finalize mirrors the simulator: the first switch window (or the first

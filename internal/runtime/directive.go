@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
 	"gossipstream/internal/sim"
@@ -487,6 +489,29 @@ func (r *Runner) resolveChurn() *Directive {
 // only, and window bookkeeping runs everywhere so each shard's windows
 // line up by index for the merge.
 func (r *Runner) Apply(d *Directive) error {
+	if ob := r.obs; ob != nil {
+		ob.events.Inc()
+		if ob.trace != nil {
+			te := obs.TraceEvent{T: obs.EvEvent, Tick: r.tick, Kind: d.Kind.String()}
+			if r.shards > 1 {
+				te.Shard = r.shard
+			}
+			switch d.Kind {
+			case DirSwitch:
+				te.Node = obs.P(int64(d.Old))
+				te.To = obs.P(int64(d.New))
+			case DirDemote:
+				te.Node = obs.P(int64(d.Node))
+			}
+			ob.trace.Emit(te)
+			switch d.Kind {
+			case DirPartition:
+				ob.trace.Emit(obs.TraceEvent{T: obs.EvPartition, Tick: r.tick, Kind: "sever"})
+			case DirHeal:
+				ob.trace.Emit(obs.TraceEvent{T: obs.EvPartition, Tick: r.tick, Kind: "heal"})
+			}
+		}
+	}
 	switch d.Kind {
 	case DirSwitch:
 		r.applySwitchDirective(d)
@@ -658,13 +683,22 @@ func (r *Runner) StartShard(shard, shards int) error {
 	}
 	r.ran = true
 	r.shard, r.shards = shard, shards
-	return r.spawnInitial()
+	if err := r.spawnInitial(); err != nil {
+		return err
+	}
+	if r.obs != nil {
+		r.obs.trace.Emit(obs.TraceEvent{T: obs.EvRunStart,
+			Scenario: r.sc.Name, Algo: r.res.Algorithm, Nodes: r.g.N(),
+			Seed: r.sc.Seed, Shard: shard})
+	}
+	return nil
 }
 
 // TickShard runs one scheduling period: publish the tick, pace every
 // owned peer through its period, collect reports, advance windows. The
 // caller paces the wall clock and applies directives between calls.
 func (r *Runner) TickShard(wallPerScenarioMS float64) error {
+	tickStart := time.Now()
 	r.tr.SetTick(r.tick, wallPerScenarioMS)
 	ticked := 0
 	for _, h := range r.peers {
@@ -678,6 +712,7 @@ func (r *Runner) TickShard(wallPerScenarioMS float64) error {
 	}
 	r.stats.Periods++
 	r.windowsTick()
+	r.tickObs(tickStart)
 	r.tick++
 	return r.err
 }
@@ -727,6 +762,7 @@ func (r *Runner) FinishShard() *sim.Result {
 		r.closeWindow(r.tick-r.win.openTick, false, true)
 	}
 	r.finalize()
+	r.finishObs()
 	r.stats.Transport = r.tr.Stats()
 	r.shutdown()
 	return r.res

@@ -10,6 +10,7 @@ import (
 	"gossipstream/internal/bitfield"
 	"gossipstream/internal/membership"
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/scenario"
 	"gossipstream/internal/segment"
@@ -26,6 +27,16 @@ type Options struct {
 	// wall time. 0 selects the default (50). 1 is real time — the pace
 	// an actual deployment would run at.
 	TimeScale float64
+
+	// Obs attaches the run's observability sinks (metrics registry,
+	// JSONL trace — see internal/obs). Observational only; nil disables.
+	Obs *obs.Obs
+	// StatsEvery prints a periodic execution-stats line through Logf
+	// every StatsEvery scheduling periods (0 disables). The line carries
+	// the transport counters including kernel UDP receive drops.
+	StatsEvery int
+	// Logf receives the periodic stats lines (nil disables them).
+	Logf func(format string, args ...any)
 }
 
 // DefaultTimeScale is the time compression a live run uses when
@@ -114,6 +125,13 @@ type Runner struct {
 	res *sim.Result
 
 	stats LiveStats
+
+	// Observability (see obs.go). statsCache holds the last sampled
+	// transport counters — Transport.Stats is expensive on UDP, so the
+	// runner reads it every transportSampleEvery periods, not every tick.
+	obs            *runnerObs
+	statsCache     TransportStats
+	statsCacheTick int
 }
 
 // FromScenario compiles a scenario into a live run, reusing the exact
@@ -184,6 +202,11 @@ func FromScenario(sc *scenario.Scenario, factory sim.AlgorithmFactory, opt Optio
 		lastRetired: -1,
 		bwFactor:    1,
 		res:         &sim.Result{Algorithm: factory().Name()},
+
+		statsCacheTick: -1,
+	}
+	if opt.Obs != nil {
+		r.obs = newRunnerObs(opt.Obs)
 	}
 	if cfg.Net != nil {
 		// The same trace-derived delay/loss/partition state machine the
@@ -270,11 +293,16 @@ func (r *Runner) Run() (*sim.Result, error) {
 	if err := r.spawnInitial(); err != nil {
 		return nil, err
 	}
+	if r.obs != nil {
+		r.obs.trace.Emit(obs.TraceEvent{T: obs.EvRunStart,
+			Scenario: r.sc.Name, Algo: r.res.Algorithm, Nodes: r.g.N(), Seed: r.sc.Seed})
+	}
 
 	periodWall := time.Duration(float64(time.Second) * r.par.tau / r.opt.TimeScale)
 	wallPerScenarioMS := 1 / r.opt.TimeScale
 	next := time.Now()
 	for r.tick = 0; r.tick < r.duration; r.tick++ {
+		tickStart := time.Now()
 		r.tr.SetTick(r.tick, wallPerScenarioMS)
 		r.fireEvents()
 		if r.err != nil {
@@ -299,6 +327,7 @@ func (r *Runner) Run() (*sim.Result, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
+		r.tickObs(tickStart)
 		if r.earlyExit && !r.win.active && r.nextEvent >= len(r.events) {
 			break
 		}
@@ -316,6 +345,7 @@ func (r *Runner) Run() (*sim.Result, error) {
 		r.closeWindow(r.duration-r.win.openTick, false, true)
 	}
 	r.finalize()
+	r.finishObs()
 	return r.res, nil
 }
 
@@ -436,6 +466,10 @@ func (r *Runner) observe(rep report) {
 	r.lastRep[rep.id] = rep
 	if h, ok := r.peers[rep.id]; ok && h.running {
 		h.active = rep.alive
+	}
+	if ob := r.obs; ob != nil {
+		ob.holes.Add(int64(rep.stalled))
+		ob.reReqs.Add(int64(rep.reReqs))
 	}
 	r.windowObserve(rep)
 }

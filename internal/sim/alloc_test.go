@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/trace"
 )
@@ -14,7 +15,12 @@ import (
 // beyond the ticks a test drives by hand. The topology mirrors
 // experiment.Workload.Topology (which this package cannot import —
 // cycle): a synthesized crawl trace augmented to min degree M=5.
-func allocSim(t testing.TB, n int) *Sim {
+func allocSim(t testing.TB, n int) *Sim { return allocSimObs(t, n, nil) }
+
+// allocSimObs is allocSim with an observability bundle attached — the
+// alloc-budget tests run it both ways to pin that instrumentation stays
+// off the allocation path.
+func allocSimObs(t testing.TB, n int, o *obs.Obs) *Sim {
 	t.Helper()
 	seed := int64(20080101) + int64(n)*1_000_003
 	tr := trace.Synthesize(fmt.Sprintf("synth-%d-0", n), n, 1, seed)
@@ -27,7 +33,7 @@ func allocSim(t testing.TB, n int) *Sim {
 		Graph: g, Seed: 1, NewAlgorithm: Fast,
 		FirstSource: -1, NewSource: -1, SharedOutbound: true,
 		WarmupTicks: 10_000, HorizonTicks: 1, JoinSpreadTicks: 10,
-		Workers: 1,
+		Workers: 1, Obs: o,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +70,29 @@ func TestTickAllocations(t *testing.T) {
 			"(compare against the BENCH_engine.json trajectory)", got, budget)
 	}
 	t.Logf("steady-state allocations per tick at N=1000: %.1f (budget %.0f)", got, budget)
+}
+
+// TestTickAllocationsWithObs holds the same steady-state budget with a
+// live metrics registry attached: metric handles are registered once at
+// setup, so per-tick updates are pure atomics and instrumentation adds
+// zero allocations to the hot path.
+func TestTickAllocationsWithObs(t *testing.T) {
+	const budget = 500.0
+
+	o := &obs.Obs{Reg: obs.NewRegistry()}
+	s := allocSimObs(t, 1000, o)
+	for s.tick < 80 {
+		tick(s)
+	}
+	got := testing.AllocsPerRun(100, func() { tick(s) })
+	if got > budget {
+		t.Fatalf("steady-state tick allocations with live registry = %.1f, budget %.0f — "+
+			"instrumentation leaked onto the allocation path", got, budget)
+	}
+	if v := o.Reg.Counter("gossip_ticks_total", "").Value(); v == 0 {
+		t.Fatal("registry attached but gossip_ticks_total never advanced")
+	}
+	t.Logf("steady-state allocations per tick at N=1000 with live registry: %.1f (budget %.0f)", got, budget)
 }
 
 // TestTickAllocations100k is the scale smoke: the same pinned hot path

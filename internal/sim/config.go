@@ -6,6 +6,7 @@ import (
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/core"
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 )
 
@@ -153,6 +154,14 @@ type Config struct {
 	// TrackRatios records the per-tick undelivered/delivered ratio series
 	// (Figures 5 and 9). Costs one window scan per node per tick.
 	TrackRatios bool
+
+	// Obs attaches the run's observability sinks (metrics registry, JSONL
+	// trace, Chrome span exporter — see internal/obs). Observational
+	// only: sinks read run state and never feed anything back, so an
+	// instrumented run is bit-identical to a bare one (pinned by
+	// TestTracedRunBitIdentical). nil disables everything at the cost of
+	// one nil check per update.
+	Obs *obs.Obs
 
 	// Workers sets the engine concurrency for the sharded phases (plan,
 	// serve, refill, playback). 0 or 1 selects the serial engine;

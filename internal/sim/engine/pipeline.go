@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"time"
+
+	"gossipstream/internal/obs"
 )
 
 // Phase is one named stage of a tick: generate, refill, plan, serve,
@@ -25,6 +28,14 @@ type Pipeline struct {
 	allocs []uint64
 	ticks  int64
 	mem    bool
+
+	// Observability sinks (nil when disabled — see Observe). The phase
+	// counters are registered once; the run loop only touches atomics.
+	obsPhase []*obs.Counter
+	obsTick  *obs.Histogram
+	obsTicks *obs.Counter
+	chrome   *obs.ChromeTrace
+	tid      int
 }
 
 // NewPipeline assembles a pipeline from its phases, in execution order.
@@ -47,18 +58,51 @@ func (p *Pipeline) CaptureMem(on bool) {
 // MemCaptured reports whether allocation capture is (or was) enabled.
 func (p *Pipeline) MemCaptured() bool { return p.bytes != nil }
 
+// Observe attaches metric and span sinks. Each phase gets a
+// gossip_phase_ns_total{phase="..."} counter; with tickLevel set the
+// pipeline also maintains gossip_tick_ns / gossip_ticks_total (the
+// tick-level pipeline owns those; sub-pipelines must not). chrome spans
+// land on row tid. Call once at setup, before Run; any argument may be
+// nil.
+func (p *Pipeline) Observe(reg *obs.Registry, chrome *obs.ChromeTrace, tid int, tickLevel bool) {
+	if reg != nil {
+		p.obsPhase = make([]*obs.Counter, len(p.phases))
+		for i, ph := range p.phases {
+			p.obsPhase[i] = reg.Counter(
+				fmt.Sprintf(`gossip_phase_ns_total{phase=%q}`, ph.Name),
+				"cumulative wall-clock nanoseconds spent in each pipeline phase")
+		}
+		if tickLevel {
+			p.obsTick = reg.Histogram("gossip_tick_ns", "wall-clock duration of one tick of the phase pipeline")
+			p.obsTicks = reg.Counter("gossip_ticks_total", "scheduling periods executed")
+		}
+	}
+	p.chrome = chrome
+	p.tid = tid
+}
+
 // Run executes every phase in order (one simulated tick).
 func (p *Pipeline) Run() {
 	if p.mem {
 		p.runWithMem()
 		return
 	}
+	tickStart := time.Now()
 	for i := range p.phases {
 		start := time.Now()
 		p.phases[i].Run()
-		p.nanos[i] += int64(time.Since(start))
+		d := time.Since(start)
+		p.nanos[i] += int64(d)
+		if p.obsPhase != nil {
+			p.obsPhase[i].Add(int64(d))
+		}
+		p.chrome.Span(p.phases[i].Name, p.tid, p.ticks, start, d)
 	}
 	p.ticks++
+	if p.obsTick != nil {
+		p.obsTick.Observe(int64(time.Since(tickStart)))
+		p.obsTicks.Inc()
+	}
 }
 
 // runWithMem is the capture variant of Run: cumulative-counter deltas
@@ -67,16 +111,26 @@ func (p *Pipeline) Run() {
 func (p *Pipeline) runWithMem() {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	tickStart := time.Now()
 	for i := range p.phases {
 		start := time.Now()
 		p.phases[i].Run()
-		p.nanos[i] += int64(time.Since(start))
+		d := time.Since(start)
+		p.nanos[i] += int64(d)
+		if p.obsPhase != nil {
+			p.obsPhase[i].Add(int64(d))
+		}
+		p.chrome.Span(p.phases[i].Name, p.tid, p.ticks, start, d)
 		runtime.ReadMemStats(&after)
 		p.bytes[i] += after.TotalAlloc - before.TotalAlloc
 		p.allocs[i] += after.Mallocs - before.Mallocs
 		before = after
 	}
 	p.ticks++
+	if p.obsTick != nil {
+		p.obsTick.Observe(int64(time.Since(tickStart)))
+		p.obsTicks.Inc()
+	}
 }
 
 // PhaseTiming reports the accumulated cost of one phase. Bytes and

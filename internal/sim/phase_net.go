@@ -81,6 +81,8 @@ func (s *Sim) phaseTransit() {
 	for si := 0; si < shards; si++ {
 		sh := &s.shards[si]
 		popped += sh.netPopped
+		s.obsDelivered.Add(sh.netDelivered)
+		s.obsLost.Add(sh.netLost)
 		if s.win.active {
 			s.netDelivered += sh.netDelivered
 			s.netLost += sh.netLost

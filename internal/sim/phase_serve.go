@@ -108,6 +108,7 @@ func (s *Sim) serveJitterRNG(round int) *rand.Rand {
 func (s *Sim) commitSerial(shards, round int) {
 	jitterRNG := s.serveJitterRNG(round)
 	granted := false
+	var committed int64
 	for si := 0; si < shards; si++ {
 		for _, p := range s.shards[si].proposals {
 			req := s.nodes[p.from]
@@ -123,9 +124,13 @@ func (s *Sim) commitSerial(shards, round int) {
 			}
 			req.markGranted(p.seg)
 			granted = true
+			committed++
 			if s.net != nil {
-				if req.consumeLost(p.seg) && s.win.active {
-					s.netReRequests++ // a loss-induced re-request got re-granted
+				if req.consumeLost(p.seg) {
+					s.obsReReq.Inc()
+					if s.win.active {
+						s.netReRequests++ // a loss-induced re-request got re-granted
+					}
 				}
 				var jitter float64
 				if jitterRNG != nil {
@@ -142,6 +147,7 @@ func (s *Sim) commitSerial(shards, round int) {
 		}
 	}
 	s.granted = granted
+	s.obsSent.Add(committed)
 }
 
 // commitParallel is the multi-worker commit. A proposal's fate depends on
@@ -193,8 +199,11 @@ func (s *Sim) commitParallel(shards, round int) {
 				src.accept[idx] = true
 				dsh.committed++
 				if s.net != nil {
-					if req.consumeLost(p.seg) && s.win.active {
-						dsh.reRequests++
+					if req.consumeLost(p.seg) {
+						s.obsReReq.Inc() // atomic; observational only
+						if s.win.active {
+							dsh.reRequests++
+						}
 					}
 				} else {
 					dsh.landed = append(dsh.landed, delivery{to: p.from, seg: p.seg})
@@ -210,6 +219,7 @@ func (s *Sim) commitParallel(shards, round int) {
 		if dsh.committed > 0 {
 			granted = true
 		}
+		s.obsSent.Add(int64(dsh.committed))
 		for _, sup := range dsh.refundSup {
 			s.nodes[sup].out.Refund(1)
 		}

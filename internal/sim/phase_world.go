@@ -79,6 +79,14 @@ func (s *Sim) phaseRefill() {
 // node's buffer is touched only by the worker owning its shard.
 func (s *Sim) phaseDeliver() {
 	shards := s.ensureShards(len(s.nodes))
+	if s.obsDelivered != nil {
+		// The classic substrate delivers every landed grant losslessly.
+		var n int64
+		for si := 0; si < shards; si++ {
+			n += int64(len(s.shards[si].landed))
+		}
+		s.obsDelivered.Add(n)
+	}
 	s.pool.Run(shards, func(_, shard int) {
 		for _, d := range s.shards[shard].landed {
 			n := s.nodes[d.to]

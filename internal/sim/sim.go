@@ -3,11 +3,13 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"gossipstream/internal/bandwidth"
 	"gossipstream/internal/core"
 	"gossipstream/internal/membership"
 	"gossipstream/internal/netmodel"
+	"gossipstream/internal/obs"
 	"gossipstream/internal/overlay"
 	"gossipstream/internal/segment"
 	"gossipstream/internal/sim/engine"
@@ -112,6 +114,18 @@ type Sim struct {
 	diagRequests   int
 	diagCandidates int
 	diagPlanned    int
+
+	// Observability (all nil when Config.Obs is unset): counters are
+	// registered once in New and updated at the serial merge points and
+	// phase boundaries with plain atomics; trace emission happens only at
+	// event and window boundaries, never inside sharded work.
+	trace        *obs.Trace
+	obsSent      *obs.Counter
+	obsDelivered *obs.Counter
+	obsLost      *obs.Counter
+	obsReReq     *obs.Counter
+	obsEvents    *obs.Counter
+	obsWindows   *obs.Counter
 }
 
 // window is the state of one open measurement window. At most one window
@@ -238,6 +252,18 @@ func New(cfg Config) (*Sim, error) {
 		engine.Phase{Name: "churn", Run: s.phaseChurn},
 		engine.Phase{Name: "record", Run: s.phaseRecord},
 	)
+	if o := cfg.Obs; o != nil {
+		reg := o.Registry()
+		s.pipeline.Observe(reg, o.ChromeSink(), 0, true)
+		s.sched.Observe(reg, o.ChromeSink(), 1, false)
+		s.trace = o.Tracer()
+		s.obsSent = reg.Counter("gossip_frames_sent_total", "data segments granted by suppliers (dispatched grants)")
+		s.obsDelivered = reg.Counter("gossip_frames_delivered_total", "data segments that reached their requester")
+		s.obsLost = reg.Counter("gossip_frames_lost_total", "data segments lost in transit")
+		s.obsReReq = reg.Counter("gossip_frames_rerequested_total", "grants re-requesting a previously lost segment")
+		s.obsEvents = reg.Counter("gossip_events_total", "scenario events fired")
+		s.obsWindows = reg.Counter("gossip_windows_closed_total", "measurement windows closed")
+	}
 	return s, nil
 }
 
@@ -323,7 +349,17 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	s.ran = true
 	for s.tick = 0; s.tick < s.duration; s.tick++ {
-		s.step()
+		if s.trace != nil {
+			start := time.Now()
+			s.step()
+			ns := int64(time.Since(start))
+			if ns <= 0 {
+				ns = 1 // ns is a required trace field; omitempty must not drop it
+			}
+			s.trace.Emit(obs.TraceEvent{T: obs.EvTick, Tick: s.tick, NS: ns})
+		} else {
+			s.step()
+		}
 		if s.runErr != nil {
 			return nil, s.runErr
 		}
@@ -337,6 +373,9 @@ func (s *Sim) Run() (*Result, error) {
 		s.closeWindow(s.duration-s.win.openTick, false, true)
 	}
 	s.finalize()
+	if s.trace != nil {
+		s.trace.Emit(obs.TraceEvent{T: obs.EvRunEnd, Tick: s.tick, Windows: len(s.res.Windows)})
+	}
 	return s.res, nil
 }
 
@@ -370,6 +409,14 @@ func (s *Sim) phaseEvents() {
 
 // fire applies one event to the world.
 func (s *Sim) fire(ev Event, idx int) {
+	s.obsEvents.Inc()
+	if s.trace != nil {
+		te := obs.TraceEvent{T: obs.EvEvent, Tick: s.tick, Kind: ev.Kind.String()}
+		if ev.To >= 0 {
+			te.To = obs.P(int64(ev.To))
+		}
+		s.trace.Emit(te)
+	}
 	switch ev.Kind {
 	case EvSwitchSource:
 		s.applySwitch(ev)
@@ -397,8 +444,14 @@ func (s *Sim) fire(ev Event, idx int) {
 		} else {
 			s.net.Partition(ev.Frac, seed)
 		}
+		if s.trace != nil {
+			s.trace.Emit(obs.TraceEvent{T: obs.EvPartition, Tick: s.tick, Kind: "sever"})
+		}
 	case EvHeal:
 		s.net.Heal()
+		if s.trace != nil {
+			s.trace.Emit(obs.TraceEvent{T: obs.EvPartition, Tick: s.tick, Kind: "heal"})
+		}
 	case EvDemoteSource:
 		s.applyDemote(ev)
 	}
@@ -532,6 +585,11 @@ func (s *Sim) applySwitch(ev Event) {
 	// knows S1's ending segment id and embeds it in its first segments.
 	ns.Known = s.newSessionIdx + 1
 
+	if s.trace != nil {
+		s.trace.Emit(obs.TraceEvent{T: obs.EvSwitch, Tick: s.tick, Kind: "s1-end", Seg: obs.P(int64(s.s1End))})
+		s.trace.Emit(obs.TraceEvent{T: obs.EvSwitch, Tick: s.tick, Kind: "become-source", Node: obs.P(int64(to)), Seg: obs.P(int64(s.s2Begin))})
+	}
+
 	horizon := ev.Horizon
 	if horizon <= 0 {
 		horizon = s.cfg.HorizonTicks
@@ -598,6 +656,10 @@ func (s *Sim) openWindow(isSwitch bool, horizon int, ev Event) {
 		m.DeliveredS2 = &stats.Series{Label: "delivered-S2"}
 	}
 	s.win = window{active: true, isSwitch: isSwitch, openTick: s.tick, horizon: horizon, metrics: m}
+	if s.trace != nil {
+		s.trace.Emit(obs.TraceEvent{T: obs.EvWindowOpen, Tick: s.tick,
+			Window: obs.P(m.Window), Kind: m.Kind, Cohort: m.Cohort})
+	}
 }
 
 // closeWindow finalizes the open window (no-op when none is open):
@@ -645,6 +707,12 @@ func (s *Sim) closeWindow(measured int, hitHorizon, interrupted bool) {
 	}
 	s.res.Windows = append(s.res.Windows, m)
 	s.win.active = false
+	s.obsWindows.Inc()
+	if s.trace != nil {
+		s.trace.Emit(obs.TraceEvent{T: obs.EvWindowClose, Tick: s.tick,
+			Window: obs.P(m.Window), Measured: m.MeasuredTicks,
+			Unfinished: m.UnfinishedS1, Unprepared: m.UnpreparedS2})
+	}
 }
 
 // flashCrowd joins a batch of fresh nodes through the membership
