@@ -13,6 +13,8 @@
 //	scenario -name source-crash -dump > crash.scn
 //	scenario -compare -n 150 # fast-vs-normal table over the whole library
 //	scenario -smoke          # run every bundled scenario small (CI)
+//	scenario -gen -seed 42   # synthesize a valid scenario from a seed
+//	scenario -gen -seed 42 | scenario -f /dev/stdin
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 		timings = flag.Bool("timings", false, "print the per-phase wall-clock and allocation breakdown")
 		smoke   = flag.Bool("smoke", false, "run every bundled scenario at small scale and verify its windows (CI guard)")
 		compare = flag.Bool("compare", false, "sweep fast vs normal over the whole bundled library (experiment.ScenarioSweep)")
+		gen     = flag.Bool("gen", false, "synthesize a scenario from -seed (with -n as the overlay size) and print its canonical text")
 
 		traceFile   = flag.String("trace", "", "write a structured JSONL run trace to this file (schema: docs/OBSERVABILITY.md)")
 		chromeFile  = flag.String("trace-chrome", "", "write engine per-phase spans in Chrome trace-event format (open in chrome://tracing or ui.perfetto.dev)")
@@ -70,6 +73,16 @@ func main() {
 	}
 	if *smoke {
 		runSmoke()
+		return
+	}
+	if *gen {
+		// The generator is deterministic: the same -seed (and -n) prints
+		// byte-identical text on every run, so a seed is a shareable,
+		// reproducible scenario reference.
+		sc := scenario.Generate(scenario.GenOptions{Seed: *seed, Nodes: *n})
+		if err := sc.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *compare {
@@ -264,14 +277,32 @@ func printResult(algoName string, res *sim.Result) {
 }
 
 // runSmoke executes every bundled scenario at small scale and fails loudly
-// when a window comes back empty — the CI guard against scenario rot.
+// when a window comes back empty or the result flunks the run-invariant
+// checker — the CI guard against scenario rot.
 func runSmoke() {
 	failed := false
 	for _, sc := range scenario.Library() {
 		small := sc.Scaled(120)
-		res, err := small.Run(sim.Fast)
+		cfg, err := small.Config(sim.Fast)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scenario smoke: %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario smoke: %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		res, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario smoke: %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		if err := sim.CheckInvariants(cfg, res); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario smoke: %s: invariants: %v\n", sc.Name, err)
 			failed = true
 			continue
 		}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gossipstream/internal/sim"
+)
+
+// TestCorpus replays the minimized regression corpus: every .scn file
+// under testdata/corpus must parse, round-trip through the canonical
+// form, and run clean (invariants included) at 1 and 4 workers; every
+// file under testdata/corpus/reject must fail to parse. Fuzzer finds
+// get minimized into one of the two directories so the regression
+// replays on every plain `go test` run, not only under -fuzz.
+func TestCorpus(t *testing.T) {
+	accepted, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, path := range accepted {
+		t.Run(strings.TrimSuffix(filepath.Base(path), ".scn"), func(t *testing.T) {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Parse(bytes.NewReader(text))
+			if err != nil {
+				t.Fatalf("corpus file rejected: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := sc.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Parse(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("canonical text does not reparse: %v\n%s", err, buf.String())
+			}
+			if !reflect.DeepEqual(re, sc) {
+				t.Fatalf("canonical form unstable:\n%+v\nvs\n%+v", sc, re)
+			}
+			var results []*sim.Result
+			for _, workers := range []int{1, 4} {
+				cfg, err := sc.Config(sim.Fast)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Workers = workers
+				res := mustRun(t, cfg)
+				if err := sim.CheckInvariants(cfg, res); err != nil {
+					t.Fatalf("workers=%d: run invariants violated: %v", workers, err)
+				}
+				results = append(results, res)
+			}
+			if !reflect.DeepEqual(results[0], results[1]) {
+				t.Fatal("workers 1 vs 4 diverged")
+			}
+		})
+	}
+
+	rejected, err := filepath.Glob(filepath.Join("testdata", "corpus", "reject", "*.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) == 0 {
+		t.Fatal("empty reject corpus")
+	}
+	for _, path := range rejected {
+		t.Run("reject-"+strings.TrimSuffix(filepath.Base(path), ".scn"), func(t *testing.T) {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc, err := Parse(bytes.NewReader(text)); err == nil {
+				t.Fatalf("invalid scenario accepted: %+v", sc)
+			}
+		})
+	}
+}

@@ -253,6 +253,11 @@ func (sc *Scenario) parseEvent(args []string) error {
 			return err
 		}
 		_, failure := take("failure")
+		if to < -1 {
+			// Every negative pin means "pick at random"; canonicalize to -1
+			// so Write (which omits the default) round-trips the event.
+			to = -1
+		}
 		ev = sim.SwitchAt(tick, overlay.NodeID(to))
 		ev.Failure = failure
 		ev.Horizon = horizon
@@ -328,6 +333,11 @@ func (sc *Scenario) parseEvent(args []string) error {
 		node, err := takeInt("node", -1)
 		if err != nil {
 			return err
+		}
+		if node < -1 {
+			// Same canonicalization as switch pins: any negative means "the
+			// last retired speaker", which Write spells by omission.
+			node = -1
 		}
 		ev = sim.DemoteAt(tick, overlay.NodeID(node))
 	default:

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"regexp"
 
@@ -91,6 +92,14 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.M < 0 || sc.Spread < 0 || sc.Horizon < 0 || sc.Duration < 0 || sc.Qs < 0 {
 		return fmt.Errorf("scenario %s: negative parameter", sc.Name)
+	}
+	// Non-finite floats would sail through the range checks below (NaN
+	// fails both sides of every comparison) and then poison the run and
+	// break round-trip equality, so reject them outright.
+	for _, f := range [...]float64{sc.ChurnLeave, sc.ChurnJoin, sc.NetLoss, sc.NetJitterMS} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("scenario %s: non-finite parameter %v", sc.Name, f)
+		}
 	}
 	if sc.ChurnLeave < 0 || sc.ChurnLeave >= 1 || sc.ChurnJoin < 0 || sc.ChurnJoin >= 1 {
 		return fmt.Errorf("scenario %s: churn fractions (%v, %v) out of [0,1)", sc.Name, sc.ChurnLeave, sc.ChurnJoin)

@@ -225,15 +225,18 @@ func TestNetScenarioDeterminism(t *testing.T) {
 	if !TransatlanticSplit().NetSubtick {
 		t.Fatal("transatlantic-split no longer pins the sub-tick transport")
 	}
-	run := func(workers int) *sim.Result {
+	run := func(workers int) (*sim.Result, sim.Config) {
 		cfg, err := TransatlanticSplit().Scaled(150).Config(sim.Fast)
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg.Workers = workers
-		return mustRun(t, cfg)
+		return mustRun(t, cfg), cfg
 	}
-	serial := run(0)
+	serial, cfg := run(0)
+	if err := sim.CheckInvariants(cfg, serial); err != nil {
+		t.Errorf("run invariants violated: %v", err)
+	}
 	if len(serial.Windows) != 2 {
 		t.Fatalf("windows = %d, want 2", len(serial.Windows))
 	}
@@ -246,7 +249,7 @@ func TestNetScenarioDeterminism(t *testing.T) {
 		t.Errorf("NetDelaySeconds = %v looks tick-quantized on a sub-tick run", d)
 	}
 	for _, workers := range []int{1, 8} {
-		if got := run(workers); !reflect.DeepEqual(serial, got) {
+		if got, _ := run(workers); !reflect.DeepEqual(serial, got) {
 			t.Errorf("workers=%d diverged from the serial engine", workers)
 		}
 	}
@@ -270,9 +273,15 @@ func TestLibrarySmoke(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := parsed.Run(sim.Fast)
+			// Through Config rather than Run, so the run-invariant checker
+			// can audit the result against the exact configuration.
+			cfg, err := parsed.Config(sim.Fast)
 			if err != nil {
 				t.Fatal(err)
+			}
+			res := mustRun(t, cfg)
+			if err := sim.CheckInvariants(cfg, res); err != nil {
+				t.Errorf("run invariants violated: %v", err)
 			}
 			if len(res.Windows) == 0 {
 				t.Fatal("no measurement windows")

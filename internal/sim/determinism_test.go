@@ -55,6 +55,9 @@ func resultsEqual(t *testing.T, label string, a, b *Result) {
 			t.Errorf("%s: window %d diverged:\n%+v\nvs\n%+v", label, i, a.Windows[i], b.Windows[i])
 		}
 	}
+	if (a.Audit == nil) != (b.Audit == nil) || (a.Audit != nil && *a.Audit != *b.Audit) {
+		t.Errorf("%s: transport ledger diverged:\n%+v\nvs\n%+v", label, a.Audit, b.Audit)
+	}
 }
 
 // testPings synthesizes a heterogeneous per-node ping table: varied
@@ -157,7 +160,7 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
-			run := func(workers int) *Result {
+			run := func(workers int) (*Result, Config) {
 				g := testTopology(t, 180, 33)
 				cfg := quickConfig(g, Fast)
 				cfg.TrackRatios = true
@@ -171,11 +174,15 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				return res
+				return res, cfg
 			}
-			serial := run(0) // the serial engine
+			serial, cfg := run(0) // the serial engine
+			if err := CheckInvariants(cfg, serial); err != nil {
+				t.Errorf("%s: run invariants violated: %v", sc.name, err)
+			}
 			for _, workers := range []int{1, 2, 8} {
-				resultsEqual(t, sc.name, serial, run(workers))
+				res, _ := run(workers)
+				resultsEqual(t, sc.name, serial, res)
 			}
 		})
 	}

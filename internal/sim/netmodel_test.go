@@ -60,7 +60,15 @@ func TestNetInstantEquivalence(t *testing.T) {
 				t.Errorf("mean delivery delay = %v s, want %v", d, tc.wantDelay)
 			}
 			// Apart from its own accounting (zero on the classic run by
-			// definition), the transport changes nothing.
+			// definition), the transport changes nothing. The run-level
+			// ledger must show a perfect lossless run before it goes.
+			if a := instant.Audit; a == nil {
+				t.Fatal("netmodel run carries no transport ledger")
+			} else if a.Delivered != a.Injected || a.Lost != 0 || a.Severed != 0 ||
+				a.Evaporated != 0 || a.InFlight != 0 {
+				t.Errorf("lossless ledger not fully delivered: %+v", *a)
+			}
+			instant.Audit = nil
 			zeroNet := func(m *SwitchMetrics) {
 				m.NetDelivered, m.NetLost, m.NetReRequests, m.NetDelaySeconds = 0, 0, 0, 0
 			}

@@ -46,6 +46,7 @@ func (s *Sim) phaseTransit() {
 	s.pool.Run(shards, func(worker, shard int) {
 		sh := &s.shards[shard]
 		sh.netDelivered, sh.netLost, sh.netDelayTicks, sh.netDelayMS, sh.netPopped = 0, 0, 0, 0, 0
+		sh.netSevered, sh.netEvap = 0, 0
 		rng := s.workers[worker].seedRNG(engine.SeedFor(s.cfg.Seed, rngNet, s.tick, 0, shard))
 		loss := s.net.LossProb(s.tick)
 		sh.netPopped = s.net.PopDue(shard, s.tick, func(msg netmodel.Message) {
@@ -54,9 +55,20 @@ func (s *Sim) phaseTransit() {
 				// The destination left the overlay mid-flight: the message
 				// evaporates without loss accounting (nobody re-requests).
 				to.removeGranted(msg.Seg)
+				sh.netEvap++
 				return
 			}
-			if s.blocked(msg.From, msg.To) || (loss > 0 && rng.Float64() < loss) {
+			// Severed messages skip the loss draw (the short-circuit keeps
+			// the rngNet stream identical to the pre-ledger engine); both
+			// branches drop the message the same way, they only differ in
+			// which conservation bucket counts it.
+			if s.blocked(msg.From, msg.To) {
+				to.removeGranted(msg.Seg)
+				to.noteLost(msg.Seg)
+				sh.netSevered++
+				return
+			}
+			if loss > 0 && rng.Float64() < loss {
 				to.removeGranted(msg.Seg)
 				to.noteLost(msg.Seg)
 				sh.netLost++
@@ -76,16 +88,22 @@ func (s *Sim) phaseTransit() {
 			}
 		})
 	})
-	// Serial merge in shard order: window accounting and the in-flight
-	// gauge.
+	// Serial merge in shard order: window accounting, the run-level
+	// conservation ledger, and the in-flight gauge. The window's NetLost
+	// keeps counting losses and severs together (its historical meaning);
+	// the ledger splits them.
 	for si := 0; si < shards; si++ {
 		sh := &s.shards[si]
 		popped += sh.netPopped
 		s.obsDelivered.Add(sh.netDelivered)
-		s.obsLost.Add(sh.netLost)
+		s.obsLost.Add(sh.netLost + sh.netSevered)
+		s.audDelivered += sh.netDelivered
+		s.audLost += sh.netLost
+		s.audSevered += sh.netSevered
+		s.audEvap += sh.netEvap
 		if s.win.active {
 			s.netDelivered += sh.netDelivered
-			s.netLost += sh.netLost
+			s.netLost += sh.netLost + sh.netSevered
 			s.netDelayTicks += sh.netDelayTicks
 			s.netDelayMS += sh.netDelayMS
 		}

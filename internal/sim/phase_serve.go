@@ -137,6 +137,7 @@ func (s *Sim) commitSerial(shards, round int) {
 					jitter = jitterRNG.Float64() * s.net.JitterMS()
 				}
 				s.net.Send(s.tick, p.sup, p.from, p.seg, jitter)
+				s.audInjected++
 			} else {
 				dst := &s.shards[engine.ShardOf(int(p.from))]
 				dst.landed = append(dst.landed, delivery{to: p.from, seg: p.seg})
@@ -244,6 +245,7 @@ func (s *Sim) commitParallel(shards, round int) {
 					jitter = jitterRNG.Float64() * s.net.JitterMS()
 				}
 				s.net.Send(s.tick, p.sup, p.from, p.seg, jitter)
+				s.audInjected++
 			}
 		}
 	}

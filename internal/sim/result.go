@@ -145,6 +145,25 @@ func (m *SwitchMetrics) String() string {
 		m.AvgFinishS1(), m.AvgPrepareS2(), m.UnfinishedS1, m.UnpreparedS2)
 }
 
+// NetAudit is the transport's whole-run message ledger, kept regardless
+// of measurement windows (the per-window Net* counters only accumulate
+// while a window is open). Every message handed to the transport is
+// accounted for exactly once, so the ledger closes:
+//
+//	Injected == Delivered + Lost + Severed + Evaporated + InFlight
+//
+// The run-invariant checker (CheckInvariants) audits this conservation
+// law on every completed netmodel run; the counters are deterministic,
+// so they are also covered by the worker-count invariance pins.
+type NetAudit struct {
+	Injected   int64 // messages handed to the transport (committed grants)
+	Delivered  int64 // messages that reached their destination's buffer
+	Lost       int64 // messages dropped by a loss draw
+	Severed    int64 // messages dropped crossing an active partition
+	Evaporated int64 // messages whose destination died mid-flight
+	InFlight   int64 // messages still airborne when the run ended
+}
+
 // Result is everything one simulation run measured. The embedded
 // SwitchMetrics mirrors the run's first switch window, so single-switch
 // callers read the paper's metrics (and call the metric methods) off the
@@ -160,6 +179,10 @@ type Result struct {
 	// Windows are the run's measurement windows in opening order: one per
 	// SwitchSource and MeasureWindow event that fired.
 	Windows []*SwitchMetrics
+
+	// Audit is the transport's whole-run message ledger; nil when the run
+	// had no netmodel transport (Config.Net unset).
+	Audit *NetAudit
 }
 
 // String implements fmt.Stringer with the headline numbers.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gossipstream/internal/overlay"
@@ -257,6 +258,13 @@ func (sc *Script) Validate() error {
 	for i, ev := range sc.Events {
 		if ev.Tick < 0 {
 			return fmt.Errorf("sim: event %d at negative tick %d", i, ev.Tick)
+		}
+		// NaN passes every range check below (it fails both sides of any
+		// comparison), so screen the float parameters for finiteness first.
+		for _, f := range [...]float64{ev.Leave, ev.Join, ev.Factor, ev.Prob, ev.Frac} {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("sim: event %d: non-finite parameter %v", i, f)
+			}
 		}
 		switch ev.Kind {
 		case EvSwitchSource:

@@ -100,6 +100,17 @@ type Sim struct {
 	netReRequests int64
 	res           *Result
 
+	// Whole-run transport ledger (netmodel runs only), independent of the
+	// window state: every injected message ends up in exactly one of the
+	// outcome buckets, and finalize closes the books against the
+	// transport's in-flight gauge (Result.Audit, audited by
+	// CheckInvariants).
+	audInjected  int64
+	audDelivered int64
+	audLost      int64
+	audSevered   int64
+	audEvap      int64
+
 	// Per-tick pipeline state.
 	round    int               // current plan/serve round within the period
 	granted  bool              // whether the current round committed any grant
@@ -869,10 +880,20 @@ func (s *Sim) timeSince(tick int) float64 {
 	return float64(tick-s.win.openTick+1) * s.cfg.Tau
 }
 
-// finalize mirrors the first switch window (or the first window of any
-// kind) into the Result's embedded flat metrics, preserving the classic
-// single-switch read path.
+// finalize closes the transport's whole-run ledger and mirrors the first
+// switch window (or the first window of any kind) into the Result's
+// embedded flat metrics, preserving the classic single-switch read path.
 func (s *Sim) finalize() {
+	if s.net != nil {
+		s.res.Audit = &NetAudit{
+			Injected:   s.audInjected,
+			Delivered:  s.audDelivered,
+			Lost:       s.audLost,
+			Severed:    s.audSevered,
+			Evaporated: s.audEvap,
+			InFlight:   int64(s.net.InFlight()),
+		}
+	}
 	for _, w := range s.res.Windows {
 		if w.Kind == "switch" {
 			s.res.SwitchMetrics = *w
