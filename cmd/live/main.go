@@ -56,6 +56,9 @@ func main() {
 		workers   = flag.Int("workers", 2, "with -serve: joining processes to wait for")
 		token     = flag.String("token", "gossipstream", "shared control-plane secret (all processes must agree)")
 
+		suspectAfter = flag.Int("suspect-after", 0, "with -serve: ticks without a status before a worker is suspected (0 = default 10)")
+		deadAfter    = flag.Int("dead-after", 0, "with -serve: ticks without a status before a worker is declared dead and failed over (0 = default 30)")
+
 		debugAddr  = flag.String("debug", "", "serve the debug HTTP endpoint on this address during the run (/metrics, /healthz, /runz, /debug/pprof)")
 		traceFile  = flag.String("trace", "", "write a structured JSONL run trace to this file (schema: docs/OBSERVABILITY.md)")
 		statsEvery = flag.Int("stats-every", 0, "print a periodic stats line (transport counters, kernel UDP drops) every N scheduling periods")
@@ -84,7 +87,8 @@ func main() {
 
 	if *serve != "" {
 		runServe(sc, *serve, *algo, *workers, *token, *timescale, *stats,
-			*debugAddr, *traceFile, *statsEvery)
+			*debugAddr, *traceFile, *statsEvery,
+			cluster.Tuning{SuspectAfter: *suspectAfter, DeadAfter: *deadAfter})
 		return
 	}
 
@@ -254,7 +258,7 @@ func clusterObs(debugAddr, traceFile string) *obs.Obs {
 
 // runServe drives a multi-process run from the starter side and prints
 // the merged result.
-func runServe(sc *scenario.Scenario, listen, algo string, workers int, token string, timescale float64, stats bool, debugAddr, traceFile string, statsEvery int) {
+func runServe(sc *scenario.Scenario, listen, algo string, workers int, token string, timescale float64, stats bool, debugAddr, traceFile string, statsEvery int, tuning cluster.Tuning) {
 	if algo != "fast" && algo != "normal" {
 		fmt.Fprintf(os.Stderr, "live: -serve needs -algo fast or normal (got %q)\n", algo)
 		os.Exit(2)
@@ -275,6 +279,7 @@ func runServe(sc *scenario.Scenario, listen, algo string, workers int, token str
 		Obs:        o,
 		Debug:      debugAddr,
 		StatsEvery: statsEvery,
+		Tuning:     tuning,
 	})
 	if err != nil {
 		fatal(err)

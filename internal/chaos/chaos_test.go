@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := &Plan{Faults: []Fault{
+		{Shard: 1, Tick: 10, Kind: Kill},
+		{Shard: 2, Tick: 5, Kind: Hang, Ticks: 3},
+		{Shard: 1, Tick: 0, Kind: DropAcks, Ticks: 1},
+		{Shard: 3, Tick: 7, Kind: DelayReports, Ticks: 4},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []*Plan{
+		{Faults: []Fault{{Shard: 1, Tick: 1, Kind: 0}}},
+		{Faults: []Fault{{Shard: 1, Tick: 1, Kind: DelayReports + 1}}},
+		{Faults: []Fault{{Shard: -1, Tick: 1, Kind: Kill}}},
+		{Faults: []Fault{{Shard: 1, Tick: -1, Kind: Kill}}},
+		{Faults: []Fault{{Shard: 1, Tick: 1, Kind: Hang}}}, // missing duration
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 4, 100)
+	b := Generate(42, 4, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	for i, f := range a.Faults {
+		if f.Shard < 1 || f.Shard >= 4 {
+			t.Errorf("fault %d targets shard %d outside worker range [1,4)", i, f.Shard)
+		}
+		if f.Tick < 10 || f.Tick > 50 {
+			t.Errorf("fault %d at tick %d outside [horizon/10, horizon/2]", i, f.Tick)
+		}
+	}
+	if c := Generate(43, 4, 100); reflect.DeepEqual(a, c) {
+		t.Log("seeds 42 and 43 drew identical plans (possible, but worth a look)")
+	}
+}
+
+func TestInjectorFiresOnlyOwnShard(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Shard: 1, Tick: 5, Kind: Kill},
+		{Shard: 2, Tick: 5, Kind: Hang, Ticks: 3},
+	}}
+	in := NewInjector(p, 2)
+	for tick := 0; tick <= 10; tick++ {
+		st := in.Step(tick)
+		if st.Kill {
+			t.Fatalf("tick %d: shard 2's injector fired shard 1's kill", tick)
+		}
+		if tick == 5 && st.HangTicks != 3 {
+			t.Fatalf("tick 5: HangTicks = %d, want 3", st.HangTicks)
+		}
+		if tick != 5 && st.HangTicks != 0 {
+			t.Fatalf("tick %d: spurious hang %d", tick, st.HangTicks)
+		}
+	}
+	if in.Killed() {
+		t.Fatal("shard 2 marked killed by shard 1's fault")
+	}
+}
+
+func TestInjectorKillAndWindows(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Shard: 1, Tick: 3, Kind: DropAcks, Ticks: 4},
+		{Shard: 1, Tick: 4, Kind: DelayReports, Ticks: 2},
+		{Shard: 1, Tick: 8, Kind: Kill},
+	}}
+	in := NewInjector(p, 1)
+
+	in.Step(2)
+	if in.DropAcksActive() {
+		t.Fatal("drop-acks active before its window")
+	}
+	in.Step(3)
+	if !in.DropAcksActive() {
+		t.Fatal("drop-acks inactive at window open")
+	}
+	if d := in.StatusDelay(3); d != 0 {
+		t.Fatalf("StatusDelay(3) = %d before the delay window", d)
+	}
+	in.Step(4)
+	if d := in.StatusDelay(4); d != 2 {
+		t.Fatalf("StatusDelay(4) = %d, want 2", d)
+	}
+	in.Step(6)
+	if !in.DropAcksActive() {
+		t.Fatal("drop-acks inactive inside the [3, 7) window")
+	}
+	if d := in.StatusDelay(6); d != 0 {
+		t.Fatalf("StatusDelay(6) = %d after the delay window", d)
+	}
+	in.Step(7)
+	if in.DropAcksActive() {
+		t.Fatal("drop-acks still active at tick 3+4")
+	}
+	if st := in.Step(8); !st.Kill || !in.Killed() {
+		t.Fatalf("kill did not fire at its tick: %+v killed=%v", st, in.Killed())
+	}
+}
+
+func TestInjectorLateStepCatchesUp(t *testing.T) {
+	// A hung run loop that skips ticks still fires every fault due at or
+	// before the tick it wakes up on.
+	p := &Plan{Faults: []Fault{
+		{Shard: 1, Tick: 2, Kind: Hang, Ticks: 5},
+		{Shard: 1, Tick: 4, Kind: Kill},
+	}}
+	in := NewInjector(p, 1)
+	st := in.Step(9)
+	if !st.Kill || st.HangTicks != 5 {
+		t.Fatalf("late step got %+v, want kill with 5 hang ticks", st)
+	}
+}
+
+func TestWatchTick(t *testing.T) {
+	out := strings.NewReader(
+		"cluster: joined 127.0.0.1:9 as shard 1/3\n" +
+			"live: tick 10/90 peers=30 idle=false\n" +
+			"noise line\n" +
+			"live: tick 12/90 peers=30 idle=false\n" +
+			"live: tick 14/90 peers=30 idle=false\n")
+	if !<-WatchTick(out, 12) {
+		t.Fatal("marker at tick 12 not seen")
+	}
+	if <-WatchTick(strings.NewReader("live: tick 5/90\n"), 12) {
+		t.Fatal("reported a tick the stream never reached")
+	}
+	if <-WatchTick(io.MultiReader(), 1) {
+		t.Fatal("empty stream reported a tick")
+	}
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// The OS-process fault driver: real fail-stop for multi-process tests.
+// A worker run with -stats-every 1 prints the live runtime's per-tick
+// stats marker ("live: tick N/D ..."); WatchTick scans that stream for
+// a target tick, and KillAtTick SIGKILLs the process the moment the
+// marker passes — a deterministic-enough trigger (tick-quantized) for
+// a genuinely asynchronous death.
+
+// tickMarker matches the runner's periodic stats line.
+var tickMarker = regexp.MustCompile(`live: tick (\d+)/`)
+
+// WatchTick consumes r line by line until the stats marker reports a
+// tick >= target, then sends true. If the stream ends first (the
+// process died or never printed), it sends false. The channel receives
+// exactly one value.
+func WatchTick(r io.Reader, target int) <-chan bool {
+	ch := make(chan bool, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			m := tickMarker.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			if n, err := strconv.Atoi(m[1]); err == nil && n >= target {
+				ch <- true
+				// Keep draining so the watched process never blocks on a
+				// full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- false
+	}()
+	return ch
+}
+
+// KillAtTick watches the process's output stream for the target tick
+// and SIGKILLs it (os.Process.Kill — no handler, no cleanup, the real
+// fail-stop). Returns nil once the kill is delivered, or an error when
+// the stream ended before the tick was reached.
+func KillAtTick(p *os.Process, out io.Reader, tick int) error {
+	if !<-WatchTick(out, tick) {
+		return fmt.Errorf("chaos: output ended before tick %d; nothing killed", tick)
+	}
+	return p.Kill()
+}

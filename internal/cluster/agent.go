@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"gossipstream/internal/chaos"
 	"gossipstream/internal/netmodel"
 	"gossipstream/internal/obs"
 	"gossipstream/internal/runtime"
@@ -27,7 +29,21 @@ type JoinConfig struct {
 	Obs        *obs.Obs
 	Debug      string
 	StatsEvery int
+
+	// Chaos, when set, injects this process's share of a scripted fault
+	// plan at the agent's seams (see internal/chaos): a kill aborts the
+	// shard and Join returns chaos.ErrKilled, a hang wedges the run
+	// loop, drop-acks and delay-reports degrade the control streams.
+	// The plan is shard-addressed and the injector is built after the
+	// welcome assigns this process its shard, so every joiner can carry
+	// the same plan without knowing its slot in advance.
+	Chaos *chaos.Plan
 }
+
+// ErrFenced is returned by Join when the coordinator declared this
+// shard dead and fenced it off: the shard's peers were handed to the
+// survivors, so continuing would split the brain.
+var ErrFenced = errors.New("cluster: fenced by coordinator (shard declared dead)")
 
 func (c *JoinConfig) logf(format string, args ...any) {
 	if c.Logf != nil {
@@ -93,8 +109,15 @@ func Join(cfg JoinConfig) (*sim.Result, error) {
 	if err := r.StartShard(w.Shard, w.Shards); err != nil {
 		return nil, err
 	}
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		inj = chaos.NewInjector(cfg.Chaos, w.Shard)
+		l.setChaosDrop(func(kind runtime.FrameKind) bool {
+			return kind == runtime.FrameAck && inj.DropAcksActive()
+		})
+	}
 	a := &agent{cfg: cfg, l: l, book: book, r: r, shard: w.Shard,
-		shards: w.Shards, timeScale: w.TimeScale, tick: &tick,
+		shards: w.Shards, timeScale: w.TimeScale, tick: &tick, inj: inj,
 		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x905517)),
 	}
 	return a.run()
@@ -161,9 +184,11 @@ type agent struct {
 	timeScale float64
 	tick      *atomic.Int64
 	rng       *rand.Rand
+	inj       *chaos.Injector
 
 	appliedSeq uint64
 	finishing  bool
+	fenced     bool
 }
 
 // run drives the shard: apply queued directives in sequence, tick the
@@ -180,7 +205,20 @@ func (a *agent) run() (*sim.Result, error) {
 	next := time.Now()
 	for r.CurrentTick() < r.Duration() && !a.finishing {
 		a.tick.Store(int64(r.CurrentTick()))
+		if inj := a.inj; inj != nil {
+			st := inj.Step(r.CurrentTick())
+			if st.Kill {
+				a.cfg.logf("cluster: shard %d: chaos kill at tick %d", a.shard, r.CurrentTick())
+				r.Abort()
+				return nil, chaos.ErrKilled
+			}
+			if st.HangTicks > 0 {
+				a.cfg.logf("cluster: shard %d: chaos hang for %d ticks at tick %d", a.shard, st.HangTicks, r.CurrentTick())
+				time.Sleep(time.Duration(st.HangTicks) * periodWall)
+			}
+		}
 		if err := a.drainDirectives(); err != nil {
+			r.Abort()
 			return nil, err
 		}
 		if a.finishing {
@@ -190,14 +228,19 @@ func (a *agent) run() (*sim.Result, error) {
 			return nil, err
 		}
 		hs := r.HealthSample()
-		a.l.cast(0, &Payload{Kind: "status", Status: &Status{
+		status := &Payload{Kind: "status", Status: &Status{
 			Shard:      a.shard,
 			Tick:       r.CurrentTick(),
 			Idle:       r.Idle(),
 			AppliedSeq: a.appliedSeq,
 			Nodes:      r.ShardStatus(),
 			Health:     &hs,
-		}})
+		}}
+		if del := a.statusDelay(); del > 0 {
+			time.AfterFunc(time.Duration(del)*periodWall, func() { a.l.cast(0, status) })
+		} else {
+			a.l.cast(0, status)
+		}
 		a.gossipRound()
 		if time.Now().After(fallback) {
 			a.cfg.logf("cluster: shard %d hit its fallback deadline", a.shard)
@@ -214,7 +257,10 @@ func (a *agent) run() (*sim.Result, error) {
 		// Scripted duration reached without a finish directive: wait a
 		// grace period for one (the coordinator may simply be behind),
 		// then finish alone.
-		a.awaitFinish(30 * time.Second)
+		if err := a.awaitFinish(30 * time.Second); err != nil {
+			r.Abort()
+			return nil, err
+		}
 	}
 	res := a.r.FinishShard()
 	a.cfg.logf("cluster: shard %d finished at tick %d (%d windows)", a.shard, r.CurrentTick(), len(res.Windows))
@@ -240,6 +286,15 @@ func (a *agent) drainDirectives() error {
 
 // handle applies one control message.
 func (a *agent) handle(m inMsg) error {
+	if m.P.Kind == "fence" {
+		// The coordinator declared this shard dead and reassigned its
+		// peers; stop immediately rather than fight the survivors.
+		a.fenced = true
+		if m.Ack != nil {
+			m.Ack(nil)
+		}
+		return ErrFenced
+	}
 	d := m.P.Dir
 	if m.P.Kind != "directive" || d == nil {
 		if m.Ack != nil {
@@ -273,6 +328,15 @@ func (a *agent) handle(m inMsg) error {
 	return err
 }
 
+// statusDelay asks the chaos injector how long to hold this tick's
+// status cast back (0 without an injector or outside a delay window).
+func (a *agent) statusDelay() int {
+	if a.inj == nil {
+		return 0
+	}
+	return a.inj.StatusDelay(a.r.CurrentTick())
+}
+
 // gossipRound pushes a directory batch to the coordinator and to one
 // random sibling — the spoke half of the anti-entropy epidemic that
 // spreads peer socket addresses without any static list.
@@ -288,20 +352,25 @@ func (a *agent) gossipRound() {
 }
 
 // awaitFinish blocks on the inbox for a finish directive for at most
-// the grace period.
-func (a *agent) awaitFinish(grace time.Duration) {
+// the grace period. A fence is fatal; any other apply error just ends
+// the wait (the shard finishes with what it has).
+func (a *agent) awaitFinish(grace time.Duration) error {
 	deadline := time.After(grace)
 	for !a.finishing {
 		select {
 		case m := <-a.l.inbox:
-			if a.handle(m) != nil {
-				return
+			if err := a.handle(m); err != nil {
+				if errors.Is(err, ErrFenced) {
+					return err
+				}
+				return nil
 			}
 		case <-deadline:
 			a.cfg.logf("cluster: shard %d: no finish directive within %v, finishing alone", a.shard, grace)
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // sendReport ships every window back to the coordinator reliably (the
@@ -318,7 +387,7 @@ func (a *agent) sendReport(res *sim.Result) {
 			Shard: a.shard, Algo: res.Algorithm, WindowIdx: i, Count: count, Window: w,
 		}})
 	}
-	a.awaitAcks(reportTimeout)
+	a.awaitAcks(defaultReportTimeout)
 }
 
 // awaitAcks polls until every reliable send toward the coordinator is

@@ -10,12 +10,13 @@ import (
 	"gossipstream/internal/sim"
 )
 
-// runCluster executes one scenario as a starter plus `workers` joiners,
-// all in this process over real UDP loopback sockets (three goroutine
-// populations standing in for three OS processes — the CI multiprocess
-// job runs the genuine article through cmd/live). Returns the merged
-// result from the starter.
-func runCluster(t *testing.T, sc *scenario.Scenario, workers int, timeScale float64) *sim.Result {
+// runClusterOpts executes one scenario as a starter plus `workers`
+// joiners, all in this process over real UDP loopback sockets. The
+// mutators (either may be nil) adjust the starter Config and each
+// joiner's JoinConfig before launch; the joiners' errors come back
+// unjudged so chaos tests can expect a scripted death.
+func runClusterOpts(t *testing.T, sc *scenario.Scenario, workers int, timeScale float64,
+	mutate func(*Config), mutateJoin func(int, *JoinConfig)) (*sim.Result, []error) {
 	t.Helper()
 	addrCh := make(chan string, 1)
 	type out struct {
@@ -23,17 +24,21 @@ func runCluster(t *testing.T, sc *scenario.Scenario, workers int, timeScale floa
 		err error
 	}
 	servCh := make(chan out, 1)
+	cfg := Config{
+		Scenario:  sc,
+		Algo:      "fast",
+		Workers:   workers,
+		TimeScale: timeScale,
+		Token:     "cluster-test",
+		Listen:    "127.0.0.1:0",
+		Ready:     func(a string) { addrCh <- a },
+		Logf:      t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	go func() {
-		res, _, err := Serve(Config{
-			Scenario:  sc,
-			Algo:      "fast",
-			Workers:   workers,
-			TimeScale: timeScale,
-			Token:     "cluster-test",
-			Listen:    "127.0.0.1:0",
-			Ready:     func(a string) { addrCh <- a },
-			Logf:      t.Logf,
-		})
+		res, _, err := Serve(cfg)
 		servCh <- out{res, err}
 	}()
 	addr := <-addrCh
@@ -43,12 +48,16 @@ func runCluster(t *testing.T, sc *scenario.Scenario, workers int, timeScale floa
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = Join(JoinConfig{
+			jc := JoinConfig{
 				Starter: addr,
 				Token:   "cluster-test",
 				Seed:    int64(i + 1),
 				Logf:    t.Logf,
-			})
+			}
+			if mutateJoin != nil {
+				mutateJoin(i, &jc)
+			}
+			_, errs[i] = Join(jc)
 		}(i)
 	}
 	got := <-servCh
@@ -56,12 +65,20 @@ func runCluster(t *testing.T, sc *scenario.Scenario, workers int, timeScale floa
 	if got.err != nil {
 		t.Fatalf("serve: %v", got.err)
 	}
+	return got.res, errs
+}
+
+// runCluster is runClusterOpts with defaults and every join required to
+// succeed. Returns the merged result from the starter.
+func runCluster(t *testing.T, sc *scenario.Scenario, workers int, timeScale float64) *sim.Result {
+	t.Helper()
+	res, errs := runClusterOpts(t, sc, workers, timeScale, nil, nil)
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
 	}
-	return got.res
+	return res
 }
 
 // TestClusterParityPaperSingleSwitch pins a three-process run of the

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +45,55 @@ type Config struct {
 	// StatsEvery, when positive, prints a periodic stats line through
 	// Logf every that many scheduling periods.
 	StatsEvery int
+
+	// Tuning overrides the coordinator's timeouts and failure-detector
+	// thresholds; zero fields keep the production defaults. Fault tests
+	// shrink these to seconds so a failover resolves inside a test run.
+	Tuning Tuning
+}
+
+// Tuning bundles the coordinator's time and failure-detection knobs.
+// The zero value means "use the defaults" for every field.
+type Tuning struct {
+	// CallTimeout bounds the coordinator's blocking round trips (the
+	// remote stop-source call). The default is generous: a partitioned
+	// control plane must be able to out-wait the scripted heal.
+	CallTimeout time.Duration // default 2m
+
+	// ReportTimeout bounds the wait for worker reports after the finish
+	// directive.
+	ReportTimeout time.Duration // default 30s
+
+	// JoinDeadline bounds the starter's wait for all Workers to join.
+	JoinDeadline time.Duration // default 5m
+
+	// SuspectAfter and DeadAfter are the failure detector's thresholds,
+	// in coordinator ticks without a status from a shard: after
+	// SuspectAfter missed ticks a shard is suspected (probed with
+	// keepalive pings), after DeadAfter it is declared dead and failed
+	// over. DeadAfter is clamped above SuspectAfter.
+	SuspectAfter int // default 10
+	DeadAfter    int // default 30
+}
+
+// withDefaults fills every zero field with its production default.
+func (t Tuning) withDefaults() Tuning {
+	if t.CallTimeout <= 0 {
+		t.CallTimeout = defaultCallTimeout
+	}
+	if t.ReportTimeout <= 0 {
+		t.ReportTimeout = defaultReportTimeout
+	}
+	if t.JoinDeadline <= 0 {
+		t.JoinDeadline = defaultJoinDeadline
+	}
+	if t.SuspectAfter <= 0 {
+		t.SuspectAfter = DefaultSuspectAfter
+	}
+	if t.DeadAfter <= t.SuspectAfter {
+		t.DeadAfter = t.SuspectAfter + DefaultDeadAfter - DefaultSuspectAfter
+	}
+	return t
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -61,14 +111,12 @@ func algoFactory(name string) sim.AlgorithmFactory {
 	return sim.Fast
 }
 
-// callTimeout bounds the coordinator's blocking round trips (the
-// remote stop-source call). Generous: a partitioned control plane must
-// be able to out-wait the scripted heal.
-const callTimeout = 2 * time.Minute
-
-// reportTimeout bounds the wait for worker reports after the finish
-// directive.
-const reportTimeout = 30 * time.Second
+// The production defaults behind Tuning's zero value.
+const (
+	defaultCallTimeout   = 2 * time.Minute
+	defaultReportTimeout = 30 * time.Second
+	defaultJoinDeadline  = 5 * time.Minute
+)
 
 // Serve runs the starter node: listen for Workers joining processes,
 // welcome each with the scenario and a directory seed, release the
@@ -89,6 +137,7 @@ func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
 	if cfg.Debug != "" && cfg.Obs == nil {
 		cfg.Obs = &obs.Obs{Reg: obs.NewRegistry()}
 	}
+	cfg.Tuning = cfg.Tuning.withDefaults()
 	sc := cfg.Scenario
 	shards := cfg.Workers + 1
 
@@ -135,7 +184,22 @@ func Serve(cfg Config) (*sim.Result, runtime.LiveStats, error) {
 		workers: workerShards, tick: &tick,
 		lastStatus: make(map[int]*Status),
 		health:     make(map[int]*shardHealth),
+		det: NewDetector(DetectorConfig{
+			SuspectAfter: cfg.Tuning.SuspectAfter,
+			DeadAfter:    cfg.Tuning.DeadAfter,
+		}, workerShards),
+		dead:  make(map[int]bool),
+		pongs: make(map[int]bool),
 	}
+	co.obsSuspected = cfg.Obs.Registry().Counter("gossip_workers_suspected_total",
+		"suspicion episodes opened by the cluster failure detector")
+	co.obsFailovers = cfg.Obs.Registry().Counter("gossip_worker_failovers_total",
+		"worker shards declared dead and failed over")
+	co.obsReassigned = cfg.Obs.Registry().Counter("gossip_shards_reassigned_total",
+		"dead shards whose orphaned peers were folded into survivors")
+	co.obsRespawned = cfg.Obs.Registry().Counter("gossip_peers_respawned_total",
+		"orphaned peers respawned on surviving shards after a failover")
+	l.setOnPong(co.notePong)
 	if cfg.Debug != "" {
 		dbg, err := startClusterDebug(cfg.Debug, cfg.Obs, r, &co.healthPub)
 		if err != nil {
@@ -161,7 +225,7 @@ func awaitWorkers(cfg Config, sc *scenario.Scenario, l *link, book *Directory, s
 	}
 	assigned := make(map[string]int)
 	var workers []int
-	deadline := time.After(5 * time.Minute)
+	deadline := time.After(cfg.Tuning.JoinDeadline)
 	for len(workers) < shards-1 {
 		select {
 		case m := <-l.inbox:
@@ -213,6 +277,19 @@ type coordinator struct {
 	health    map[int]*shardHealth
 	healthPub atomic.Pointer[healthTable]
 
+	// The fail-stop machinery (see failover.go): the per-worker failure
+	// detector, the set of shards already declared dead, keepalive pongs
+	// collected from the link's reader goroutine, and the counters.
+	det    *Detector
+	dead   map[int]bool
+	pongMu sync.Mutex
+	pongs  map[int]bool
+
+	obsSuspected  *obs.Counter
+	obsFailovers  *obs.Counter
+	obsReassigned *obs.Counter
+	obsRespawned  *obs.Counter
+
 	// earlyReports buffers report messages that raced the finish (a
 	// worker on its fallback deadline), so collectReports still sees
 	// them after their ack.
@@ -224,6 +301,7 @@ type coordinator struct {
 	stopEvent   sim.Event
 	stopOld     overlay.NodeID
 	stopNew     overlay.NodeID
+	stopDest    int
 }
 
 // run drives shard 0 tick by tick, resolving events and broadcasting
@@ -248,6 +326,9 @@ func (c *coordinator) run() (*sim.Result, error) {
 		}
 		c.gossipRound()
 		c.healthTick(false)
+		if err := c.detectTick(); err != nil {
+			return nil, err
+		}
 		if r.EarlyExit() && c.drained() {
 			break
 		}
@@ -296,12 +377,28 @@ func (c *coordinator) drainInbox() {
 }
 
 func (c *coordinator) handle(m inMsg) {
+	// A shard already declared dead gets no say: its state was handed to
+	// the survivors, so a late revival would split the brain. Fence it
+	// (the cast tells a falsely-declared process to stop) and drop the
+	// message on the floor — but still ack, to quiet its retry loop.
+	if c.dead[m.From] {
+		c.l.cast(m.From, &Payload{Kind: "fence"})
+		if m.Ack != nil {
+			m.Ack(nil)
+		}
+		return
+	}
 	switch m.P.Kind {
 	case "status":
 		if st := m.P.Status; st != nil {
 			c.lastStatus[st.Shard] = st
 			c.r.MergeStatus(st.Nodes)
 			c.noteHealth(st.Shard, st.Health)
+			if tr := c.det.Observe(st.Shard); tr != nil {
+				c.cfg.logf("cluster: tick %d: shard %d recovered (suspicion cancelled)",
+					c.r.CurrentTick(), st.Shard)
+				c.traceFD("recovered", st.Shard)
+			}
 		}
 	case "report":
 		// A report can race the finish when a worker hits its fallback
@@ -345,14 +442,24 @@ func (c *coordinator) fireEvents() error {
 			return err
 		}
 		if needStop != nil {
+			owner := r.OwnerOf(needStop.Old)
+			if c.dead[owner] {
+				// The old source's worker died between ticks: resolve the
+				// switch as a crash handoff instead of calling a corpse.
+				ev.Failure = true
+				d := r.ResolveSwitch(ev, needStop.Old, needStop.New, r.CrashS1End())
+				r.PopEvent()
+				c.broadcastApply(d)
+				continue
+			}
 			c.stopEvent = ev
 			c.stopOld = needStop.Old
 			c.stopNew = needStop.New
-			owner := int(needStop.Old) % c.shards
+			c.stopDest = owner
 			ch := make(chan *Payload, 1)
 			c.pendingStop = ch
 			go func(dest int, d runtime.Directive) {
-				reply, err := c.l.call(dest, &Payload{Kind: "directive", Dir: &d}, callTimeout)
+				reply, err := c.l.call(dest, &Payload{Kind: "directive", Dir: &d}, c.cfg.Tuning.CallTimeout)
 				if err != nil {
 					reply = nil
 				}
@@ -451,11 +558,11 @@ func (c *coordinator) collectReports() ([]*sim.Result, error) {
 		}
 		return true
 	}
-	deadline := time.After(reportTimeout)
+	deadline := time.After(c.cfg.Tuning.ReportTimeout)
 	for !complete() {
 		select {
 		case m := <-c.l.inbox:
-			if m.P.Kind != "report" || m.P.Report == nil {
+			if m.P.Kind != "report" || m.P.Report == nil || c.dead[m.From] {
 				c.handle(m)
 				continue
 			}
@@ -464,7 +571,7 @@ func (c *coordinator) collectReports() ([]*sim.Result, error) {
 				m.Ack(nil)
 			}
 		case <-deadline:
-			return nil, fmt.Errorf("cluster: worker reports incomplete after %v", reportTimeout)
+			return nil, fmt.Errorf("cluster: worker reports incomplete after %v", c.cfg.Tuning.ReportTimeout)
 		}
 	}
 	var parts []*sim.Result

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"gossipstream/internal/overlay"
 	"gossipstream/internal/runtime"
 )
 
@@ -42,6 +43,24 @@ func FuzzWireDecode(f *testing.F) {
 		Dir: []runtime.DirEntry{{ID: 1, Ver: 9, Addr: "[::1]:80"}, {ID: 2, Ver: 1, Addr: ""}}}
 	seal(&delta, token)
 	f.Add(runtime.EncodeFrame(delta))
+	// The failover alphabet: a reassignment directive with respawn specs,
+	// a fence, and the keepalive ping/pong pair.
+	f.Add(sealed(runtime.FrameEvent, 9, &Payload{Kind: "directive", Dir: &runtime.Directive{
+		Kind: runtime.DirReassign, Tick: 18, DeadShard: 2,
+		Respawns: []runtime.RespawnSpec{
+			{Owner: 0, Join: runtime.JoinSpec{ID: 2, Neighbors: []overlay.NodeID{1, 5}, Anchor: 40, Known: 1, ProfIn: 512, ProfOut: 512}},
+			{Owner: 1, Join: runtime.JoinSpec{ID: 5, Anchor: 41, SessionIdx: 0, Known: 1}},
+		},
+	}}))
+	f.Add(sealed(runtime.FrameEvent, 11, &Payload{Kind: "fence"}))
+	ping := runtime.Frame{Kind: runtime.FramePing}
+	ping.Msg.To, ping.Msg.Seg = 2, 7
+	seal(&ping, token)
+	f.Add(runtime.EncodeFrame(ping))
+	pong := runtime.Frame{Kind: runtime.FramePong}
+	pong.Msg.From, pong.Msg.Seg = 2, 7
+	seal(&pong, token)
+	f.Add(runtime.EncodeFrame(pong))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, err := runtime.DecodeFrame(b)

@@ -27,6 +27,7 @@ type shardHealth struct {
 	Shard    int                  `json:"shard"`
 	SeenTick int                  `json:"seen_tick"` // coordinator tick when the sample landed (-1: never)
 	Stale    bool                 `json:"stale"`
+	FD       string               `json:"fd"` // failure-detector state: healthy|suspected|dead
 	Sample   runtime.HealthSample `json:"sample"`
 }
 
@@ -43,6 +44,9 @@ func (t *healthTable) String() string {
 	fmt.Fprintf(&b, "cluster: health @ tick %d:", t.Tick)
 	for _, row := range t.Shards {
 		fmt.Fprintf(&b, " | s%d", row.Shard)
+		if row.FD != "" && row.FD != "healthy" {
+			fmt.Fprintf(&b, " %s", strings.ToUpper(row.FD))
+		}
 		if row.SeenTick < 0 {
 			b.WriteString(" never-reported")
 			continue
@@ -76,13 +80,15 @@ func (c *coordinator) healthTick(force bool) {
 	c.health[0] = &shardHealth{Shard: 0, SeenTick: tick, Sample: own}
 	t := &healthTable{Tick: tick}
 	for shard := 0; shard < c.shards; shard++ {
+		fd := c.det.State(shard).String()
 		row, ok := c.health[shard]
 		if !ok {
-			t.Shards = append(t.Shards, shardHealth{Shard: shard, SeenTick: -1, Stale: true})
+			t.Shards = append(t.Shards, shardHealth{Shard: shard, SeenTick: -1, Stale: true, FD: fd})
 			continue
 		}
 		r := *row
 		r.Stale = tick-r.SeenTick > staleLag
+		r.FD = fd
 		t.Shards = append(t.Shards, r)
 	}
 	c.healthPub.Store(t)

@@ -70,6 +70,18 @@ type link struct {
 	remote  map[string]*net.UDPAddr
 	closed  bool
 
+	// Keepalive: the coordinator probes suspected shards with FramePing;
+	// any link answers from its reader goroutine (proving the process
+	// alive even when its run loop is wedged), and onPong feeds answers
+	// back to the failure detector.
+	onPong    func(from int)
+	pingNonce int64
+
+	// chaosDrop, when set, vetoes outbound frames of a kind — the
+	// fault-injection seam internal/chaos hooks to drop a worker's
+	// control acks (see docs/TESTING.md).
+	chaosDrop func(kind runtime.FrameKind) bool
+
 	inbox chan inMsg
 	done  chan struct{}
 	wg    sync.WaitGroup
@@ -171,6 +183,29 @@ func (l *link) setObs(o *obs.Obs) {
 	l.trace = o.Tracer()
 }
 
+// setOnPong installs the keepalive-answer callback (invoked from the
+// reader goroutine; the callback must do its own locking).
+func (l *link) setOnPong(fn func(from int)) {
+	l.mu.Lock()
+	l.onPong = fn
+	l.mu.Unlock()
+}
+
+// setChaosDrop installs the outbound fault-injection veto.
+func (l *link) setChaosDrop(fn func(kind runtime.FrameKind) bool) {
+	l.mu.Lock()
+	l.chaosDrop = fn
+	l.mu.Unlock()
+}
+
+// dropFrame consults the fault-injection veto for one outbound frame.
+func (l *link) dropFrame(kind runtime.FrameKind) bool {
+	l.mu.Lock()
+	fn := l.chaosDrop
+	l.mu.Unlock()
+	return fn != nil && fn(kind)
+}
+
 // addr is the bound control address.
 func (l *link) addr() string { return l.conn.LocalAddr().String() }
 
@@ -199,6 +234,48 @@ func (l *link) pendingEmpty(dest int) bool {
 		}
 	}
 	return true
+}
+
+// forget abandons every reliable send toward a dead shard: pending
+// retries stop, and blocked callers are released with a nil reply. The
+// coordinator calls it at failover so a corpse cannot pin the retry
+// loop or the drain check.
+func (l *link) forget(dest int) {
+	l.mu.Lock()
+	var woken []chan []byte
+	for k := range l.pending {
+		if k.shard == dest {
+			delete(l.pending, k)
+		}
+	}
+	for k, ch := range l.waiters {
+		if k.shard == dest {
+			delete(l.waiters, k)
+			woken = append(woken, ch)
+		}
+	}
+	l.mu.Unlock()
+	for _, ch := range woken {
+		ch <- nil
+	}
+}
+
+// probe sends one keepalive ping (unsequenced, losable; the detector
+// re-probes every tick while suspicion lasts).
+func (l *link) probe(dest int) {
+	l.mu.Lock()
+	l.pingNonce++
+	nonce := l.pingNonce
+	l.mu.Unlock()
+	f := runtime.Frame{
+		Kind: runtime.FramePing,
+		Msg: netmodel.Message{
+			From: l.anchor(), To: overlay.NodeID(dest),
+			Seg: segment.ID(nonce),
+		},
+	}
+	seal(&f, l.token)
+	l.transmit(dest, runtime.EncodeFrame(f))
 }
 
 // lastSeq is the highest sequence number handed to the peer shard —
@@ -470,6 +547,24 @@ func (l *link) read() {
 			l.handleAck(f)
 		case runtime.FrameHello, runtime.FrameEvent:
 			l.handleMsg(f)
+		case runtime.FramePing:
+			// Answer from the reader itself: liveness of the process,
+			// not of its run loop, is what the pong attests.
+			pong := runtime.Frame{
+				Kind: runtime.FramePong,
+				Msg: netmodel.Message{
+					From: l.anchor(), To: f.Msg.From, Seg: f.Msg.Seg,
+				},
+			}
+			seal(&pong, l.token)
+			l.transmit(int(f.Msg.From), runtime.EncodeFrame(pong))
+		case runtime.FramePong:
+			l.mu.Lock()
+			fn := l.onPong
+			l.mu.Unlock()
+			if fn != nil {
+				fn(int(f.Msg.From))
+			}
 		}
 	}
 }
@@ -515,7 +610,7 @@ func (l *link) handleMsg(f runtime.Frame) {
 		// severed on its way out).
 		reply := l.replies[pendKey{from, seq}]
 		l.mu.Unlock()
-		if reply != nil {
+		if reply != nil && !l.dropFrame(runtime.FrameAck) {
 			l.transmit(from, reply)
 		}
 		return
@@ -587,7 +682,12 @@ func (l *link) sequencedMsg(from int, seq uint64, p *Payload) inMsg {
 			l.mu.Lock()
 			l.replies[pendKey{from, seq}] = data
 			l.mu.Unlock()
-			l.transmit(from, data)
+			// The retained reply survives a chaos ack-drop window: once
+			// the fault lifts, the sender's retry triggers the dup
+			// re-ack path above.
+			if !l.dropFrame(runtime.FrameAck) {
+				l.transmit(from, data)
+			}
 		},
 	}
 }

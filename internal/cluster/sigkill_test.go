@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	stdruntime "runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gossipstream/internal/chaos"
+	"gossipstream/internal/obs"
+	"gossipstream/internal/scenario"
+	"gossipstream/internal/sim"
+)
+
+// The OS-process chaos test: the coordinator runs in this process, the
+// two workers are real child processes (this test binary re-executed
+// into the helper below), and one of them is SIGKILLed mid-run — the
+// genuine fail-stop, no goroutine stand-in. The cluster must detect the
+// death, reassign the dead shard's peers and still complete the merged
+// run.
+
+const sigkillHelperEnv = "GOSSIP_CLUSTER_SIGKILL_HELPER"
+
+// TestClusterSIGKILLWorkerHelper is not a test of its own: it is the
+// worker process body, run via re-exec by TestClusterSurvivesWorkerSIGKILL
+// with the starter address in the environment. It prints the per-tick
+// stats marker the chaos kill driver watches.
+func TestClusterSIGKILLWorkerHelper(t *testing.T) {
+	addr := os.Getenv(sigkillHelperEnv)
+	if addr == "" {
+		t.Skip("helper: run only as a subprocess of TestClusterSurvivesWorkerSIGKILL")
+	}
+	seed, _ := strconv.Atoi(os.Getenv("GOSSIP_CLUSTER_SIGKILL_SEED"))
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if _, err := Join(JoinConfig{
+		Starter: addr, Token: "cluster-test", Seed: int64(seed),
+		Logf: logf, StatsEvery: 1,
+	}); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+}
+
+// startWorker launches one worker child process joining addr and
+// returns it with its stdout pipe.
+func startWorker(t *testing.T, addr string, seed int) (*exec.Cmd, io.ReadCloser) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestClusterSIGKILLWorkerHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		sigkillHelperEnv+"="+addr,
+		"GOSSIP_CLUSTER_SIGKILL_SEED="+strconv.Itoa(seed))
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, out
+}
+
+// awaitJoined reads the worker's stdout until its join line appears,
+// so shard assignment order is deterministic across the two children.
+func awaitJoined(t *testing.T, r *bufio.Reader, shard int) {
+	t.Helper()
+	want := fmt.Sprintf("as shard %d/", shard)
+	for {
+		line, err := r.ReadString('\n')
+		if strings.Contains(line, want) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("worker exited before joining as shard %d: %v", shard, err)
+		}
+	}
+}
+
+// TestClusterSurvivesWorkerSIGKILL is the tentpole's acceptance run:
+// three real processes over UDP loopback, one worker SIGKILLed at a
+// scripted tick, and the merged run still completes — the dead shard
+// reassigned, exactly one failover counted, the merged window clean and
+// the live invariant audit green.
+func TestClusterSurvivesWorkerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos run takes several seconds")
+	}
+	if raceEnabled && stdruntime.NumCPU() < 2 {
+		t.Skip("race build on a single CPU saturates the pacer (see race_on_test.go)")
+	}
+	sc := scenario.PaperSingleSwitch().Scaled(60)
+	reg := obs.NewRegistry()
+	addrCh := make(chan string, 1)
+	type out struct {
+		res *sim.Result
+		err error
+	}
+	servCh := make(chan out, 1)
+	go func() {
+		res, _, err := Serve(Config{
+			Scenario:  sc,
+			Algo:      "fast",
+			Workers:   2,
+			TimeScale: 50,
+			Token:     "cluster-test",
+			Listen:    "127.0.0.1:0",
+			Ready:     func(a string) { addrCh <- a },
+			Logf:      t.Logf,
+			Obs:       &obs.Obs{Reg: reg},
+			Tuning:    chaosTuning,
+		})
+		servCh <- out{res, err}
+	}()
+	addr := <-addrCh
+
+	// Join strictly in order, so the survivor is shard 1 (it owns the
+	// scripted switch's old source) and the victim is shard 2.
+	w1, out1 := startWorker(t, addr, 1)
+	defer w1.Process.Kill()
+	r1 := bufio.NewReader(out1)
+	awaitJoined(t, r1, 1)
+	go io.Copy(io.Discard, r1)
+
+	w2, out2 := startWorker(t, addr, 2)
+	defer w2.Process.Kill()
+
+	// The real fail-stop: watch the victim's stats stream and SIGKILL it
+	// the moment it passes tick 12.
+	if err := chaos.KillAtTick(w2.Process, out2, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Wait(); err == nil {
+		t.Error("SIGKILLed worker exited cleanly")
+	} else {
+		t.Logf("victim: %v", err)
+	}
+
+	got := <-servCh
+	if got.err != nil {
+		t.Fatalf("serve: %v", got.err)
+	}
+	if err := w1.Wait(); err != nil {
+		t.Errorf("surviving worker: %v", err)
+	}
+
+	if n := reg.Counter("gossip_worker_failovers_total", "").Value(); n != 1 {
+		t.Errorf("gossip_worker_failovers_total = %d, want 1", n)
+	}
+	if n := reg.Counter("gossip_shards_reassigned_total", "").Value(); n != 1 {
+		t.Errorf("gossip_shards_reassigned_total = %d, want 1", n)
+	}
+	if n := reg.Counter("gossip_peers_respawned_total", "").Value(); n < 10 {
+		t.Errorf("gossip_peers_respawned_total = %d, want the dead shard's ~20 listeners", n)
+	}
+
+	res := got.res
+	var sw *sim.SwitchMetrics
+	for _, w := range res.Windows {
+		if w.Kind == "switch" {
+			sw = w
+			break
+		}
+	}
+	if sw == nil {
+		t.Fatalf("no switch window in %d merged windows", len(res.Windows))
+	}
+	t.Logf("merged: %s", sw)
+	if sw.Cohort < 50 {
+		t.Errorf("merged cohort %d lost the dead shard's peers (population 60)", sw.Cohort)
+	}
+	if sw.UnfinishedS1 != 0 || sw.UnpreparedS2 != 0 {
+		t.Errorf("incomplete window after SIGKILL: unfinished=%d unprepared=%d", sw.UnfinishedS1, sw.UnpreparedS2)
+	}
+
+	scfg, err := sc.Config(sim.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckLiveInvariants(scfg, res); err != nil {
+		t.Errorf("live invariants: %v", err)
+	}
+}

@@ -115,7 +115,7 @@ type S1End struct {
 // Payload is the gob envelope: exactly one pointer field is set,
 // selected by Kind.
 type Payload struct {
-	Kind    string // "hello", "welcome", "start", "directive", "status", "report", "s1end"
+	Kind    string // "hello", "welcome", "start", "directive", "status", "report", "s1end", "fence"
 	Hello   *Hello
 	Welcome *Welcome
 	Start   *Start

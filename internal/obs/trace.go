@@ -29,6 +29,7 @@ const (
 	EvRetry       = "retry"        // dest, seq: a control-plane retransmission
 	EvPartition   = "partition"    // kind: sever|heal
 	EvRunEnd      = "run-end"      // windows: closed window count
+	EvFailover    = "failover"     // kind: suspected|recovered|dead; dest: the shard
 )
 
 // TraceEvent is one trace line. Optional fields are pointers (or
@@ -160,6 +161,7 @@ var traceRequired = map[string][]string{
 	EvRetry:       {"dest", "seq"},
 	EvPartition:   {"kind"},
 	EvRunEnd:      {},
+	EvFailover:    {"kind", "dest"},
 }
 
 // ValidateTraceLine checks one JSONL line against the schema: valid

@@ -52,6 +52,10 @@ const (
 	DirHeal
 	// DirFinish ends the run (coordinator-initiated early exit).
 	DirFinish
+	// DirReassign folds a dead shard's orphaned peers into survivors:
+	// every process records the ownership overrides, and the new owners
+	// respawn their peers anchored at the neighborhood frontier.
+	DirReassign
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +83,8 @@ func (k DirKind) String() string {
 		return "heal"
 	case DirFinish:
 		return "finish"
+	case DirReassign:
+		return "reassign"
 	}
 	return "directive(?)"
 }
@@ -128,6 +134,10 @@ type Directive struct {
 	Repair [][2]overlay.NodeID
 	Joins  []JoinSpec
 
+	// DirReassign.
+	DeadShard int
+	Respawns  []RespawnSpec
+
 	// Resolved marks a directive applied on the process that resolved
 	// it: the membership directory already mutated the graph during
 	// resolution, so apply must not replay the structural mutations. A
@@ -149,8 +159,21 @@ type NodeStatus struct {
 
 // owns reports whether this runner's shard hosts the node's goroutine.
 func (r *Runner) owns(id overlay.NodeID) bool {
-	return r.shards <= 1 || int(id)%r.shards == r.shard
+	return r.shards <= 1 || r.ownerOf(id) == r.shard
 }
+
+// ownerOf names the shard hosting a node: a failover reassignment
+// override when one exists, the id-mod-shards rule otherwise.
+func (r *Runner) ownerOf(id overlay.NodeID) int {
+	if s, ok := r.owner[id]; ok {
+		return s
+	}
+	return int(id) % r.shards
+}
+
+// OwnerOf exposes the ownership rule to the cluster coordinator (the
+// stop-source call and the failover machinery route by it).
+func (r *Runner) OwnerOf(id overlay.NodeID) int { return r.ownerOf(id) }
 
 // Shard and Shards expose the runner's slice of the population.
 func (r *Runner) Shard() int  { return r.shard }
@@ -549,6 +572,8 @@ func (r *Runner) Apply(d *Directive) error {
 		r.policy.mutate(func(m *netmodel.Model) { m.Heal() })
 	case DirFinish:
 		// Handled by the driving loop (cluster agent); nothing to apply.
+	case DirReassign:
+		r.applyReassign(d)
 	default:
 		return fmt.Errorf("runtime: unknown directive kind %d", d.Kind)
 	}
@@ -635,6 +660,9 @@ func (r *Runner) applyMembership(d *Directive) {
 // applyJoin wires one resolved joiner into the local graph and spawns
 // it when owned.
 func (r *Runner) applyJoin(js JoinSpec, resolved bool) {
+	// Every process records the joiner's profile, owner or not — the
+	// failover machinery restates it if the peer ever respawns.
+	r.profile[js.ID] = bandwidth.Profile{In: js.ProfIn, Out: js.ProfOut}
 	if !resolved {
 		// Ids are assigned sequentially by the resolver's directory; the
 		// local graph must agree or the two processes have diverged.

@@ -112,6 +112,14 @@ type Runner struct {
 	roles         map[overlay.NodeID]bool
 	dead          map[overlay.NodeID]bool
 
+	// Failover state (see failover.go): owner overrides for peers
+	// reassigned off a dead shard (consulted before the id-mod-shards
+	// rule), and the bandwidth-profile ledger every process keeps for
+	// every node so a respawn directive can restate a peer's profile
+	// without an RNG draw.
+	owner   map[overlay.NodeID]int
+	profile map[overlay.NodeID]bandwidth.Profile
+
 	lastRetired overlay.NodeID
 	burst       *sim.ChurnConfig
 	burstUntil  int
@@ -199,6 +207,8 @@ func FromScenario(sc *scenario.Scenario, factory sim.AlgorithmFactory, opt Optio
 		shards:      1,
 		roles:       make(map[overlay.NodeID]bool),
 		dead:        make(map[overlay.NodeID]bool),
+		owner:       make(map[overlay.NodeID]int),
+		profile:     make(map[overlay.NodeID]bandwidth.Profile),
 		lastRetired: -1,
 		bwFactor:    1,
 		res:         &sim.Result{Algorithm: factory().Name()},
@@ -370,6 +380,10 @@ func (r *Runner) spawnInitial() error {
 
 	for i := 0; i < n; i++ {
 		id := overlay.NodeID(i)
+		// The profile ledger records every node's draw regardless of
+		// ownership — the profiles slice is seed-identical on every
+		// process, and a failover respawn restates it from here.
+		r.profile[id] = profiles[i]
 		// The stagger draw runs for every node regardless of ownership,
 		// so every shard's RNG stream stays aligned and any process can
 		// recompute any node's start tick.

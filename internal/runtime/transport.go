@@ -56,6 +56,13 @@ const (
 	// number (Msg.Seg carries the acked sequence) and may carry a reply
 	// payload (the welcome, a stop-source's closing segment id).
 	FrameAck
+	// FramePing is the coordinator's keepalive probe to a suspected
+	// worker (Msg.Seg carries a nonce). The worker's link answers from
+	// its reader goroutine, so a pong proves the process is alive even
+	// while its run loop is wedged.
+	FramePing
+	// FramePong answers a FramePing, echoing the nonce in Msg.Seg.
+	FramePong
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +84,10 @@ func (k FrameKind) String() string {
 		return "event"
 	case FrameAck:
 		return "ack"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
 	}
 	return "frame(?)"
 }

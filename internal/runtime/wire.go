@@ -124,7 +124,7 @@ func EncodeFrame(f Frame) []byte {
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Dir)))
 		b = appendDirEntries(b, f.Dir)
 		b = appendCtrl(b, f.Ctrl)
-	case FrameHello, FrameEvent, FrameAck:
+	case FrameHello, FrameEvent, FrameAck, FramePing, FramePong:
 		b = appendCtrl(b, f.Ctrl)
 	}
 	return b
@@ -169,7 +169,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 	}
 	f.Kind = FrameKind(b[0] &^ wireReReqBit)
 	f.ReReq = b[0]&wireReReqBit != 0
-	if f.Kind < FrameMap || f.Kind > FrameAck {
+	if f.Kind < FrameMap || f.Kind > FramePong {
 		return f, fmt.Errorf("runtime: unknown frame kind %d", b[0])
 	}
 	if f.ReReq && f.Kind != FrameRequest {
@@ -205,7 +205,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 			return f, fmt.Errorf("runtime: %d trailing bytes on a dir-delta frame", len(rest))
 		}
 		return f, nil
-	case FrameHello, FrameEvent, FrameAck:
+	case FrameHello, FrameEvent, FrameAck, FramePing, FramePong:
 		var err error
 		f.Ctrl, rest, err = decodeCtrl(rest)
 		if err != nil {

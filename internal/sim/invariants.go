@@ -71,6 +71,76 @@ func CheckInvariants(cfg Config, res *Result) error {
 	return errors.Join(errs...)
 }
 
+// CheckLiveInvariants audits a merged live-cluster Result: the window
+// checks and the SwitchMetrics mirror of CheckInvariants, plus the
+// loss-possibility rule applied directly to the windows. The transport
+// ledger is deliberately absent — live transports are real sockets (or
+// wall-clock shapers) with no conservation ledger, so a live result
+// must not carry one. unscripted lists events the run resolved beyond
+// the script — a failover-induced crash switch opens a window no
+// scripted event accounts for.
+func CheckLiveInvariants(cfg Config, res *Result, unscripted ...Event) error {
+	cfg = cfg.Defaulted()
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	for i, w := range res.Windows {
+		if w == nil {
+			fail("window %d missing from the merge (no shard reported it)", i)
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	events := append(append([]Event(nil), implicitEvents(cfg)...), unscripted...)
+	checkWindows(cfg, res, events, fail)
+
+	if res.Audit != nil {
+		fail("live result carries a transport ledger")
+	}
+	if cfg.Net != nil {
+		nc := cfg.Net.Defaulted()
+		lossPossible := nc.Loss > 0
+		partitionPossible := false
+		for _, ev := range events {
+			switch ev.Kind {
+			case EvLossBurst:
+				if ev.Prob > 0 {
+					lossPossible = true
+				}
+			case EvPartition:
+				partitionPossible = true
+			}
+		}
+		var winLost, winReReq int64
+		for _, w := range res.Windows {
+			winLost += w.NetLost
+			winReReq += w.NetReRequests
+		}
+		if !lossPossible && !partitionPossible && (winLost != 0 || winReReq != 0) {
+			fail("windows report %d losses and %d re-requests on a lossless, unpartitioned run", winLost, winReReq)
+		}
+	}
+
+	if len(res.Windows) > 0 {
+		mirror := res.Windows[0]
+		for _, w := range res.Windows {
+			if w.Kind == "switch" {
+				mirror = w
+				break
+			}
+		}
+		if !reflect.DeepEqual(res.SwitchMetrics, *mirror) {
+			fail("embedded SwitchMetrics does not mirror window %d", mirror.Window)
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
 // implicitEvents returns the run's event timeline: the script's events,
 // or the implicit single planned switch of a nil script.
 func implicitEvents(cfg Config) []Event {
